@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (the paper's 40K-host networks are out of reach for a quick pure-
+Python benchmark run; EXPERIMENTS.md documents larger-scale runs).  Each
+benchmark prints the regenerated table so `pytest benchmarks/
+--benchmark-only` output doubles as a reproduction report, and attaches key
+numbers to the benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Scale factor applied to all benchmark experiment sizes.
+BENCH_SCALE = 0.35
+
+#: Seed shared by every benchmark so runs are reproducible.
+BENCH_SEED = 1
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiment drivers take seconds, so calibrated multi-round timing
+    would make the suite unreasonably slow; a single round still records the
+    wall-clock cost of regenerating the figure.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Section 5.4 benchmark: continuous approximate size estimation."""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments.capture_recapture import (
+    run_capture_recapture_experiment,
+    run_ring_segment_experiment,
+)
+from repro.experiments.tables import format_table
+
+
+def test_capture_recapture_size_estimation(benchmark):
+    rows = run_once(
+        benchmark,
+        run_capture_recapture_experiment,
+        initial_size=3000,
+        num_intervals=12,
+        departure_rate=0.04,
+        arrival_rate=0.02,
+        sample_size=300,
+        seed=BENCH_SEED,
+    )
+    print()
+    print(format_table([row.as_dict() for row in rows],
+                       title="Section 5.4: capture-recapture size estimates"))
+
+    assert len(rows) >= 8
+    mean_error = sum(r.relative_error for r in rows) / len(rows)
+    assert mean_error < 0.25
+    benchmark.extra_info["mean_relative_error"] = round(mean_error, 3)
+
+
+def test_ring_segment_size_estimation(benchmark):
+    rows = run_once(
+        benchmark,
+        run_ring_segment_experiment,
+        network_sizes=(500, 2000, 8000),
+        sample_size=150,
+        num_trials=5,
+        seed=BENCH_SEED,
+    )
+    print()
+    print(format_table(rows, title="Section 5.4: ring-segment size estimates"))
+    for row in rows:
+        assert row["mean_relative_error"] < 0.5
+    benchmark.extra_info["errors"] = {str(r["|H|"]): r["mean_relative_error"]
+                                      for r in rows}

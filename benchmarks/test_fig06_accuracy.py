@@ -1,0 +1,29 @@
+"""Figure 6 benchmark: accuracy of the FM count and sum operators."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.experiments.accuracy import run_accuracy_experiment
+from repro.experiments.tables import format_table
+
+
+def test_fig06_accuracy(benchmark):
+    rows = run_once(
+        benchmark,
+        run_accuracy_experiment,
+        set_sizes=(512, 2048),
+        repetitions_sweep=(1, 2, 4, 8, 16),
+        num_trials=3,
+        seed=BENCH_SEED,
+    )
+    table = [row.as_dict() for row in rows]
+    print()
+    print(format_table(table, title="Figure 6: FM operator accuracy ratio vs c"))
+
+    # Shape check: at c=16 both operators are close to ratio 1.
+    converged = [row for row in rows if row.repetitions == 16]
+    for row in converged:
+        assert 0.5 <= row.accuracy_ratio.mean <= 1.7
+    benchmark.extra_info["rows"] = len(rows)
+    benchmark.extra_info["count_ratio_at_c16"] = round(
+        next(r.accuracy_ratio.mean for r in converged if r.operator == "count"), 3
+    )

@@ -1,0 +1,36 @@
+"""Figure 8 benchmark: sum query vs churn on the Gnutella-like topology."""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments.tables import format_table
+from repro.experiments.validity_sweep import run_validity_sweep
+from repro.topology.gnutella import gnutella_like_topology
+
+
+def test_fig08_sum_on_gnutella(benchmark):
+    topology = gnutella_like_topology(800, seed=BENCH_SEED)
+    departures = [8, 40, 80]
+
+    rows = run_once(
+        benchmark,
+        run_validity_sweep,
+        topology,
+        "sum",
+        departures,
+        num_trials=2,
+        fm_repetitions=24,
+        sketch_epsilon=0.75,
+        seed=BENCH_SEED + 1,
+    )
+    print()
+    print(format_table([row.as_dict() for row in rows],
+                       title="Figure 8: sum vs churn (Gnutella-like, 800 hosts)"))
+
+    wildfire = [r for r in rows if r.protocol == "wildfire"]
+    tree = [r for r in rows if r.protocol == "spanning-tree"]
+    valid_fraction = sum(r.fraction_valid for r in wildfire) / len(wildfire)
+    assert valid_fraction >= 0.75
+    assert wildfire[-1].value.mean >= 0.6 * wildfire[0].value.mean
+    assert tree[-1].value.mean <= tree[0].value.mean * 1.05
+    benchmark.extra_info["tree_sum_at_max_churn"] = round(tree[-1].value.mean, 1)
+    benchmark.extra_info["oracle_lower_at_max_churn"] = round(tree[-1].oracle_lower.mean, 1)

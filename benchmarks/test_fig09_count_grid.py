@@ -1,0 +1,38 @@
+"""Figure 9 benchmark: count query vs churn on the sensor grid."""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments.tables import format_table
+from repro.experiments.validity_sweep import run_validity_sweep
+from repro.topology.grid import grid_topology
+
+
+def test_fig09_count_on_grid(benchmark):
+    topology = grid_topology(20)  # 400 sensors (paper: 100x100)
+    departures = [4, 16, 40]
+
+    rows = run_once(
+        benchmark,
+        run_validity_sweep,
+        topology,
+        "count",
+        departures,
+        num_trials=2,
+        fm_repetitions=24,
+        sketch_epsilon=0.75,
+        seed=BENCH_SEED,
+    )
+    print()
+    print(format_table([row.as_dict() for row in rows],
+                       title="Figure 9: count vs churn (20x20 grid)"))
+
+    wildfire = [r for r in rows if r.protocol == "wildfire"]
+    tree = [r for r in rows if r.protocol == "spanning-tree"]
+    valid_fraction = sum(r.fraction_valid for r in wildfire) / len(wildfire)
+    assert valid_fraction >= 0.75
+    assert wildfire[-1].value.mean >= 0.6 * wildfire[0].value.mean
+    # The deep grid spanning tree is especially brittle: by the heaviest
+    # churn level its count has dropped well below the oracle lower bound.
+    assert tree[-1].value.mean < tree[-1].oracle_lower.mean
+    benchmark.extra_info["tree_count_at_max_churn"] = round(tree[-1].value.mean, 1)
+    benchmark.extra_info["oracle_lower_at_max_churn"] = round(tree[-1].oracle_lower.mean, 1)

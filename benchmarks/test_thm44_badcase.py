@@ -1,0 +1,31 @@
+"""Theorem 4.4 benchmark: the unbounded-error construction for best effort."""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments.badcase import run_theorem_44_experiment
+from repro.experiments.tables import format_table
+
+
+def test_theorem_44_construction(benchmark):
+    results = run_once(
+        benchmark,
+        run_theorem_44_experiment,
+        cycle_size=100,
+        fm_repetitions=24,
+        seed=BENCH_SEED,
+    )
+    print()
+    print(format_table([r.as_dict() for r in results],
+                       title="Theorem 4.4: cycle-with-pendant construction"))
+
+    by_name = {r.protocol: r for r in results}
+    tree = by_name["spanning-tree"]
+    wildfire = by_name["wildfire"]
+    # The spanning tree loses (roughly) the longer half of the cycle: the
+    # error factor relative to the stable core is at least ~2 and the answer
+    # is not Single-Site Valid.
+    assert tree.error_factor >= 1.8
+    assert not tree.is_valid
+    # WILDFIRE's duplicate-insensitive count stays valid on the same run.
+    assert wildfire.is_valid
+    benchmark.extra_info["tree_error_factor"] = round(tree.error_factor, 2)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: validity-aware aggregation on a dynamic P2P network.
+
+Builds a random overlay, attaches Zipfian attribute values, and runs the
+whole aggregate-query menu (min / max / count / sum / avg) with WILDFIRE,
+first on a static network and then under churn, printing the oracle's
+Single-Site Validity verdict next to each answer.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ValidAggregator, topology, workloads
+from repro.experiments.tables import format_table
+from repro.simulation.churn import uniform_failure_schedule
+
+
+def main() -> None:
+    num_hosts = 500
+    topo = topology.random_topology(num_hosts, avg_degree=5, seed=42)
+    values = workloads.zipf_values(num_hosts, seed=42)
+    aggregator = ValidAggregator(topo, values, querying_host=0, seed=42)
+
+    print(f"Network: {topo.name}, {topo.num_hosts} hosts, {topo.num_edges} edges, "
+          f"diameter ~ {topo.diameter_estimate()}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Static network: every protocol answer matches the exact aggregate
+    # (count/sum are Flajolet-Martin estimates, so they carry sketch noise).
+    # ------------------------------------------------------------------
+    rows = []
+    for kind in ("min", "max", "count", "sum", "avg"):
+        result = aggregator.query(kind)
+        rows.append({
+            "query": kind,
+            "declared": round(result.value, 1),
+            "exact": round(aggregator.true_value(kind), 1),
+            "messages": result.communication_cost,
+        })
+    print(format_table(rows, title="Failure-free network (WILDFIRE)"))
+    print()
+
+    # ------------------------------------------------------------------
+    # Dynamic network: 10% of hosts leave while the query is processed.
+    # The oracle certificate tells us whether each answer is Single-Site
+    # Valid with respect to the churn that actually happened.
+    # ------------------------------------------------------------------
+    churn = uniform_failure_schedule(
+        candidates=range(num_hosts),
+        num_failures=num_hosts // 10,
+        start=0.5,
+        end=15.0,
+        seed=7,
+        protect=[0],
+    )
+    rows = []
+    for kind in ("min", "max", "count", "sum"):
+        for protocol in ("wildfire", "spanning-tree"):
+            result = aggregator.query(kind, protocol=protocol, churn=churn)
+            rows.append({
+                "query": kind,
+                "protocol": result.protocol,
+                "declared": round(result.value, 1),
+                "oracle_lower": round(result.certificate.lower_bound, 1),
+                "oracle_upper": round(result.certificate.upper_bound, 1),
+                "single_site_valid": result.is_valid,
+            })
+    print(format_table(rows, title="Dynamic network (10% of hosts leave mid-query)"))
+    print()
+    print("WILDFIRE answers stay inside the oracle bounds; the best-effort")
+    print("spanning tree silently drops whole subtrees once churn kicks in.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Regenerate any figure or table of the paper's evaluation section.
+
+Usage:
+    python examples/reproduce_figures.py                # list figures
+    python examples/reproduce_figures.py fig7           # run one figure
+    python examples/reproduce_figures.py all --scale 0.3
+    python examples/reproduce_figures.py fig10 --scale 1.0 --seed 3
+
+The ``--scale`` flag scales network sizes relative to the default
+benchmark-friendly configuration; ``--scale 1.0`` is still far below the
+paper's 40K-host networks (see EXPERIMENTS.md for how to go to full scale
+and what to expect in runtime).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.tables import format_table
+
+
+def list_figures() -> None:
+    rows = [{"figure": key, "description": description}
+            for key, (description, _) in FIGURES.items()]
+    print(format_table(rows, title="Available figures"))
+
+
+def run_one(figure_id: str, scale: float, seed: int) -> None:
+    description, _ = FIGURES[figure_id]
+    print(f"== {figure_id}: {description} (scale={scale}) ==")
+    started = time.time()
+    rows = run_figure(figure_id, scale=scale, seed=seed)
+    elapsed = time.time() - started
+    print(format_table(rows))
+    print(f"-- {len(rows)} rows in {elapsed:.1f}s --")
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", nargs="?", default=None,
+                        help="figure id (e.g. fig7) or 'all'")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="network-size scale factor (default 0.5)")
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    args = parser.parse_args(argv)
+
+    if args.figure is None:
+        list_figures()
+        return 0
+    if args.figure == "all":
+        for figure_id in FIGURES:
+            run_one(figure_id, args.scale, args.seed)
+        return 0
+    if args.figure not in FIGURES:
+        print(f"unknown figure {args.figure!r}; known figures:", file=sys.stderr)
+        list_figures()
+        return 1
+    run_one(args.figure, args.scale, args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Sensor-network scenario: monitoring a field of temperature sensors.
+
+A 30x30 sensor grid (Moore neighborhoods, wireless broadcast medium) reports
+temperature readings.  The operator wants the maximum and average reading
+plus a live count of responsive sensors while sensors keep dying from
+battery exhaustion.  The example contrasts WILDFIRE with the TAG-style
+spanning tree on exactly this workload and shows the price of validity in
+messages.
+
+Run with:  python examples/sensor_grid_monitoring.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ValidAggregator
+from repro.core.config import ProtocolConfig, SimulationConfig
+from repro.experiments.tables import format_table
+from repro.simulation.churn import uniform_failure_schedule
+from repro.topology.grid import grid_topology
+
+
+def synthetic_temperatures(num_sensors: int, seed: int = 0) -> list:
+    """Base temperature 18-24 C with a hot spot in one corner of the field."""
+    rng = random.Random(seed)
+    side = int(num_sensors ** 0.5)
+    readings = []
+    for sensor in range(num_sensors):
+        row, col = divmod(sensor, side)
+        base = rng.uniform(18.0, 24.0)
+        # Hot spot centred near (5, 5): adds up to ~15 degrees.
+        hotspot = 15.0 * max(0.0, 1.0 - ((row - 5) ** 2 + (col - 5) ** 2) / 50.0)
+        readings.append(round(base + hotspot, 1))
+    return readings
+
+
+def main() -> None:
+    side = 30
+    grid = grid_topology(side)
+    readings = synthetic_temperatures(grid.num_hosts, seed=3)
+    # The base station is the corner sensor 0; the wireless flag models the
+    # broadcast radio medium (one transmission reaches all neighbors).
+    aggregator = ValidAggregator(
+        grid,
+        readings,
+        querying_host=0,
+        seed=3,
+        simulation=SimulationConfig(wireless=True),
+        protocol_config=ProtocolConfig(fm_repetitions=16),
+    )
+
+    print(f"Sensor field: {side}x{side} grid, {grid.num_hosts} sensors, "
+          f"diameter ~ {grid.diameter_estimate()}")
+    print(f"True max temperature: {max(readings)} C, "
+          f"true mean: {sum(readings) / len(readings):.1f} C")
+    print()
+
+    # 8% of the sensors die (battery / hardware) while queries run.
+    churn = uniform_failure_schedule(
+        candidates=range(grid.num_hosts),
+        num_failures=int(grid.num_hosts * 0.08),
+        start=1.0,
+        end=40.0,
+        seed=11,
+        protect=[0],
+    )
+
+    rows = []
+    for kind in ("max", "avg", "count"):
+        for protocol in ("wildfire", "spanning-tree", "dag"):
+            result = aggregator.query(kind, protocol=protocol, churn=churn)
+            rows.append({
+                "query": kind,
+                "protocol": result.protocol,
+                "declared": round(result.value, 1),
+                "oracle_lower": round(result.certificate.lower_bound, 1),
+                "oracle_upper": round(result.certificate.upper_bound, 1),
+                "valid": result.is_valid,
+                "messages": result.communication_cost,
+            })
+    print(format_table(rows, title="Aggregates while 8% of sensors fail"))
+    print()
+    print("Reading the table:")
+    print(" * WILDFIRE max/avg/count stay within the oracle's validity bounds.")
+    print(" * The spanning tree loses whole subtrees behind failed sensors, so")
+    print("   its count/avg drift below the lower bound -- with no way for the")
+    print("   operator to know.")
+    print(" * The price: WILDFIRE sends roughly 4-5x more messages for count,")
+    print("   but max queries cost about the same as the tree thanks to early")
+    print("   aggregation during the broadcast wave.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Reproduction of "The Price of Validity in Dynamic Networks" (Bawa et al.).
+
+The package implements the paper's contribution -- Single-Site Validity
+semantics and the WILDFIRE protocol -- together with every substrate the
+evaluation depends on: a discrete-event network simulator, topology and
+workload generators, Flajolet-Martin duplicate-insensitive sketches, the
+best-effort baseline protocols, and an experiment harness that regenerates
+every table and figure of the paper's evaluation section.
+
+Quickstart
+----------
+>>> from repro import ValidAggregator, topology, workloads
+>>> topo = topology.random_topology(200, avg_degree=5, seed=1)
+>>> values = workloads.zipf_values(len(topo), seed=1)
+>>> agg = ValidAggregator(topo, values, seed=1)
+>>> result = agg.query("max")
+>>> result.value == max(values)
+True
+"""
+
+from repro.core.aggregator import ValidAggregator
+from repro.core.config import ProtocolConfig, SimulationConfig
+from repro.core.results import QueryResult, ValidityCertificate
+from repro.queries.query import AggregateQuery, QueryKind
+from repro.semantics.validity import ValidityBounds, check_single_site_validity
+
+from repro import (
+    core,
+    experiments,
+    protocols,
+    queries,
+    semantics,
+    simulation,
+    sketches,
+    topology,
+    workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ValidAggregator",
+    "ProtocolConfig",
+    "SimulationConfig",
+    "QueryResult",
+    "ValidityCertificate",
+    "AggregateQuery",
+    "QueryKind",
+    "ValidityBounds",
+    "check_single_site_validity",
+    "core",
+    "experiments",
+    "protocols",
+    "queries",
+    "semantics",
+    "simulation",
+    "sketches",
+    "topology",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""The high-level public API: a validity-aware aggregation facade."""
+
+from repro.core.aggregator import ValidAggregator
+from repro.core.config import ProtocolConfig, SimulationConfig
+from repro.core.results import QueryResult, ValidityCertificate
+
+__all__ = [
+    "ValidAggregator",
+    "ProtocolConfig",
+    "SimulationConfig",
+    "QueryResult",
+    "ValidityCertificate",
+]

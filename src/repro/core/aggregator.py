@@ -1,0 +1,225 @@
+"""The :class:`ValidAggregator` facade.
+
+This is the main entry point for library users: it wraps topology, per-host
+values and configuration, and exposes one-call aggregate queries with any of
+the implemented protocols, returning answers together with oracle-checked
+validity certificates when churn is simulated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Union
+
+from repro.core.config import ProtocolConfig, SimulationConfig
+from repro.core.results import QueryResult, ValidityCertificate
+from repro.protocols.allreport import AllReport
+from repro.protocols.base import Protocol, run_protocol
+from repro.protocols.dag import DirectedAcyclicGraph
+from repro.protocols.gossip import PushSumGossip
+from repro.protocols.randomized_report import RandomizedReport
+from repro.protocols.spanning_tree import SpanningTree
+from repro.protocols.wildfire import Wildfire
+from repro.queries.query import AggregateQuery, QueryKind
+from repro.semantics.oracle import Oracle
+from repro.semantics.validity import (
+    check_approximate_single_site_validity,
+    check_single_site_validity,
+)
+from repro.simulation.churn import ChurnSchedule
+from repro.topology.base import Topology
+
+
+class ValidAggregator:
+    """Run validity-aware aggregate queries over a (simulated) network.
+
+    Args:
+        topology: the network topology.
+        values: one attribute value per host.
+        querying_host: host at which queries are issued (default 0).
+        seed: base RNG seed.
+        simulation: network-model configuration.
+        protocol_config: protocol-level knobs.
+
+    Example:
+        >>> from repro import ValidAggregator, topology, workloads
+        >>> topo = topology.random_topology(100, seed=3)
+        >>> values = workloads.zipf_values(len(topo), seed=3)
+        >>> agg = ValidAggregator(topo, values, seed=3)
+        >>> agg.query("max").value == max(values)
+        True
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        querying_host: int = 0,
+        seed: int = 0,
+        simulation: Optional[SimulationConfig] = None,
+        protocol_config: Optional[ProtocolConfig] = None,
+    ) -> None:
+        if len(values) < topology.num_hosts:
+            raise ValueError("need one attribute value per host")
+        if not 0 <= querying_host < topology.num_hosts:
+            raise ValueError("querying_host is not part of the topology")
+        self.topology = topology
+        self.values = list(values)
+        self.querying_host = querying_host
+        self.seed = seed
+        self.simulation = simulation or SimulationConfig(seed=seed)
+        self.protocol_config = protocol_config or ProtocolConfig()
+        self._oracle = Oracle(topology, self.values, querying_host)
+
+    # ------------------------------------------------------------------
+    # Protocol construction
+    # ------------------------------------------------------------------
+    def _build_protocol(self, name: str) -> Protocol:
+        cfg = self.protocol_config
+        normalized = name.lower().replace("_", "-")
+        if normalized == "wildfire":
+            return Wildfire(early_termination=cfg.early_termination)
+        if normalized in ("spanning-tree", "spanningtree", "tree"):
+            return SpanningTree()
+        if normalized in ("dag", "directed-acyclic-graph", "directedacyclicgraph"):
+            return DirectedAcyclicGraph(num_parents=cfg.dag_parents)
+        if normalized == "allreport":
+            return AllReport()
+        if normalized in ("randomized-report", "randomizedreport"):
+            return RandomizedReport(epsilon=cfg.epsilon, zeta=cfg.zeta)
+        if normalized in ("gossip", "push-sum", "push-sum-gossip"):
+            return PushSumGossip(num_rounds=cfg.gossip_rounds)
+        raise ValueError(f"unknown protocol: {name!r}")
+
+    def available_protocols(self) -> Dict[str, str]:
+        """Map of protocol name to a one-line description."""
+        return {
+            "wildfire": "the paper's Single-Site Valid flooding protocol",
+            "spanning-tree": "best-effort TAG-style tree aggregation",
+            "dag": "best-effort multi-parent (k) aggregation",
+            "allreport": "direct delivery of every value (valid, expensive)",
+            "randomized-report": "sampled direct delivery for size estimates",
+            "gossip": "push-sum epidemic baseline (eventual consistency)",
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        kind: Union[str, QueryKind, AggregateQuery],
+        protocol: str = "wildfire",
+        churn: Optional[ChurnSchedule] = None,
+        epsilon_for_certificate: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> QueryResult:
+        """Run one aggregate query and return the certified result.
+
+        Args:
+            kind: the aggregate ("min", "max", "count", "sum", "avg"), or a
+                ready-made :class:`AggregateQuery`.
+            protocol: which protocol to execute (see
+                :meth:`available_protocols`).
+            churn: optional failure schedule to apply during the run; when
+                given, the result carries an oracle validity certificate.
+            epsilon_for_certificate: check Approximate Single-Site Validity
+                with this slack instead of exact validity; defaults to 0 for
+                min/max and to a sketch-appropriate slack for count/sum/avg
+                when WILDFIRE or DAG is used.
+            seed: override the per-query RNG seed.
+        """
+        if isinstance(kind, AggregateQuery):
+            query = kind
+        elif isinstance(kind, QueryKind):
+            query = AggregateQuery(kind=kind)
+        else:
+            query = AggregateQuery.of(kind)
+
+        protocol_obj = self._build_protocol(protocol)
+        run_seed = self.seed if seed is None else seed
+        run = run_protocol(
+            protocol=protocol_obj,
+            topology=self.topology,
+            values=self.values,
+            query=query,
+            querying_host=self.querying_host,
+            d_hat=self.protocol_config.d_hat,
+            delta=self.simulation.delta,
+            churn=churn,
+            wireless=self.simulation.wireless,
+            seed=run_seed,
+            repetitions=self.protocol_config.fm_repetitions,
+        )
+
+        certificate = None
+        if churn is not None and run.value is not None:
+            bounds = self._oracle.bounds(
+                query.kind.value, churn, horizon=run.termination_time
+            )
+            epsilon = self._certificate_epsilon(query, protocol_obj, epsilon_for_certificate)
+            if epsilon > 0.0:
+                valid = check_approximate_single_site_validity(
+                    run.value, bounds, query.kind.value, self.values, epsilon
+                )
+            else:
+                valid = check_single_site_validity(
+                    run.value, bounds, query.kind.value, self.values
+                )
+            certificate = ValidityCertificate(
+                bounds=bounds, is_single_site_valid=valid, epsilon=epsilon
+            )
+
+        return QueryResult(
+            value=run.value,
+            protocol=run.protocol,
+            kind=query.kind.value,
+            run=run,
+            certificate=certificate,
+        )
+
+    def _certificate_epsilon(
+        self,
+        query: AggregateQuery,
+        protocol: Protocol,
+        override: Optional[float],
+    ) -> float:
+        if override is not None:
+            return override
+        if query.epsilon is not None:
+            return query.epsilon
+        if query.kind in (QueryKind.MIN, QueryKind.MAX):
+            return 0.0
+        # Sketch-based answers are approximate by construction; certify them
+        # with a generous multiplicative slack (Lemma 5.1 gives a factor-c
+        # guarantee, which is much wider than this practical default).
+        return 0.75
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+    def minimum(self, **kwargs) -> QueryResult:
+        return self.query("min", **kwargs)
+
+    def maximum(self, **kwargs) -> QueryResult:
+        return self.query("max", **kwargs)
+
+    def count(self, **kwargs) -> QueryResult:
+        return self.query("count", **kwargs)
+
+    def sum(self, **kwargs) -> QueryResult:
+        return self.query("sum", **kwargs)
+
+    def average(self, **kwargs) -> QueryResult:
+        return self.query("avg", **kwargs)
+
+    def oracle(self) -> Oracle:
+        """The oracle bound to this aggregator's topology and values."""
+        return self._oracle
+
+    def true_value(self, kind: Union[str, QueryKind]) -> float:
+        """The failure-free exact answer (for tests and reports)."""
+        if isinstance(kind, QueryKind):
+            query = AggregateQuery(kind=kind)
+        else:
+            query = AggregateQuery.of(kind)
+        return query.evaluate(self.values)

@@ -1,0 +1,68 @@
+"""Configuration objects for the high-level API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Network-model parameters shared by every protocol run.
+
+    Attributes:
+        delta: maximum per-hop message delay (the paper's ``delta``).
+        wireless: model a broadcast medium where one transmission reaches all
+            neighbors of the sender (sensor-network grids).
+        seed: base RNG seed for sketches and protocol randomness.
+        max_time: hard upper bound on simulated time as a safety net.
+    """
+
+    delta: float = 1.0
+    wireless: bool = False
+    seed: int = 0
+    max_time: float = 1_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.max_time <= 0:
+            raise ValueError("max_time must be positive")
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Protocol-level knobs.
+
+    Attributes:
+        d_hat: overestimate of the stable diameter ``D_hat``; estimated from
+            the topology when ``None``.
+        fm_repetitions: repetitions ``c`` of the FM sketch for count/sum/avg.
+        early_termination: WILDFIRE's distance-based participation window.
+        dag_parents: fan-out ``k`` for DIRECTEDACYCLICGRAPH.
+        gossip_rounds: rounds for the push-sum baseline.
+        epsilon: approximation slack for RANDOMIZEDREPORT.
+        zeta: failure probability for RANDOMIZEDREPORT.
+    """
+
+    d_hat: Optional[int] = None
+    fm_repetitions: int = 8
+    early_termination: bool = True
+    dag_parents: int = 2
+    gossip_rounds: int = 50
+    epsilon: float = 0.1
+    zeta: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.d_hat is not None and self.d_hat < 1:
+            raise ValueError("d_hat must be at least 1 when given")
+        if self.fm_repetitions < 1:
+            raise ValueError("fm_repetitions must be at least 1")
+        if self.dag_parents < 1:
+            raise ValueError("dag_parents must be at least 1")
+        if self.gossip_rounds < 1:
+            raise ValueError("gossip_rounds must be at least 1")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0.0 < self.zeta < 1.0:
+            raise ValueError("zeta must be in (0, 1)")

@@ -1,0 +1,186 @@
+"""Figures 10 and 11: communication cost versus network size.
+
+Figure 10 runs a count query on Random topologies of increasing size (plus
+the Gnutella point) and plots the number of messages sent by WILDFIRE (for
+several D_hat overestimates) against SPANNINGTREE and DAG; WILDFIRE costs
+roughly 4-5x more, and the cost is insensitive to the D_hat overestimate.
+
+Figure 11 repeats the exercise on Grid topologies with a wireless broadcast
+medium and additionally compares query types: min/max queries benefit from
+WILDFIRE's early aggregation so much that their cost drops below
+SPANNINGTREE's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.protocols.base import Protocol, resolve_d_hat, run_protocol
+from repro.protocols.dag import DirectedAcyclicGraph
+from repro.protocols.spanning_tree import SpanningTree
+from repro.protocols.wildfire import Wildfire
+from repro.topology.base import Topology
+from repro.topology.gnutella import gnutella_like_topology
+from repro.topology.grid import grid_topology
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import zipf_values
+
+
+@dataclass(frozen=True)
+class CommunicationRow:
+    """One (protocol/configuration, network size) communication-cost point."""
+
+    label: str
+    topology: str
+    num_hosts: int
+    query_kind: str
+    d_hat: int
+    messages: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "topology": self.topology,
+            "|H|": self.num_hosts,
+            "query": self.query_kind,
+            "d_hat": self.d_hat,
+            "messages": self.messages,
+        }
+
+
+def _measure(
+    protocol: Protocol,
+    topology: Topology,
+    values: Sequence[float],
+    query_kind: str,
+    d_hat: int,
+    wireless: bool,
+    seed: int,
+    label: str,
+) -> CommunicationRow:
+    result = run_protocol(
+        protocol=protocol,
+        topology=topology,
+        values=values,
+        query=query_kind,
+        querying_host=0,
+        d_hat=d_hat,
+        wireless=wireless,
+        seed=seed,
+    )
+    return CommunicationRow(
+        label=label,
+        topology=topology.name,
+        num_hosts=topology.num_hosts,
+        query_kind=query_kind,
+        d_hat=d_hat,
+        messages=result.costs.communication_cost,
+    )
+
+
+def run_communication_cost_experiment(
+    network_sizes: Sequence[int] = (250, 500, 1000, 2000),
+    d_hat_factors: Sequence[float] = (1.0, 1.5, 2.0),
+    query_kind: str = "count",
+    include_gnutella_point: bool = True,
+    gnutella_size: int = 2000,
+    avg_degree: float = 5.0,
+    seed: int = 0,
+) -> List[CommunicationRow]:
+    """Regenerate Figure 10 (communication cost on Random topologies).
+
+    Args:
+        network_sizes: the |H| sweep (paper: up to 40K; scaled by default).
+        d_hat_factors: multiples of the estimated diameter used as D_hat, to
+            show cost is insensitive to the overestimate.
+        query_kind: aggregate to run (the paper uses count).
+        include_gnutella_point: also measure WILDFIRE and SPANNINGTREE on a
+            Gnutella-like topology, as in the figure's standalone points.
+        gnutella_size: size of the Gnutella-like stand-in.
+        avg_degree: Random topology average degree.
+        seed: base RNG seed.
+    """
+    rows: List[CommunicationRow] = []
+    for size in network_sizes:
+        topology = random_topology(size, avg_degree=avg_degree, seed=seed)
+        values = zipf_values(size, seed=seed)
+        base_d_hat = resolve_d_hat(topology, None, overestimate_factor=1.0, seed=seed)
+        for factor in d_hat_factors:
+            d_hat = max(1, int(round(base_d_hat * factor)))
+            rows.append(
+                _measure(Wildfire(), topology, values, query_kind, d_hat,
+                         wireless=False, seed=seed,
+                         label=f"wildfire (D_hat={factor:g}x)")
+            )
+        rows.append(
+            _measure(SpanningTree(), topology, values, query_kind, base_d_hat,
+                     wireless=False, seed=seed, label="spanning-tree")
+        )
+        rows.append(
+            _measure(DirectedAcyclicGraph(2), topology, values, query_kind,
+                     base_d_hat, wireless=False, seed=seed, label="dag-k2")
+        )
+    if include_gnutella_point:
+        topology = gnutella_like_topology(gnutella_size, seed=seed)
+        values = zipf_values(topology.num_hosts, seed=seed)
+        d_hat = resolve_d_hat(topology, None, overestimate_factor=1.0, seed=seed)
+        rows.append(_measure(Wildfire(), topology, values, query_kind, d_hat,
+                             wireless=False, seed=seed, label="wildfire (gnutella)"))
+        rows.append(_measure(SpanningTree(), topology, values, query_kind, d_hat,
+                             wireless=False, seed=seed, label="spanning-tree (gnutella)"))
+    return rows
+
+
+def run_grid_communication_experiment(
+    grid_sides: Sequence[int] = (16, 24, 32),
+    query_kinds: Sequence[str] = ("count", "max", "min"),
+    seed: int = 0,
+) -> List[CommunicationRow]:
+    """Regenerate Figure 11 (communication cost on Grid, wireless medium).
+
+    Args:
+        grid_sides: side lengths of the square grids (paper: 100).
+        query_kinds: aggregates compared; min/max exhibit the early-
+            aggregation saving discussed in Section 6.6.
+        seed: base RNG seed.
+    """
+    rows: List[CommunicationRow] = []
+    for side in grid_sides:
+        topology = grid_topology(side)
+        values = zipf_values(topology.num_hosts, seed=seed)
+        d_hat = resolve_d_hat(topology, None, overestimate_factor=1.2, seed=seed)
+        for kind in query_kinds:
+            rows.append(
+                _measure(Wildfire(), topology, values, kind, d_hat,
+                         wireless=True, seed=seed, label=f"wildfire/{kind}")
+            )
+        rows.append(
+            _measure(SpanningTree(), topology, values, "count", d_hat,
+                     wireless=True, seed=seed, label="spanning-tree/count")
+        )
+        rows.append(
+            _measure(DirectedAcyclicGraph(2), topology, values, "count", d_hat,
+                     wireless=True, seed=seed, label="dag-k2/count")
+        )
+    return rows
+
+
+def wildfire_to_tree_ratio(rows: Sequence[CommunicationRow]) -> Dict[int, float]:
+    """The headline "price of validity": WILDFIRE / SPANNINGTREE message ratio.
+
+    Returns a map of network size to ratio, using the first WILDFIRE and
+    SPANNINGTREE rows recorded for each size.
+    """
+    ratios: Dict[int, float] = {}
+    by_size: Dict[int, Dict[str, int]] = {}
+    for row in rows:
+        bucket = by_size.setdefault(row.num_hosts, {})
+        if row.label.startswith("wildfire") and "wildfire" not in bucket:
+            bucket["wildfire"] = row.messages
+        if row.label.startswith("spanning-tree") and "spanning-tree" not in bucket:
+            bucket["spanning-tree"] = row.messages
+    for size, bucket in by_size.items():
+        if "wildfire" in bucket and "spanning-tree" in bucket and bucket["spanning-tree"]:
+            ratios[size] = bucket["wildfire"] / bucket["spanning-tree"]
+    return ratios

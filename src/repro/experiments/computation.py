@@ -1,0 +1,125 @@
+"""Figure 12: computation-cost distribution on Power-law and Grid.
+
+The computation cost of a host is the number of messages it processes; the
+figure plots, for a count query, how many hosts processed each number of
+messages.  WILDFIRE's distribution has the same shape as SPANNINGTREE's but
+shifted right (2-4x on Power-law/Random), and on Grid the maximum cost is
+tens of times higher because every update is re-broadcast to 8 neighbors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.protocols.base import Protocol, resolve_d_hat, run_protocol
+from repro.protocols.spanning_tree import SpanningTree
+from repro.protocols.wildfire import Wildfire
+from repro.topology.base import Topology
+from repro.topology.grid import grid_topology
+from repro.topology.power_law import power_law_topology
+from repro.workloads.values import zipf_values
+
+
+@dataclass(frozen=True)
+class ComputationRow:
+    """The computation-cost histogram of one protocol on one topology."""
+
+    protocol: str
+    topology: str
+    num_hosts: int
+    histogram: Dict[int, int]
+    max_cost: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "topology": self.topology,
+            "|H|": self.num_hosts,
+            "max_cost": self.max_cost,
+            "median_cost": self.median_cost,
+        }
+
+    @property
+    def median_cost(self) -> int:
+        expanded: List[int] = []
+        for cost, hosts in sorted(self.histogram.items()):
+            expanded.extend([cost] * hosts)
+        if not expanded:
+            return 0
+        return expanded[len(expanded) // 2]
+
+
+def _histogram_for(
+    protocol: Protocol,
+    topology: Topology,
+    values: Sequence[float],
+    query_kind: str,
+    wireless: bool,
+    seed: int,
+) -> ComputationRow:
+    d_hat = resolve_d_hat(topology, None, overestimate_factor=1.2, seed=seed)
+    result = run_protocol(
+        protocol=protocol,
+        topology=topology,
+        values=values,
+        query=query_kind,
+        querying_host=0,
+        d_hat=d_hat,
+        wireless=wireless,
+        seed=seed,
+    )
+    histogram = result.costs.computation_histogram()
+    return ComputationRow(
+        protocol=protocol.name,
+        topology=topology.name,
+        num_hosts=topology.num_hosts,
+        histogram=histogram,
+        max_cost=result.costs.computation_cost,
+    )
+
+
+def run_computation_cost_experiment(
+    power_law_size: int = 1000,
+    grid_side: int = 20,
+    query_kind: str = "count",
+    seed: int = 0,
+) -> List[ComputationRow]:
+    """Regenerate the Figure 12 computation-cost distributions.
+
+    Args:
+        power_law_size: hosts in the Power-law topology (paper: 40K).
+        grid_side: side of the square Grid topology (paper: 100).
+        query_kind: aggregate to run (the paper uses count).
+        seed: base RNG seed.
+    """
+    rows: List[ComputationRow] = []
+
+    power_law = power_law_topology(power_law_size, seed=seed)
+    values = zipf_values(power_law.num_hosts, seed=seed)
+    rows.append(_histogram_for(Wildfire(), power_law, values, query_kind,
+                               wireless=False, seed=seed))
+    rows.append(_histogram_for(SpanningTree(), power_law, values, query_kind,
+                               wireless=False, seed=seed))
+
+    grid = grid_topology(grid_side)
+    grid_values = zipf_values(grid.num_hosts, seed=seed)
+    rows.append(_histogram_for(Wildfire(), grid, grid_values, query_kind,
+                               wireless=True, seed=seed))
+    rows.append(_histogram_for(SpanningTree(), grid, grid_values, query_kind,
+                               wireless=True, seed=seed))
+    return rows
+
+
+def computation_cost_ratio(rows: Sequence[ComputationRow]) -> Dict[str, float]:
+    """WILDFIRE / SPANNINGTREE maximum-computation-cost ratio per topology."""
+    by_topology: Dict[str, Dict[str, int]] = {}
+    for row in rows:
+        by_topology.setdefault(row.topology, {})[row.protocol] = row.max_cost
+    ratios: Dict[str, float] = {}
+    for topology, costs in by_topology.items():
+        wildfire = costs.get("wildfire")
+        tree = costs.get("spanning-tree")
+        if wildfire is not None and tree:
+            ratios[topology] = wildfire / tree
+    return ratios

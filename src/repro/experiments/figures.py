@@ -1,0 +1,147 @@
+"""Registry mapping figure identifiers to their experiment drivers.
+
+Each entry runs a scaled-down version of the corresponding paper figure and
+returns a list of dictionaries (one per table row); EXPERIMENTS.md records a
+representative output of every entry next to the paper's reported shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.experiments.accuracy import run_accuracy_experiment
+from repro.experiments.badcase import run_theorem_44_experiment
+from repro.experiments.capture_recapture import (
+    run_capture_recapture_experiment,
+    run_ring_segment_experiment,
+)
+from repro.experiments.communication import (
+    run_communication_cost_experiment,
+    run_grid_communication_experiment,
+)
+from repro.experiments.computation import run_computation_cost_experiment
+from repro.experiments.time_cost import (
+    run_messages_per_instant_experiment,
+    run_time_cost_experiment,
+)
+from repro.experiments.validity_sweep import run_validity_sweep
+from repro.topology.gnutella import gnutella_like_topology
+from repro.topology.grid import grid_topology
+
+
+def _fig06(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    sizes = [max(64, int(s * scale)) for s in (1024, 4096)]
+    rows = run_accuracy_experiment(set_sizes=sizes, num_trials=3, seed=seed)
+    return [row.as_dict() for row in rows]
+
+
+def _fig07(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    size = max(200, int(1500 * scale))
+    topology = gnutella_like_topology(size, seed=seed)
+    departures = [max(2, int(size * f)) for f in (0.01, 0.03, 0.06, 0.10)]
+    rows = run_validity_sweep(topology, "count", departures,
+                              num_trials=3, seed=seed)
+    return [row.as_dict() for row in rows]
+
+
+def _fig08(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    size = max(200, int(1500 * scale))
+    topology = gnutella_like_topology(size, seed=seed)
+    departures = [max(2, int(size * f)) for f in (0.01, 0.03, 0.06, 0.10)]
+    rows = run_validity_sweep(topology, "sum", departures,
+                              num_trials=3, seed=seed)
+    return [row.as_dict() for row in rows]
+
+
+def _fig09(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    side = max(10, int(24 * scale))
+    topology = grid_topology(side)
+    size = topology.num_hosts
+    departures = [max(2, int(size * f)) for f in (0.01, 0.03, 0.06, 0.10)]
+    rows = run_validity_sweep(topology, "count", departures,
+                              num_trials=3, seed=seed)
+    return [row.as_dict() for row in rows]
+
+
+def _fig10(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    sizes = [max(100, int(s * scale)) for s in (250, 500, 1000)]
+    rows = run_communication_cost_experiment(network_sizes=sizes, seed=seed,
+                                             gnutella_size=max(200, int(1000 * scale)))
+    return [row.as_dict() for row in rows]
+
+
+def _fig11(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    sides = [max(8, int(s * scale)) for s in (12, 16, 24)]
+    rows = run_grid_communication_experiment(grid_sides=sides, seed=seed)
+    return [row.as_dict() for row in rows]
+
+
+def _fig12(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    rows = run_computation_cost_experiment(
+        power_law_size=max(200, int(800 * scale)),
+        grid_side=max(8, int(16 * scale)),
+        seed=seed,
+    )
+    return [row.as_dict() for row in rows]
+
+
+def _fig13a(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    sizes = [max(100, int(s * scale)) for s in (250, 500, 1000)]
+    rows = run_time_cost_experiment(network_sizes=sizes, seed=seed)
+    return [row.as_dict() for row in rows]
+
+
+def _fig13b(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    rows = run_messages_per_instant_experiment(
+        random_size=max(100, int(600 * scale)),
+        power_law_size=max(100, int(600 * scale)),
+        grid_side=max(8, int(16 * scale)),
+        seed=seed,
+    )
+    return [row.as_dict() for row in rows]
+
+
+def _thm44(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    cycle = max(10, int(42 * scale))
+    if cycle % 2:
+        cycle += 1
+    return [row.as_dict() for row in run_theorem_44_experiment(cycle_size=cycle, seed=seed)]
+
+
+def _sec54(scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    rows = run_capture_recapture_experiment(
+        initial_size=max(300, int(2000 * scale)),
+        sample_size=max(60, int(200 * scale)),
+        seed=seed,
+    )
+    ring = run_ring_segment_experiment(
+        network_sizes=[max(200, int(s * scale)) for s in (500, 2000)],
+        seed=seed,
+    )
+    return [row.as_dict() for row in rows] + ring
+
+
+#: Figure id -> (description, driver)
+FIGURES: Dict[str, Any] = {
+    "fig6": ("Accuracy of FM count and sum vs repetitions c", _fig06),
+    "fig7": ("Count query vs churn on Gnutella-like topology", _fig07),
+    "fig8": ("Sum query vs churn on Gnutella-like topology", _fig08),
+    "fig9": ("Count query vs churn on Grid topology", _fig09),
+    "fig10": ("Communication cost vs |H| on Random (+Gnutella)", _fig10),
+    "fig11": ("Communication cost vs |H| on Grid (wireless)", _fig11),
+    "fig12": ("Computation cost distribution on Power-law and Grid", _fig12),
+    "fig13a": ("Time cost vs |H| on Random", _fig13a),
+    "fig13b": ("Messages per time instant (WILDFIRE)", _fig13b),
+    "thm4.4": ("Best-effort error construction (Theorem 4.4)", _thm44),
+    "sec5.4": ("Continuous approximate size estimation", _sec54),
+}
+
+
+def run_figure(figure_id: str, scale: float = 1.0, seed: int = 0) -> List[Dict[str, Any]]:
+    """Run one figure's experiment at the given scale and return its rows."""
+    if figure_id not in FIGURES:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}"
+        )
+    _, driver = FIGURES[figure_id]
+    return driver(scale=scale, seed=seed)

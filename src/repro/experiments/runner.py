@@ -1,0 +1,73 @@
+"""Multi-trial experiment runner with confidence intervals.
+
+The paper reports averages over 10 trials with 95% confidence intervals;
+this module provides the small amount of shared machinery the per-figure
+drivers need to do the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.semantics.metrics import mean_and_confidence_interval
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean and 95% confidence half-width of a repeated measurement."""
+
+    mean: float
+    ci: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.2f} +/- {self.ci:.2f}"
+
+
+def aggregate_trials(samples: Sequence[float]) -> TrialStats:
+    """Summarise repeated measurements as a :class:`TrialStats`."""
+    mean, ci = mean_and_confidence_interval(samples)
+    return TrialStats(mean=mean, ci=ci, samples=len(samples))
+
+
+def run_trials(
+    trial: Callable[[int], float],
+    num_trials: int,
+    base_seed: int = 0,
+) -> TrialStats:
+    """Run ``trial(seed)`` for ``num_trials`` different seeds and summarise.
+
+    Args:
+        trial: a callable mapping a seed to one scalar measurement.
+        num_trials: how many independent trials to run.
+        base_seed: seeds are ``base_seed, base_seed + 1, ...``.
+    """
+    if num_trials < 1:
+        raise ValueError("num_trials must be at least 1")
+    samples = [trial(base_seed + i) for i in range(num_trials)]
+    return aggregate_trials(samples)
+
+
+def run_trials_multi(
+    trial: Callable[[int], Dict[str, float]],
+    num_trials: int,
+    base_seed: int = 0,
+) -> Dict[str, TrialStats]:
+    """Like :func:`run_trials` for trials that return several named metrics."""
+    if num_trials < 1:
+        raise ValueError("num_trials must be at least 1")
+    per_key: Dict[str, List[float]] = {}
+    for i in range(num_trials):
+        outcome = trial(base_seed + i)
+        for key, value in outcome.items():
+            per_key.setdefault(key, []).append(value)
+    return {key: aggregate_trials(values) for key, values in per_key.items()}

@@ -1,0 +1,153 @@
+"""Figure 13: time cost and the per-instant message profile.
+
+Figure 13(a) plots the time cost (longest chain of messages, and for
+WILDFIRE the fixed 2 * D_hat * delta declaration time) against network size
+on Random topologies for several D_hat overestimates; time cost grows with
+D_hat while communication cost does not.
+
+Figure 13(b) plots the number of messages WILDFIRE sends at each time
+instant for a count query on the synthetic topologies: traffic peaks around
+D * delta and dies out by 2 * D * delta, which explains why overestimating
+D_hat wastes time but not messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.protocols.base import Protocol, resolve_d_hat, run_protocol
+from repro.protocols.spanning_tree import SpanningTree
+from repro.protocols.wildfire import Wildfire
+from repro.topology.base import Topology
+from repro.topology.grid import grid_topology
+from repro.topology.power_law import power_law_topology
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import zipf_values
+
+
+@dataclass(frozen=True)
+class TimeCostRow:
+    """One (protocol/D_hat, network size) time-cost point (Fig. 13a)."""
+
+    label: str
+    num_hosts: int
+    d_hat: int
+    chain_length: int
+    declaration_time: float
+    messages: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "|H|": self.num_hosts,
+            "d_hat": self.d_hat,
+            "chain_length": self.chain_length,
+            "declared_at": self.declaration_time,
+            "messages": self.messages,
+        }
+
+
+@dataclass(frozen=True)
+class MessageProfileRow:
+    """The per-time-instant message counts of one run (Fig. 13b)."""
+
+    topology: str
+    num_hosts: int
+    diameter_estimate: int
+    profile: Dict[float, int]
+
+    def peak_time(self) -> float:
+        """The instant with the most messages (peaks near D * delta)."""
+        if not self.profile:
+            return 0.0
+        return max(self.profile.items(), key=lambda kv: kv[1])[0]
+
+    def last_active_time(self) -> float:
+        """The last instant at which any message was sent."""
+        if not self.profile:
+            return 0.0
+        return max(t for t, count in self.profile.items() if count > 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "topology": self.topology,
+            "|H|": self.num_hosts,
+            "diameter": self.diameter_estimate,
+            "peak_time": self.peak_time(),
+            "last_active": self.last_active_time(),
+        }
+
+
+def run_time_cost_experiment(
+    network_sizes: Sequence[int] = (250, 500, 1000),
+    d_hat_factors: Sequence[float] = (1.0, 1.5, 2.0),
+    query_kind: str = "count",
+    avg_degree: float = 5.0,
+    seed: int = 0,
+) -> List[TimeCostRow]:
+    """Regenerate Figure 13(a): time cost versus network size on Random."""
+    rows: List[TimeCostRow] = []
+    for size in network_sizes:
+        topology = random_topology(size, avg_degree=avg_degree, seed=seed)
+        values = zipf_values(size, seed=seed)
+        base_d_hat = resolve_d_hat(topology, None, overestimate_factor=1.0, seed=seed)
+        tree_result = run_protocol(SpanningTree(), topology, values, query_kind,
+                                   d_hat=base_d_hat, seed=seed)
+        rows.append(
+            TimeCostRow(
+                label="spanning-tree",
+                num_hosts=size,
+                d_hat=base_d_hat,
+                chain_length=tree_result.costs.time_cost,
+                declaration_time=tree_result.termination_time,
+                messages=tree_result.costs.communication_cost,
+            )
+        )
+        for factor in d_hat_factors:
+            d_hat = max(1, int(round(base_d_hat * factor)))
+            result = run_protocol(Wildfire(), topology, values, query_kind,
+                                  d_hat=d_hat, seed=seed)
+            rows.append(
+                TimeCostRow(
+                    label=f"wildfire (D_hat={factor:g}x)",
+                    num_hosts=size,
+                    d_hat=d_hat,
+                    chain_length=result.costs.time_cost,
+                    declaration_time=result.termination_time,
+                    messages=result.costs.communication_cost,
+                )
+            )
+    return rows
+
+
+def run_messages_per_instant_experiment(
+    random_size: int = 1000,
+    power_law_size: int = 1000,
+    grid_side: int = 20,
+    query_kind: str = "count",
+    d_hat_factor: float = 2.0,
+    seed: int = 0,
+) -> List[MessageProfileRow]:
+    """Regenerate Figure 13(b): messages per time instant for WILDFIRE."""
+    topologies: List[Topology] = [
+        random_topology(random_size, avg_degree=5.0, seed=seed),
+        power_law_topology(power_law_size, seed=seed),
+        grid_topology(grid_side),
+    ]
+    rows: List[MessageProfileRow] = []
+    for topology in topologies:
+        values = zipf_values(topology.num_hosts, seed=seed)
+        diameter = topology.diameter_estimate(seed=seed)
+        d_hat = max(1, int(round(diameter * d_hat_factor)))
+        result = run_protocol(Wildfire(), topology, values, query_kind,
+                              d_hat=d_hat, seed=seed)
+        rows.append(
+            MessageProfileRow(
+                topology=topology.name,
+                num_hosts=topology.num_hosts,
+                diameter_estimate=diameter,
+                profile=result.costs.messages_per_instant(),
+            )
+        )
+    return rows

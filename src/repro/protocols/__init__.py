@@ -1,0 +1,38 @@
+"""In-network aggregation protocols.
+
+* :class:`Wildfire` -- the paper's contribution: guarantees Single-Site
+  Validity for duplicate-insensitive aggregates.
+* :class:`AllReport` and :class:`RandomizedReport` -- the naive valid
+  baselines of Section 4 (direct delivery of every value to the querying
+  host, optionally sampled).
+* :class:`SpanningTree` and :class:`DirectedAcyclicGraph` -- the efficient
+  best-effort protocols the paper compares against.
+* :class:`PushSumGossip` -- an eventual-consistency epidemic baseline from
+  the related-work discussion.
+"""
+
+from repro.protocols.base import Protocol, ProtocolRunResult, run_protocol
+from repro.protocols.wildfire import Wildfire, WildfireHost
+from repro.protocols.spanning_tree import SpanningTree, SpanningTreeHost
+from repro.protocols.dag import DirectedAcyclicGraph, DagHost
+from repro.protocols.allreport import AllReport, AllReportHost
+from repro.protocols.randomized_report import RandomizedReport, RandomizedReportHost
+from repro.protocols.gossip import PushSumGossip, PushSumHost
+
+__all__ = [
+    "Protocol",
+    "ProtocolRunResult",
+    "run_protocol",
+    "Wildfire",
+    "WildfireHost",
+    "SpanningTree",
+    "SpanningTreeHost",
+    "DirectedAcyclicGraph",
+    "DagHost",
+    "AllReport",
+    "AllReportHost",
+    "RandomizedReport",
+    "RandomizedReportHost",
+    "PushSumGossip",
+    "PushSumHost",
+]

@@ -1,0 +1,190 @@
+"""Shared protocol plumbing: the Protocol interface and the run harness."""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.queries.query import AggregateQuery, QueryKind
+from repro.simulation.churn import ChurnSchedule
+from repro.simulation.engine import SimulationResult, Simulator
+from repro.simulation.host import ProtocolHost
+from repro.simulation.network import DynamicNetwork
+from repro.simulation.stats import CostAccounting
+from repro.sketches.combiners import Combiner, combiner_for_query
+from repro.topology.base import Topology
+
+
+@dataclass
+class ProtocolRunResult:
+    """The outcome of running one protocol once on one network.
+
+    Attributes:
+        protocol: the protocol's short name.
+        query: the aggregate query that was processed.
+        value: the answer declared at the querying host (``None`` if the
+            protocol produced none, e.g. the querying host failed).
+        costs: message/computation/time cost accounting for the run.
+        finished_at: simulation time when the run stopped.
+        querying_host: id of the querying host.
+        d_hat: the stable-diameter overestimate used by the run.
+        termination_time: the protocol's nominal termination time ``T``.
+        extra: protocol-specific details (tree depth, reports received, ...).
+    """
+
+    protocol: str
+    query: AggregateQuery
+    value: Optional[float]
+    costs: CostAccounting
+    finished_at: float
+    querying_host: int
+    d_hat: int
+    termination_time: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class Protocol(abc.ABC):
+    """A runnable aggregation protocol.
+
+    Concrete protocols know how to build their per-host state machines and
+    how long they nominally run; everything else (network construction,
+    churn, cost accounting) is shared in :func:`run_protocol`.
+    """
+
+    #: Short name used in experiment tables.
+    name: str = "protocol"
+
+    #: Whether the protocol needs a duplicate-insensitive combiner to return
+    #: meaningful answers for count/sum/avg.
+    requires_duplicate_insensitive: bool = False
+
+    @abc.abstractmethod
+    def create_hosts(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        querying_host: int,
+        query: AggregateQuery,
+        combiner: Combiner,
+        d_hat: int,
+        delta: float,
+        rng: random.Random,
+    ) -> List[ProtocolHost]:
+        """Build one protocol host per topology host."""
+
+    @abc.abstractmethod
+    def termination_time(self, d_hat: int, delta: float) -> float:
+        """The nominal time ``T`` at which the querying host declares."""
+
+    def default_combiner(self, query: AggregateQuery, repetitions: int = 8) -> Combiner:
+        """The combiner this protocol would pick for a query by default."""
+        exact = not self.requires_duplicate_insensitive and not query.kind.duplicate_insensitive_exact
+        return combiner_for_query(query.kind.value, exact=exact, repetitions=repetitions)
+
+
+def resolve_d_hat(
+    topology: Topology,
+    d_hat: Optional[int],
+    overestimate_factor: float = 1.5,
+    seed: int = 0,
+) -> int:
+    """Pick a stable-diameter overestimate when the caller did not give one.
+
+    The paper assumes the querying host can overestimate the stable diameter
+    by a reasonably small constant; we estimate the diameter by double-sweep
+    BFS and pad it.
+    """
+    if d_hat is not None:
+        if d_hat < 1:
+            raise ValueError("d_hat must be at least 1")
+        return int(d_hat)
+    estimate = topology.diameter_estimate(seed=seed)
+    return max(1, int(round(estimate * overestimate_factor)) + 1)
+
+
+def run_protocol(
+    protocol: Protocol,
+    topology: Topology,
+    values: Sequence[float],
+    query: AggregateQuery | str,
+    querying_host: int = 0,
+    combiner: Optional[Combiner] = None,
+    d_hat: Optional[int] = None,
+    delta: float = 1.0,
+    churn: Optional[ChurnSchedule] = None,
+    wireless: bool = False,
+    seed: int = 0,
+    repetitions: int = 8,
+) -> ProtocolRunResult:
+    """Run ``protocol`` once and return its declared answer and costs.
+
+    Args:
+        protocol: the protocol to execute.
+        topology: initial network topology.
+        values: one attribute value per host.
+        query: the aggregate query (an :class:`AggregateQuery` or a string
+            kind such as ``"count"``).
+        querying_host: host at which the query is issued at time 0.
+        combiner: combine function; defaults to the protocol's natural choice
+            for the query (FM sketches for WILDFIRE count/sum, exact addition
+            for the tree protocols).
+        d_hat: stable-diameter overestimate ``D_hat``; estimated from the
+            topology when omitted.
+        delta: per-hop message delay.
+        churn: failure schedule applied during the run (``None`` = static).
+        wireless: model a broadcast medium (sensor grid experiments).
+        seed: RNG seed for sketch initialisation and protocol randomness.
+        repetitions: FM repetitions used when a default combiner is built.
+    """
+    if isinstance(query, str):
+        query = AggregateQuery.of(query)
+    if len(values) < topology.num_hosts:
+        raise ValueError("need one attribute value per host")
+    if not 0 <= querying_host < topology.num_hosts:
+        raise ValueError("querying_host is not part of the topology")
+
+    rng = random.Random(seed)
+    resolved_d_hat = resolve_d_hat(topology, d_hat, seed=seed)
+    if combiner is None:
+        combiner = protocol.default_combiner(query, repetitions=repetitions)
+    if protocol.requires_duplicate_insensitive and not combiner.duplicate_insensitive:
+        raise ValueError(
+            f"{protocol.name} floods partial aggregates along multiple paths and "
+            f"requires a duplicate-insensitive combiner; got {combiner.name!r}"
+        )
+
+    network = topology.to_network()
+    hosts = protocol.create_hosts(
+        topology=topology,
+        values=values,
+        querying_host=querying_host,
+        query=query,
+        combiner=combiner,
+        d_hat=resolved_d_hat,
+        delta=delta,
+        rng=rng,
+    )
+    termination = protocol.termination_time(resolved_d_hat, delta)
+    simulator = Simulator(
+        network=network,
+        hosts=hosts,
+        querying_host=querying_host,
+        delta=delta,
+        churn=churn,
+        wireless=wireless,
+        max_time=termination * 4 + 16,
+    )
+    sim_result: SimulationResult = simulator.run(until=termination)
+    return ProtocolRunResult(
+        protocol=protocol.name,
+        query=query,
+        value=sim_result.value,
+        costs=sim_result.costs,
+        finished_at=sim_result.finished_at,
+        querying_host=querying_host,
+        d_hat=resolved_d_hat,
+        termination_time=termination,
+        extra=dict(sim_result.extra),
+    )

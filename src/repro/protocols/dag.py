@@ -1,0 +1,163 @@
+"""The DIRECTEDACYCLICGRAPH best-effort protocol (Section 4.4).
+
+A DAG protocol gives every host up to ``k`` parents instead of one, so a
+single parent failure no longer discards the whole subtree.  Because a
+host's partial aggregate now reaches the querying host along several paths,
+the protocol must use duplicate-insensitive combine functions for count and
+sum -- the paper's implementation (and ours) uses the FM sketch operators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence
+
+from repro.protocols.base import Protocol
+from repro.queries.query import AggregateQuery
+from repro.simulation.host import HostContext, ProtocolHost
+from repro.simulation.messages import Message
+from repro.sketches.combiners import Combiner, combiner_for_query
+from repro.topology.base import Topology
+
+BROADCAST = "dag-broadcast"
+REPORT = "dag-report"
+
+
+class DagHost(ProtocolHost):
+    """Per-host DIRECTEDACYCLICGRAPH state machine."""
+
+    def __init__(
+        self,
+        host_id: int,
+        value: float,
+        querying_host: int,
+        combiner: Combiner,
+        d_hat: int,
+        delta: float,
+        rng: random.Random,
+        num_parents: int = 2,
+    ) -> None:
+        super().__init__(host_id, value)
+        if num_parents < 1:
+            raise ValueError("num_parents must be at least 1")
+        self.querying_host = querying_host
+        self.combiner = combiner
+        self.d_hat = d_hat
+        self.delta = delta
+        self.rng = rng
+        self.num_parents = num_parents
+
+        self.active = False
+        self.parents: List[int] = []
+        self.depth: Optional[int] = None
+        self.partial: Any = None
+        self.reports_received = 0
+        self.reported = False
+
+    def on_query_start(self, ctx: HostContext) -> None:
+        self.active = True
+        self.depth = 0
+        self.partial = self.combiner.initial(self.value, self.rng)
+        ctx.send_to_neighbors(BROADCAST, {"depth": 0, "d_hat": self.d_hat})
+
+    def on_message(self, message: Message, ctx: HostContext) -> None:
+        if message.kind == BROADCAST:
+            self._on_broadcast(message, ctx)
+        elif message.kind == REPORT:
+            self._on_report(message, ctx)
+
+    def _on_broadcast(self, message: Message, ctx: HostContext) -> None:
+        sender_depth = int(message.payload["depth"])
+        if not self.active:
+            self.active = True
+            self.parents = [message.sender]
+            self.depth = sender_depth + 1
+            self.partial = self.combiner.initial(self.value, self.rng)
+            ctx.send_to_neighbors(
+                BROADCAST,
+                {"depth": self.depth, "d_hat": self.d_hat},
+                exclude=(message.sender,),
+            )
+            report_time = (2.0 * self.d_hat - self.depth) * self.delta
+            ctx.set_timer(max(0.0, report_time - ctx.now), "report")
+            return
+        # Additional Broadcasts from hosts no deeper than us become extra
+        # parents, up to k; this keeps the parent relation acyclic.
+        if (
+            len(self.parents) < self.num_parents
+            and message.sender not in self.parents
+            and self.depth is not None
+            and sender_depth < self.depth
+            and message.sender != self.host_id
+        ):
+            self.parents.append(message.sender)
+
+    def _on_report(self, message: Message, ctx: HostContext) -> None:
+        if not self.active or self.reported:
+            return
+        self.partial = self.combiner.combine(self.partial, message.payload["agg"])
+        self.reports_received += 1
+
+    def on_timer(self, name: str, data: Any, ctx: HostContext) -> None:
+        if name != "report" or self.reported or not self.parents:
+            return
+        self.reported = True
+        alive = ctx.neighbors()
+        payload = {"agg": self.partial}
+        for parent in self.parents:
+            if parent in alive:
+                ctx.send(parent, REPORT, payload)
+
+    def local_result(self) -> Optional[float]:
+        if self.partial is None:
+            return None
+        return self.combiner.finalize(self.partial)
+
+
+class DirectedAcyclicGraph(Protocol):
+    """Protocol object for DIRECTEDACYCLICGRAPH runs.
+
+    Args:
+        num_parents: the fan-out ``k`` (the paper evaluates k = 2 and k = 3).
+    """
+
+    requires_duplicate_insensitive = False
+
+    def __init__(self, num_parents: int = 2) -> None:
+        if num_parents < 1:
+            raise ValueError("num_parents must be at least 1")
+        self.num_parents = num_parents
+        self.name = f"dag-k{num_parents}"
+
+    def create_hosts(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        querying_host: int,
+        query: AggregateQuery,
+        combiner: Combiner,
+        d_hat: int,
+        delta: float,
+        rng: random.Random,
+    ) -> List[ProtocolHost]:
+        return [
+            DagHost(
+                host_id=host_id,
+                value=values[host_id],
+                querying_host=querying_host,
+                combiner=combiner,
+                d_hat=d_hat,
+                delta=delta,
+                rng=rng,
+                num_parents=self.num_parents,
+            )
+            for host_id in range(topology.num_hosts)
+        ]
+
+    def termination_time(self, d_hat: int, delta: float) -> float:
+        return 2.0 * d_hat * delta
+
+    def default_combiner(self, query: AggregateQuery, repetitions: int = 8) -> Combiner:
+        # With multiple parents the same partial aggregate reaches the root
+        # along several paths, so count/sum/avg must use the FM operators.
+        return combiner_for_query(query.kind.value, exact=False, repetitions=repetitions)

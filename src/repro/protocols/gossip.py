@@ -1,0 +1,172 @@
+"""Push-sum gossip: an eventual-consistency baseline (Section 2.2).
+
+Epidemic algorithms compute aggregates by having every host repeatedly
+exchange state with randomly chosen neighbors.  They tolerate random
+failures well but only offer *eventual* consistency -- there is no instant
+at which the answer carries Single-Site Validity guarantees.  This module
+implements the classic push-sum protocol (Kempe et al.) over the network's
+neighbor relation so the experiment harness and tests can contrast the two
+semantics.
+
+Each host maintains a pair ``(s, w)``.  For sum/avg queries ``s`` starts as
+the host's value; for count queries ``s`` starts as 1.  The querying host
+starts with weight 1, every other host with weight 0.  Every round each host
+splits its pair in half, keeps one half, and sends the other half to a
+random alive neighbor; ``s / w`` at the querying host converges to the
+average of the initial ``s`` values, from which sum and count follow by
+multiplying with the (known or estimated) network size -- here we instead
+track the mass-conservation form where the querying host's estimate of
+``sum = s / w`` directly, since total weight is 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence
+
+from repro.protocols.base import Protocol
+from repro.queries.query import AggregateQuery, QueryKind
+from repro.simulation.host import HostContext, ProtocolHost
+from repro.simulation.messages import Message
+from repro.sketches.combiners import Combiner
+from repro.topology.base import Topology
+
+START = "gs-start"
+SHARE = "gs-share"
+
+
+class PushSumHost(ProtocolHost):
+    """Per-host push-sum state machine driven by per-round timers."""
+
+    def __init__(
+        self,
+        host_id: int,
+        value: float,
+        querying_host: int,
+        query: AggregateQuery,
+        num_rounds: int,
+        delta: float,
+        rng: random.Random,
+    ) -> None:
+        super().__init__(host_id, value)
+        self.querying_host = querying_host
+        self.query = query
+        self.num_rounds = num_rounds
+        self.delta = delta
+        self.rng = rng
+
+        if query.kind is QueryKind.COUNT:
+            self.mass = 1.0
+        elif query.kind in (QueryKind.SUM, QueryKind.AVG):
+            self.mass = float(value)
+        else:
+            # Min/max gossip degenerates to flooding the extremum.
+            self.mass = float(value)
+        if query.kind is QueryKind.AVG:
+            # For averages every host starts with weight 1, so s/w converges
+            # to (sum of values) / (number of hosts).
+            self.weight = 1.0
+        else:
+            # For sum/count only the querying host holds weight, so the total
+            # weight is 1 and s/w converges to the total mass.
+            self.weight = 1.0 if host_id == querying_host else 0.0
+        self.extremum = float(value)
+        self.rounds_done = 0
+        self.started = False
+
+    def on_query_start(self, ctx: HostContext) -> None:
+        # The querying host kicks every host off by flooding a start signal.
+        self.started = True
+        ctx.send_to_neighbors(START, {"rounds": self.num_rounds})
+        ctx.set_timer(self.delta, "round")
+
+    def on_message(self, message: Message, ctx: HostContext) -> None:
+        if message.kind == START:
+            if not self.started:
+                self.started = True
+                ctx.send_to_neighbors(START, {"rounds": self.num_rounds},
+                                      exclude=(message.sender,))
+                ctx.set_timer(self.delta, "round")
+            return
+        if message.kind == SHARE:
+            self.mass += float(message.payload["mass"])
+            self.weight += float(message.payload["weight"])
+            self.extremum = self._combine_extremum(
+                self.extremum, float(message.payload["extremum"])
+            )
+
+    def _combine_extremum(self, a: float, b: float) -> float:
+        if self.query.kind is QueryKind.MIN:
+            return min(a, b)
+        return max(a, b)
+
+    def on_timer(self, name: str, data: Any, ctx: HostContext) -> None:
+        if name != "round" or self.rounds_done >= self.num_rounds:
+            return
+        self.rounds_done += 1
+        neighbors = sorted(ctx.neighbors())
+        if neighbors:
+            target = self.rng.choice(neighbors)
+            half_mass = self.mass / 2.0
+            half_weight = self.weight / 2.0
+            self.mass -= half_mass
+            self.weight -= half_weight
+            ctx.send(target, SHARE, {
+                "mass": half_mass,
+                "weight": half_weight,
+                "extremum": self.extremum,
+            })
+        if self.rounds_done < self.num_rounds:
+            ctx.set_timer(self.delta, "round")
+
+    def local_result(self) -> Optional[float]:
+        if self.query.kind in (QueryKind.MIN, QueryKind.MAX):
+            return self.extremum
+        if self.weight <= 0.0:
+            return None
+        return self.mass / self.weight
+
+
+class PushSumGossip(Protocol):
+    """Protocol object for push-sum gossip runs.
+
+    Args:
+        num_rounds: gossip rounds to execute; the answer only converges as
+            the number of rounds grows (eventual consistency).
+    """
+
+    name = "push-sum-gossip"
+    requires_duplicate_insensitive = False
+
+    def __init__(self, num_rounds: int = 50) -> None:
+        if num_rounds < 1:
+            raise ValueError("num_rounds must be at least 1")
+        self.num_rounds = num_rounds
+
+    def create_hosts(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        querying_host: int,
+        query: AggregateQuery,
+        combiner: Combiner,
+        d_hat: int,
+        delta: float,
+        rng: random.Random,
+    ) -> List[ProtocolHost]:
+        return [
+            PushSumHost(
+                host_id=host_id,
+                value=values[host_id],
+                querying_host=querying_host,
+                query=query,
+                num_rounds=self.num_rounds,
+                delta=delta,
+                rng=rng,
+            )
+            for host_id in range(topology.num_hosts)
+        ]
+
+    def termination_time(self, d_hat: int, delta: float) -> float:
+        # One flood to start plus the configured number of rounds.
+        return (self.num_rounds + d_hat + 1) * delta

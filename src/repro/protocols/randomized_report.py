@@ -1,0 +1,107 @@
+"""The RANDOMIZEDREPORT protocol (Section 4.3).
+
+A sampled variant of ALLREPORT used to estimate the network size with
+Approximate Single-Site Validity: the Broadcast message carries a report
+probability ``p``; each host reports with probability ``p`` and the querying
+host declares ``|M| / p`` where ``M`` is the set of reports received.  The
+required ``p`` for a target (epsilon, zeta) is ``p >= 4 / (eps^2 n) ln(2 / zeta)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+from repro.protocols.allreport import AllReport, AllReportHost
+from repro.protocols.base import Protocol
+from repro.queries.query import AggregateQuery
+from repro.simulation.host import ProtocolHost
+from repro.sketches.combiners import Combiner
+from repro.topology.base import Topology
+
+
+def report_probability_for(epsilon: float, zeta: float, network_size: int) -> float:
+    """The sampling probability required by the Approximate SSV analysis.
+
+    Args:
+        epsilon: target multiplicative error.
+        zeta: target failure probability.
+        network_size: (an estimate of) the network size ``n``.
+
+    Returns:
+        A probability clamped to (0, 1].
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not 0.0 < zeta < 1.0:
+        raise ValueError("zeta must be in (0, 1)")
+    if network_size < 1:
+        raise ValueError("network_size must be positive")
+    p = 4.0 / (epsilon ** 2 * network_size) * math.log(2.0 / zeta)
+    return min(1.0, max(p, 1.0 / network_size))
+
+
+class RandomizedReportHost(AllReportHost):
+    """Identical to :class:`AllReportHost` with ``report_probability < 1``."""
+
+
+class RandomizedReport(Protocol):
+    """Protocol object for RANDOMIZEDREPORT runs.
+
+    Args:
+        epsilon: target multiplicative error for the size estimate.
+        zeta: target failure probability.
+        expected_size: prior estimate of the network size used to derive the
+            sampling probability; defaults to the topology size at run time.
+        report_probability: set the probability directly (overrides the
+            epsilon/zeta derivation).
+    """
+
+    name = "randomized-report"
+    requires_duplicate_insensitive = False
+
+    def __init__(
+        self,
+        epsilon: float = 0.1,
+        zeta: float = 0.05,
+        expected_size: int | None = None,
+        report_probability: float | None = None,
+    ) -> None:
+        self.epsilon = epsilon
+        self.zeta = zeta
+        self.expected_size = expected_size
+        self.report_probability = report_probability
+
+    def create_hosts(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        querying_host: int,
+        query: AggregateQuery,
+        combiner: Combiner,
+        d_hat: int,
+        delta: float,
+        rng: random.Random,
+    ) -> List[ProtocolHost]:
+        if self.report_probability is not None:
+            probability = self.report_probability
+        else:
+            size = self.expected_size or topology.num_hosts
+            probability = report_probability_for(self.epsilon, self.zeta, size)
+        return [
+            RandomizedReportHost(
+                host_id=host_id,
+                value=values[host_id],
+                querying_host=querying_host,
+                query=query,
+                d_hat=d_hat,
+                delta=delta,
+                rng=rng,
+                report_probability=probability,
+            )
+            for host_id in range(topology.num_hosts)
+        ]
+
+    def termination_time(self, d_hat: int, delta: float) -> float:
+        return 2.0 * d_hat * delta

@@ -1,0 +1,137 @@
+"""The SPANNINGTREE best-effort protocol (Section 4.4).
+
+Broadcast builds a spanning tree rooted at the querying host (each host
+adopts the sender of the first Broadcast message it hears as its parent).
+Convergecast then propagates partial aggregates up the tree: a host at hop
+depth ``l`` sends its partial aggregate -- its own value combined with
+whatever its children reported in time -- to its parent at the deadline
+``(2 * D_hat - l) * delta``.  A single interior host failing after Broadcast
+silently discards the contribution of its entire subtree, which is exactly
+the failure mode the paper's validity experiments expose.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence
+
+from repro.protocols.base import Protocol
+from repro.queries.query import AggregateQuery
+from repro.simulation.host import HostContext, ProtocolHost
+from repro.simulation.messages import Message
+from repro.sketches.combiners import Combiner
+from repro.topology.base import Topology
+
+BROADCAST = "st-broadcast"
+REPORT = "st-report"
+
+
+class SpanningTreeHost(ProtocolHost):
+    """Per-host SPANNINGTREE state machine."""
+
+    def __init__(
+        self,
+        host_id: int,
+        value: float,
+        querying_host: int,
+        combiner: Combiner,
+        d_hat: int,
+        delta: float,
+        rng: random.Random,
+    ) -> None:
+        super().__init__(host_id, value)
+        self.querying_host = querying_host
+        self.combiner = combiner
+        self.d_hat = d_hat
+        self.delta = delta
+        self.rng = rng
+
+        self.active = False
+        self.parent: Optional[int] = None
+        self.depth: Optional[int] = None
+        self.partial: Any = None
+        self.reports_received = 0
+        self.reported = False
+
+    # ------------------------------------------------------------------
+    def on_query_start(self, ctx: HostContext) -> None:
+        self.active = True
+        self.depth = 0
+        self.partial = self.combiner.initial(self.value, self.rng)
+        ctx.send_to_neighbors(BROADCAST, {"depth": 0, "d_hat": self.d_hat})
+
+    def on_message(self, message: Message, ctx: HostContext) -> None:
+        if message.kind == BROADCAST:
+            self._on_broadcast(message, ctx)
+        elif message.kind == REPORT:
+            self._on_report(message, ctx)
+
+    def _on_broadcast(self, message: Message, ctx: HostContext) -> None:
+        if self.active:
+            return  # duplicate Broadcast: already have a parent
+        self.active = True
+        self.parent = message.sender
+        self.depth = int(message.payload["depth"]) + 1
+        self.partial = self.combiner.initial(self.value, self.rng)
+        ctx.send_to_neighbors(
+            BROADCAST,
+            {"depth": self.depth, "d_hat": self.d_hat},
+            exclude=(self.parent,),
+        )
+        report_time = (2.0 * self.d_hat - self.depth) * self.delta
+        delay = max(0.0, report_time - ctx.now)
+        ctx.set_timer(delay, "report")
+
+    def _on_report(self, message: Message, ctx: HostContext) -> None:
+        if not self.active or self.reported:
+            # Reports arriving after this host already pushed its own partial
+            # aggregate up the tree are lost -- the best-effort behaviour.
+            return
+        incoming = message.payload["agg"]
+        self.partial = self.combiner.combine(self.partial, incoming)
+        self.reports_received += 1
+
+    def on_timer(self, name: str, data: Any, ctx: HostContext) -> None:
+        if name != "report" or self.reported or self.parent is None:
+            return
+        self.reported = True
+        ctx.send(self.parent, REPORT, {"agg": self.partial})
+
+    def local_result(self) -> Optional[float]:
+        if self.partial is None:
+            return None
+        return self.combiner.finalize(self.partial)
+
+
+class SpanningTree(Protocol):
+    """Protocol object for SPANNINGTREE runs."""
+
+    name = "spanning-tree"
+    requires_duplicate_insensitive = False
+
+    def create_hosts(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        querying_host: int,
+        query: AggregateQuery,
+        combiner: Combiner,
+        d_hat: int,
+        delta: float,
+        rng: random.Random,
+    ) -> List[ProtocolHost]:
+        return [
+            SpanningTreeHost(
+                host_id=host_id,
+                value=values[host_id],
+                querying_host=querying_host,
+                combiner=combiner,
+                d_hat=d_hat,
+                delta=delta,
+                rng=rng,
+            )
+            for host_id in range(topology.num_hosts)
+        ]
+
+    def termination_time(self, d_hat: int, delta: float) -> float:
+        return 2.0 * d_hat * delta

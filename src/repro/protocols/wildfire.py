@@ -1,0 +1,255 @@
+"""The WILDFIRE protocol (Section 5).
+
+WILDFIRE floods the query over the network (Broadcast) and then lets every
+host repeatedly exchange partial aggregates with all of its neighbors
+(Convergecast) until time ``2 * D_hat * delta``.  Because partial aggregates
+travel along *every* path rather than a single spanning tree, the value of
+any host with a stable path to the querying host is guaranteed to be folded
+into the final answer -- this is what buys Single-Site Validity -- provided
+the combine function is duplicate-insensitive (min, max, or the FM sketch
+operators of Section 5.2).
+
+The implementation batches outgoing Convergecast traffic per time instant:
+all partial aggregates a host receives at time ``t`` are folded in first,
+and a single (possibly multicast) message carrying the resulting aggregate
+is sent at the end of the instant.  This mirrors the paper's cost model, in
+which a host sends at most one update to its neighbors per ``delta`` and the
+worst-case traffic is ``2 * D_hat * |E|`` messages.
+
+Two optimisations from Section 5.3 are implemented and on by default:
+
+* the first Convergecast message of a host is piggybacked on the Broadcast
+  message it forwards, and
+* a host at hop distance ``l`` from the querying host only participates
+  until time ``(2 * D_hat - l + 1) * delta``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence, Set
+
+from repro.protocols.base import Protocol
+from repro.queries.query import AggregateQuery
+from repro.simulation.host import HostContext, ProtocolHost
+from repro.simulation.messages import Message
+from repro.sketches.combiners import Combiner
+from repro.topology.base import Topology
+
+#: Message kinds used by the protocol.
+BROADCAST = "wf-broadcast"
+CONVERGECAST = "wf-convergecast"
+
+#: Name of the per-instant flush timer.
+FLUSH = "wf-flush"
+
+
+class WildfireHost(ProtocolHost):
+    """Per-host WILDFIRE state machine."""
+
+    def __init__(
+        self,
+        host_id: int,
+        value: float,
+        querying_host: int,
+        combiner: Combiner,
+        d_hat: int,
+        delta: float,
+        rng: random.Random,
+        early_termination: bool = True,
+    ) -> None:
+        super().__init__(host_id, value)
+        self.querying_host = querying_host
+        self.combiner = combiner
+        self.d_hat = d_hat
+        self.delta = delta
+        self.rng = rng
+        self.early_termination = early_termination
+
+        self.active = False
+        self.partial: Any = None
+        self.distance: Optional[int] = None
+        self.updates_observed = 0
+
+        # Per-instant batching state.
+        self._dirty = False
+        self._skip_neighbor: Optional[int] = None
+        self._reply_to: Set[int] = set()
+        self._flush_pending = False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def _global_deadline(self) -> float:
+        return 2.0 * self.d_hat * self.delta
+
+    def _participation_deadline(self) -> float:
+        """The time until which this host keeps processing Convergecast."""
+        if (
+            self.early_termination
+            and self.distance is not None
+            and self.host_id != self.querying_host
+        ):
+            return (2.0 * self.d_hat - self.distance + 1.0) * self.delta
+        return self._global_deadline
+
+    def _activate(self, distance: int) -> None:
+        self.active = True
+        self.distance = distance
+        self.partial = self.combiner.initial(self.value, self.rng)
+
+    def _payload(self) -> dict:
+        return {
+            "d_hat": self.d_hat,
+            "dist": self.distance,
+            "agg": self.partial,
+        }
+
+    def _schedule_flush(self, ctx: HostContext) -> None:
+        if not self._flush_pending:
+            self._flush_pending = True
+            # Zero-delay timer: timers are dispatched after all message
+            # deliveries of the same instant, so every aggregate received at
+            # this instant is folded in before the single outgoing update.
+            ctx.set_timer(0.0, FLUSH)
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+    def on_query_start(self, ctx: HostContext) -> None:
+        """The querying host initiates Broadcast at time 0."""
+        self._activate(distance=0)
+        ctx.send_to_neighbors(BROADCAST, self._payload())
+
+    def on_message(self, message: Message, ctx: HostContext) -> None:
+        if message.kind not in (BROADCAST, CONVERGECAST):
+            return
+        incoming = message.payload.get("agg")
+
+        if not self.active:
+            if ctx.now >= self._global_deadline:
+                return
+            sender_distance = message.payload.get("dist")
+            distance = (sender_distance + 1) if sender_distance is not None else 1
+            self._activate(distance=distance)
+            # Forward the Broadcast immediately (flooding must not wait a
+            # whole instant); the current partial aggregate -- already folded
+            # with the piggybacked one below -- rides along as this host's
+            # first Convergecast contribution.
+            self._fold(incoming, message.sender, ctx)
+            ctx.send_to_neighbors(BROADCAST, self._payload(),
+                                  exclude=(message.sender,))
+            # The sender still needs our aggregate if it knows less than us.
+            if incoming is None or not self.combiner.states_equal(self.partial, incoming):
+                self._reply_to.add(message.sender)
+                self._schedule_flush(ctx)
+            self._dirty = False  # neighbors just heard our aggregate
+            return
+
+        if ctx.now > self._participation_deadline():
+            return
+        self._fold(incoming, message.sender, ctx)
+
+    def _fold(self, incoming: Any, sender: int, ctx: HostContext) -> None:
+        """Fold a received partial aggregate into our own (Fig. 4 rules)."""
+        if incoming is None:
+            return
+        new_partial = self.combiner.combine(self.partial, incoming)
+        if not self.combiner.states_equal(new_partial, self.partial):
+            self.partial = new_partial
+            self.updates_observed += 1
+            self._dirty = True
+            # If the merge result equals what the sender already has, there
+            # is no point echoing it straight back (Example 5.1).
+            if self.combiner.states_equal(self.partial, incoming):
+                self._skip_neighbor = sender
+            else:
+                self._skip_neighbor = None
+            self._reply_to.discard(sender)
+            self._schedule_flush(ctx)
+        elif not self.combiner.states_equal(self.partial, incoming):
+            # Our aggregate did not change but the sender's is stale: send
+            # ours back so the sender (and eventually the querying host on
+            # the other side of it) catches up.
+            self._reply_to.add(sender)
+            self._schedule_flush(ctx)
+
+    def on_timer(self, name: str, data: Any, ctx: HostContext) -> None:
+        if name != FLUSH:
+            return
+        self._flush_pending = False
+        if not self.active or ctx.now > self._participation_deadline():
+            self._dirty = False
+            self._reply_to.clear()
+            return
+        if self._dirty:
+            exclude = (self._skip_neighbor,) if self._skip_neighbor is not None else ()
+            ctx.send_to_neighbors(CONVERGECAST, self._payload(), exclude=exclude)
+            self._reply_to.clear()
+        elif self._reply_to:
+            alive = ctx.neighbors()
+            payload = self._payload()
+            for neighbor in sorted(self._reply_to):
+                if neighbor in alive:
+                    ctx.send(neighbor, CONVERGECAST, payload)
+            self._reply_to.clear()
+        self._dirty = False
+        self._skip_neighbor = None
+
+    def local_result(self) -> Optional[float]:
+        """The value this host would declare (meaningful at the querying host)."""
+        if self.partial is None:
+            return None
+        return self.combiner.finalize(self.partial)
+
+
+class Wildfire(Protocol):
+    """Protocol object for WILDFIRE runs.
+
+    Args:
+        early_termination: enable the distance-based participation window
+            optimisation from Section 5.3.
+    """
+
+    name = "wildfire"
+    requires_duplicate_insensitive = True
+
+    def __init__(self, early_termination: bool = True) -> None:
+        self.early_termination = early_termination
+
+    def create_hosts(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        querying_host: int,
+        query: AggregateQuery,
+        combiner: Combiner,
+        d_hat: int,
+        delta: float,
+        rng: random.Random,
+    ) -> List[ProtocolHost]:
+        hosts: List[ProtocolHost] = []
+        for host_id in range(topology.num_hosts):
+            hosts.append(
+                WildfireHost(
+                    host_id=host_id,
+                    value=values[host_id],
+                    querying_host=querying_host,
+                    combiner=combiner,
+                    d_hat=d_hat,
+                    delta=delta,
+                    rng=rng,
+                    early_termination=self.early_termination,
+                )
+            )
+        return hosts
+
+    def termination_time(self, d_hat: int, delta: float) -> float:
+        return 2.0 * d_hat * delta
+
+    def default_combiner(self, query: AggregateQuery, repetitions: int = 8):
+        from repro.sketches.combiners import combiner_for_query
+
+        # WILDFIRE always needs duplicate-insensitive combine functions.
+        return combiner_for_query(query.kind.value, exact=False, repetitions=repetitions)

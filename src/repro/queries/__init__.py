@@ -1,0 +1,19 @@
+"""Query model: one-time aggregates, continuous queries, size estimation."""
+
+from repro.queries.query import AggregateQuery, QueryKind
+from repro.queries.continuous import ContinuousQuery, WindowedResult
+from repro.queries.size_estimation import (
+    CaptureRecaptureEstimator,
+    RingSegmentEstimator,
+    required_sample_size,
+)
+
+__all__ = [
+    "AggregateQuery",
+    "QueryKind",
+    "ContinuousQuery",
+    "WindowedResult",
+    "CaptureRecaptureEstimator",
+    "RingSegmentEstimator",
+    "required_sample_size",
+]

@@ -1,0 +1,147 @@
+"""Continuous queries.
+
+A continuous query is registered at the querying host for an interval
+``[0, T]`` and produces a stream of results; Continuous Single-Site Validity
+(Section 4.2) requires each result ``v_t`` to be valid with respect to the
+host sets of a recent window ``[t - W, t]`` rather than the whole history,
+because the stable core over an unbounded interval quickly becomes empty in
+a dynamic network.
+
+The implementation here re-issues a one-time valid protocol run per
+reporting period; the window parameter controls which churn events count
+against the bounds of each report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.queries.query import AggregateQuery
+from repro.semantics.validity import ValidityBounds, compute_bounds
+from repro.simulation.churn import ChurnSchedule
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class WindowedResult:
+    """One report of a continuous query.
+
+    Attributes:
+        report_time: simulation time ``t`` at which the value was declared.
+        window_start: start of the validity window ``t - W``.
+        value: the declared aggregate.
+        bounds: the Single-Site Validity bounds for the window.
+        is_valid: whether ``value`` lies within the bounds.
+    """
+
+    report_time: float
+    window_start: float
+    value: float
+    bounds: ValidityBounds
+    is_valid: bool
+
+
+@dataclass
+class ContinuousQuery:
+    """A periodic aggregate query with a validity window.
+
+    Attributes:
+        query: the underlying aggregate.
+        period: time between consecutive reports.
+        window: validity window length ``W``; must be at least as long as a
+            single protocol execution (``2 * D_hat * delta``), otherwise no
+            algorithm can satisfy the requirement (Section 4.2).
+        duration: total registration interval ``T``.
+    """
+
+    query: AggregateQuery
+    period: float
+    window: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.duration < self.period:
+            raise ValueError("duration must cover at least one period")
+
+    def report_times(self) -> List[float]:
+        """The times at which results are declared."""
+        times = []
+        t = self.period
+        while t <= self.duration + 1e-9:
+            times.append(round(t, 9))
+            t += self.period
+        return times
+
+    def run(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        churn: ChurnSchedule,
+        querying_host: int,
+        execute_once: Callable[[ChurnSchedule, float], float],
+    ) -> List[WindowedResult]:
+        """Drive the continuous query over a churn schedule.
+
+        Args:
+            topology: initial topology.
+            values: per-host attribute values.
+            churn: the full failure schedule over ``[0, duration]``.
+            querying_host: host issuing the query.
+            execute_once: callback running one valid protocol execution that
+                starts at the given report time and sees the given (already
+                restricted) churn schedule; returns the declared value.
+
+        Returns:
+            One :class:`WindowedResult` per reporting period.
+        """
+        from repro.semantics.validity import check_single_site_validity
+
+        results = []
+        for report_time in self.report_times():
+            window_start = max(0.0, report_time - self.window)
+            # Failures before the window started are "old news": the network
+            # the protocol sees at this report already excludes those hosts,
+            # so the window bounds are computed on the residual topology.
+            churn_in_window = ChurnSchedule(
+                failures=[
+                    (t, h) for t, h in churn.failures if window_start <= t <= report_time
+                ],
+            )
+            pre_window_failures = {
+                h for t, h in churn.failures if t < window_start
+            }
+            residual_adjacency = [
+                set(n for n in neigh if n not in pre_window_failures)
+                if host not in pre_window_failures else set()
+                for host, neigh in enumerate(topology.adjacency)
+            ]
+            residual = Topology(adjacency=residual_adjacency,
+                                name=f"{topology.name}@{window_start:g}",
+                                metadata=dict(topology.metadata))
+            value = execute_once(churn_in_window, report_time)
+            bounds = compute_bounds(
+                topology=residual,
+                values=values,
+                churn=churn_in_window,
+                querying_host=querying_host,
+                kind=self.query.kind.value,
+                horizon=report_time,
+            )
+            valid = check_single_site_validity(
+                value, bounds, self.query.kind.value, values
+            )
+            results.append(
+                WindowedResult(
+                    report_time=report_time,
+                    window_start=window_start,
+                    value=value,
+                    bounds=bounds,
+                    is_valid=valid,
+                )
+            )
+        return results

@@ -1,0 +1,20 @@
+"""Validity semantics: host-set bounds, oracle, and validity metrics."""
+
+from repro.semantics.validity import (
+    ValidityBounds,
+    check_approximate_single_site_validity,
+    check_single_site_validity,
+    stable_core,
+)
+from repro.semantics.oracle import Oracle
+from repro.semantics.metrics import completeness, relative_error
+
+__all__ = [
+    "ValidityBounds",
+    "check_single_site_validity",
+    "check_approximate_single_site_validity",
+    "stable_core",
+    "Oracle",
+    "completeness",
+    "relative_error",
+]

@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate for dynamic networks.
+
+The simulator implements the paper's relaxed asynchronous model: messages
+between alive neighbors are delivered reliably within a known maximum delay
+``delta``, hosts may fail (churn) at arbitrary instants, and every message
+is accounted for so that communication, computation and time costs can be
+measured exactly as defined in Section 6.3 of the paper.
+"""
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.engine import Simulator, SimulationResult
+from repro.simulation.events import (
+    Event,
+    EventKind,
+    EventQueue,
+)
+from repro.simulation.host import HostContext, ProtocolHost
+from repro.simulation.messages import Message
+from repro.simulation.network import DynamicNetwork, NetworkEvent, NetworkEventKind
+from repro.simulation.stats import CostAccounting
+from repro.simulation.churn import ChurnSchedule, uniform_failure_schedule
+
+__all__ = [
+    "SimulationClock",
+    "Simulator",
+    "SimulationResult",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "HostContext",
+    "ProtocolHost",
+    "Message",
+    "DynamicNetwork",
+    "NetworkEvent",
+    "NetworkEventKind",
+    "CostAccounting",
+    "ChurnSchedule",
+    "uniform_failure_schedule",
+]

@@ -1,0 +1,142 @@
+"""Churn (dynamism) schedules.
+
+The paper models dynamism by removing ``R`` randomly selected hosts at a
+uniform rate over the query-processing interval.  A :class:`ChurnSchedule`
+is an explicit list of (time, host) failure pairs plus optional join events,
+so experiments are reproducible and the oracle can reason about exactly the
+same sequence of events the simulator executed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """A host join: at ``time`` a new host attaches to ``neighbors``."""
+
+    time: float
+    neighbors: Tuple[int, ...]
+
+
+@dataclass
+class ChurnSchedule:
+    """An explicit schedule of host failures (and optionally joins).
+
+    Attributes:
+        failures: (time, host) pairs; each host appears at most once.
+        joins: optional join specifications.
+    """
+
+    failures: List[Tuple[float, int]] = field(default_factory=list)
+    joins: List[JoinSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for _, host in self.failures:
+            if host in seen:
+                raise ValueError(f"host {host} scheduled to fail more than once")
+            seen.add(host)
+        self.failures.sort(key=lambda pair: pair[0])
+        self.joins.sort(key=lambda spec: spec.time)
+
+    @property
+    def num_failures(self) -> int:
+        return len(self.failures)
+
+    @property
+    def failed_hosts(self) -> List[int]:
+        return [host for _, host in self.failures]
+
+    def failures_before(self, time: float) -> List[int]:
+        """Hosts whose failure time is strictly before ``time``."""
+        return [host for t, host in self.failures if t < time]
+
+    def restricted_to(self, horizon: float) -> "ChurnSchedule":
+        """A copy containing only events at or before ``horizon``."""
+        return ChurnSchedule(
+            failures=[(t, h) for t, h in self.failures if t <= horizon],
+            joins=[j for j in self.joins if j.time <= horizon],
+        )
+
+    @staticmethod
+    def empty() -> "ChurnSchedule":
+        """A schedule with no churn (the failure-free baseline)."""
+        return ChurnSchedule()
+
+
+def uniform_failure_schedule(
+    candidates: Sequence[int],
+    num_failures: int,
+    start: float,
+    end: float,
+    seed: int = 0,
+    protect: Optional[Iterable[int]] = None,
+) -> ChurnSchedule:
+    """Fail ``num_failures`` random hosts at a uniform rate over [start, end].
+
+    This is the dynamism model of Section 6.2: ``R`` randomly selected hosts
+    are removed from ``G`` at a uniform rate during the query interval.
+
+    Args:
+        candidates: hosts eligible to fail (usually all hosts).
+        num_failures: the paper's parameter ``R``.
+        start: first failure instant.
+        end: last failure instant.
+        seed: RNG seed for reproducibility.
+        protect: hosts that must never fail (e.g. the querying host, so the
+            query itself survives, as in the paper's experiments).
+
+    Raises:
+        ValueError: if more failures are requested than eligible hosts.
+    """
+    if end < start:
+        raise ValueError("end must not precede start")
+    protected = set(protect) if protect is not None else set()
+    eligible = [h for h in candidates if h not in protected]
+    if num_failures > len(eligible):
+        raise ValueError(
+            f"cannot fail {num_failures} hosts: only {len(eligible)} eligible"
+        )
+    rng = random.Random(seed)
+    victims = rng.sample(eligible, num_failures)
+    if num_failures == 0:
+        return ChurnSchedule()
+    if num_failures == 1:
+        times = [start + (end - start) / 2.0]
+    else:
+        step = (end - start) / (num_failures - 1)
+        times = [start + i * step for i in range(num_failures)]
+    failures = list(zip(times, victims))
+    return ChurnSchedule(failures=failures)
+
+
+def poisson_lifetime_schedule(
+    candidates: Sequence[int],
+    mean_lifetime: float,
+    horizon: float,
+    seed: int = 0,
+    protect: Optional[Iterable[int]] = None,
+) -> ChurnSchedule:
+    """Fail hosts with exponentially distributed lifetimes.
+
+    This models the "median session duration" style of churn observed in
+    deployed P2P systems (each host leaves independently with a memoryless
+    lifetime).  Hosts whose sampled lifetime exceeds ``horizon`` never fail
+    during the run.
+    """
+    if mean_lifetime <= 0:
+        raise ValueError("mean_lifetime must be positive")
+    protected = set(protect) if protect is not None else set()
+    rng = random.Random(seed)
+    failures: List[Tuple[float, int]] = []
+    for host in candidates:
+        if host in protected:
+            continue
+        lifetime = rng.expovariate(1.0 / mean_lifetime)
+        if lifetime <= horizon:
+            failures.append((lifetime, host))
+    return ChurnSchedule(failures=failures)

@@ -1,0 +1,45 @@
+"""Simulated clock.
+
+The paper's relaxed asynchronous model assumes known bounds on processing
+speed, transmission delay and clock drift, all folded into a single maximum
+per-hop delay ``delta``.  The simulator therefore keeps one global virtual
+clock; protocol code never reads wall-clock time.
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """Monotonic virtual clock measured in multiples of the hop delay."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("simulation time cannot start negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises:
+            ValueError: if ``time`` is earlier than the current time, which
+                would indicate a scheduling bug in the event queue.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now}, requested={time}"
+            )
+        self._now = float(time)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock, e.g. between independent simulation runs."""
+        if start < 0:
+            raise ValueError("simulation time cannot start negative")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulationClock(now={self._now})"

@@ -1,0 +1,314 @@
+"""The discrete-event simulation engine.
+
+The :class:`Simulator` drives a set of :class:`~repro.simulation.host.ProtocolHost`
+state machines over a :class:`~repro.simulation.network.DynamicNetwork`,
+delivering messages with a fixed per-hop delay ``delta``, executing a churn
+schedule, and accounting costs as defined in the paper's Section 6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.simulation.churn import ChurnSchedule
+from repro.simulation.clock import SimulationClock
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.host import HostContext, ProtocolHost
+from repro.simulation.messages import Message
+from repro.simulation.network import DynamicNetwork
+from repro.simulation.stats import CostAccounting
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated protocol run.
+
+    Attributes:
+        value: the value declared at the querying host (protocol specific;
+            ``None`` if the protocol never produced one).
+        costs: the message/computation/time cost accounting for the run.
+        finished_at: simulation time when the run stopped.
+        querying_host: id of the host that issued the query.
+        extra: protocol- or experiment-specific extras (e.g. tree depth).
+    """
+
+    value: Any
+    costs: CostAccounting
+    finished_at: float
+    querying_host: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class Simulator:
+    """Event-driven executor for aggregation protocols on dynamic networks.
+
+    Args:
+        network: the (mutable) dynamic network the protocol runs on.
+        hosts: one protocol state machine per host id; the list is indexed
+            by host id and must cover every host in the network.
+        querying_host: the host at which the query is issued at time 0.
+        delta: maximum per-hop message delay (the paper's ``delta``); the
+            simulator delivers every message after exactly this delay, which
+            is the adversarially slowest behaviour allowed by the model.
+        churn: schedule of host failures/joins to apply during the run.
+        wireless: when True, a multicast to all neighbors of a host counts
+            as one transmission (the sensor-network broadcast medium).
+        max_time: hard stop for the simulation clock; runs longer than this
+            raise, which catches protocols that fail to terminate.
+    """
+
+    def __init__(
+        self,
+        network: DynamicNetwork,
+        hosts: Sequence[ProtocolHost],
+        querying_host: int,
+        delta: float = 1.0,
+        churn: Optional[ChurnSchedule] = None,
+        wireless: bool = False,
+        max_time: float = 1_000_000.0,
+    ) -> None:
+        if len(hosts) < network.num_hosts:
+            raise ValueError(
+                f"expected at least {network.num_hosts} protocol hosts, got {len(hosts)}"
+            )
+        if not network.is_alive(querying_host):
+            raise ValueError("the querying host must be alive at time 0")
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.network = network
+        self.hosts: List[ProtocolHost] = list(hosts)
+        self.querying_host = querying_host
+        self.delta = float(delta)
+        self.wireless = wireless
+        self.max_time = float(max_time)
+        self.clock = SimulationClock()
+        self.costs = CostAccounting()
+        self._queue = EventQueue()
+        self._churn = churn or ChurnSchedule.empty()
+        self._stopped = False
+        self._fail_callbacks: List[Callable[[int, float], None]] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling API used by HostContext
+    # ------------------------------------------------------------------
+    def submit_message(
+        self,
+        sender: int,
+        dest: int,
+        kind: str,
+        payload: Mapping[str, Any],
+        time: float,
+        chain_depth: int,
+    ) -> bool:
+        """Queue a unicast message for delivery after ``delta`` time."""
+        if not self.network.is_alive(sender):
+            return False
+        if dest not in self.network.neighbors(sender):
+            return False
+        message = Message(
+            sender=sender,
+            dest=dest,
+            kind=kind,
+            payload=dict(payload),
+            sent_at=time,
+            chain_depth=chain_depth,
+        )
+        self.costs.record_send(kind, time)
+        self._queue.push(time + self.delta, EventKind.DELIVER, message=message)
+        return True
+
+    def submit_multicast(
+        self,
+        sender: int,
+        dests: Sequence[int],
+        kind: str,
+        payload: Mapping[str, Any],
+        time: float,
+        chain_depth: int,
+    ) -> None:
+        """Queue the same message to several neighbors.
+
+        On a wireless medium the whole batch counts as one transmission; on
+        a point-to-point medium each destination is a separate message.
+        """
+        if not self.network.is_alive(sender):
+            return
+        neighbors = self.network.neighbors(sender)
+        first = True
+        for dest in dests:
+            if dest not in neighbors:
+                continue
+            message = Message(
+                sender=sender,
+                dest=dest,
+                kind=kind,
+                payload=dict(payload),
+                sent_at=time,
+                chain_depth=chain_depth,
+                wireless=self.wireless,
+            )
+            if self.wireless:
+                self.costs.record_send(kind, time, wireless_group=not first)
+            else:
+                self.costs.record_send(kind, time)
+            first = False
+            self._queue.push(time + self.delta, EventKind.DELIVER, message=message)
+
+    def schedule_timer(
+        self,
+        host: int,
+        time: float,
+        name: str,
+        data: Any,
+        chain_depth: int,
+    ) -> None:
+        """Schedule a timer event for ``host`` at absolute ``time``."""
+        self._queue.push(
+            time,
+            EventKind.TIMER,
+            host=host,
+            timer_name=name,
+            data={"data": data, "chain_depth": chain_depth},
+        )
+
+    def on_host_failure(self, callback: Callable[[int, float], None]) -> None:
+        """Register an observer invoked as ``callback(host, time)`` on failures."""
+        self._fail_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Execute the protocol and return the querying host's result.
+
+        Args:
+            until: optional simulation-time horizon; when omitted the run
+                continues until the event queue drains (all protocols in
+                this repository terminate via timers, so the queue always
+                drains).
+        """
+        horizon = min(until, self.max_time) if until is not None else self.max_time
+        self._schedule_churn(horizon)
+        self._queue.push(0.0, EventKind.QUERY_START, host=self.querying_host)
+
+        while self._queue and not self._stopped:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > horizon:
+                break
+            event = self._queue.pop()
+            self.clock.advance_to(event.time)
+            self._dispatch(event)
+
+        finished = self.clock.now
+        value = self.hosts[self.querying_host].local_result()
+        return SimulationResult(
+            value=value,
+            costs=self.costs,
+            finished_at=finished,
+            querying_host=self.querying_host,
+        )
+
+    def stop(self) -> None:
+        """Stop the run after the current event (used by custom handlers)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _schedule_churn(self, horizon: float) -> None:
+        for time, host in self._churn.failures:
+            if time <= horizon:
+                self._queue.push(time, EventKind.FAIL, host=host)
+        for join in self._churn.joins:
+            if join.time <= horizon:
+                self._queue.push(
+                    join.time, EventKind.JOIN, data=tuple(join.neighbors)
+                )
+
+    def _dispatch(self, event: Event) -> None:
+        if event.kind is EventKind.QUERY_START:
+            self._handle_query_start(event)
+        elif event.kind is EventKind.DELIVER:
+            self._handle_deliver(event)
+        elif event.kind is EventKind.TIMER:
+            self._handle_timer(event)
+        elif event.kind is EventKind.FAIL:
+            self._handle_fail(event)
+        elif event.kind is EventKind.JOIN:
+            self._handle_join(event)
+        elif event.kind is EventKind.CUSTOM:
+            handler = event.data
+            if callable(handler):
+                handler(self)
+
+    def _handle_query_start(self, event: Event) -> None:
+        host = event.host
+        assert host is not None
+        if not self.network.is_alive(host):
+            return
+        ctx = HostContext(self, host, self.clock.now, chain_depth=0)
+        self.hosts[host].on_query_start(ctx)
+
+    def _handle_deliver(self, event: Event) -> None:
+        message = event.message
+        assert message is not None
+        dest = message.dest
+        # Messages to hosts that failed while the message was in flight are
+        # lost; the sender may detect this via heartbeats but the base model
+        # simply drops them.
+        if not self.network.is_alive(dest):
+            self.costs.record_dropped()
+            return
+        self.costs.record_processed(dest, message.chain_depth)
+        ctx = HostContext(self, dest, self.clock.now, chain_depth=message.chain_depth)
+        self.hosts[dest].on_message(message, ctx)
+
+    def _handle_timer(self, event: Event) -> None:
+        host = event.host
+        assert host is not None
+        if not self.network.is_alive(host):
+            return
+        info = event.data or {}
+        chain_depth = info.get("chain_depth", 0)
+        ctx = HostContext(self, host, self.clock.now, chain_depth=chain_depth)
+        self.hosts[host].on_timer(event.timer_name or "", info.get("data"), ctx)
+
+    def _handle_fail(self, event: Event) -> None:
+        host = event.host
+        assert host is not None
+        if not self.network.is_alive(host):
+            return
+        self.network.fail_host(host, self.clock.now)
+        self.hosts[host].on_fail(self.clock.now)
+        for callback in self._fail_callbacks:
+            callback(host, self.clock.now)
+
+    def _handle_join(self, event: Event) -> None:
+        neighbors = [
+            h for h in (event.data or ()) if self.network.is_alive(h)
+        ]
+        if not neighbors:
+            return
+        new_id = self.network.join_host(neighbors, self.clock.now)
+        # Joining hosts get a default protocol state cloned from the factory
+        # attached by the experiment driver; if none was provided the host
+        # silently ignores all traffic.
+        factory = getattr(self, "join_host_factory", None)
+        if factory is not None:
+            self.hosts.append(factory(new_id))
+        else:
+            self.hosts.append(_InertHost(new_id))
+
+
+class _InertHost(ProtocolHost):
+    """A host that ignores every stimulus (placeholder for joined hosts)."""
+
+    def __init__(self, host_id: int) -> None:
+        super().__init__(host_id, value=0.0)
+
+    def on_query_start(self, ctx: HostContext) -> None:  # pragma: no cover
+        return
+
+    def on_message(self, message: Message, ctx: HostContext) -> None:
+        return

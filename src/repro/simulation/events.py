@@ -1,0 +1,138 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by (time, sequence number) so that ties are broken
+deterministically in insertion order, which keeps simulations reproducible
+for a fixed random seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.simulation.messages import Message
+
+
+class EventKind(enum.Enum):
+    """The kinds of events the simulator understands."""
+
+    DELIVER = "deliver"  # deliver a message to its destination host
+    TIMER = "timer"      # a host timer expires
+    FAIL = "fail"        # a host leaves the network
+    JOIN = "join"        # a host joins the network
+    QUERY_START = "query_start"  # the querying host initiates the protocol
+    CUSTOM = "custom"    # extension hook for experiment drivers
+
+
+#: Tie-breaking priority for events scheduled at the same instant.  Message
+#: deliveries are processed before timers so that a report arriving exactly
+#: at a host's deadline is still folded in (the deadline-based convergecast
+#: of the tree protocols relies on this); failures are applied last so a
+#: host processes everything addressed to it "up to" its failure instant.
+_KIND_PRIORITY = {
+    EventKind.QUERY_START: 0,
+    EventKind.JOIN: 1,
+    EventKind.DELIVER: 2,
+    EventKind.CUSTOM: 3,
+    EventKind.TIMER: 4,
+    EventKind.FAIL: 5,
+}
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event.
+
+    The dataclass ordering is (time, priority, seq); the payload fields are
+    excluded from comparison.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    kind: EventKind = field(compare=False)
+    host: Optional[int] = field(compare=False, default=None)
+    message: Optional[Message] = field(compare=False, default=None)
+    timer_name: Optional[str] = field(compare=False, default=None)
+    data: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects.
+
+    Supports lazy cancellation: cancelled events stay in the heap but are
+    skipped when popped.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        host: Optional[int] = None,
+        message: Optional[Message] = None,
+        timer_name: Optional[str] = None,
+        data: Any = None,
+    ) -> Event:
+        """Schedule a new event and return it (its ``seq`` can cancel it)."""
+        if time < 0:
+            raise ValueError("events cannot be scheduled at negative times")
+        event = Event(
+            time=time,
+            priority=_KIND_PRIORITY[kind],
+            seq=next(self._counter),
+            kind=kind,
+            host=host,
+            message=message,
+            timer_name=timer_name,
+            data=data,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        self._cancelled.add(event.seq)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.seq in self._cancelled:
+                self._cancelled.discard(event.seq)
+                continue
+            return event
+        raise IndexError("pop from empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next event without removing it."""
+        while self._heap:
+            event = self._heap[0]
+            if event.seq in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard(event.seq)
+                continue
+            return event.time
+        return None
+
+    def drain(self) -> Iterator[Event]:
+        """Yield remaining events in order (mainly for tests)."""
+        while self:
+            yield self.pop()

@@ -1,0 +1,158 @@
+"""Protocol host interface.
+
+Protocols are written as per-host state machines.  Each host reacts to three
+stimuli -- the local query start (only at the querying host), the receipt of
+a message, and the expiry of a local timer -- and may respond by sending
+messages to neighbors or setting further timers.  The simulator mediates all
+interaction through a :class:`HostContext`, which also enforces the network
+model (messages only travel along alive edges, one hop per ``delta``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Set
+
+from repro.simulation.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.simulation.engine import Simulator
+
+
+class HostContext:
+    """The simulator-facing API available to a protocol host.
+
+    A fresh context is handed to the host for every stimulus; it is bound to
+    the host id, the current simulation time, and the causal chain depth of
+    the triggering event so that the time-cost metric can be computed
+    without protocol cooperation.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        host: int,
+        now: float,
+        chain_depth: int,
+    ) -> None:
+        self._simulator = simulator
+        self._host = host
+        self._now = now
+        self._chain_depth = chain_depth
+
+    @property
+    def host_id(self) -> int:
+        """The id of the host this context is bound to."""
+        return self._host
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def delta(self) -> float:
+        """The per-hop message delay of the network model."""
+        return self._simulator.delta
+
+    def neighbors(self) -> Set[int]:
+        """Currently alive neighbors of this host.
+
+        Protocol code may use this to address messages; the paper's model
+        allows hosts to monitor neighbors via heartbeats, so knowledge of
+        which neighbors are alive (within one heartbeat period) is fair.
+        """
+        return self._simulator.network.neighbors(self._host)
+
+    def send(self, dest: int, kind: str, payload: Mapping[str, Any]) -> bool:
+        """Send one message to neighbor ``dest``.
+
+        Returns True if the message was handed to the network (the
+        destination may still fail before delivery), False if ``dest`` is not
+        an alive neighbor at send time.
+        """
+        return self._simulator.submit_message(
+            sender=self._host,
+            dest=dest,
+            kind=kind,
+            payload=payload,
+            time=self._now,
+            chain_depth=self._chain_depth + 1,
+        )
+
+    def send_to_neighbors(
+        self,
+        kind: str,
+        payload: Mapping[str, Any],
+        exclude: Optional[Iterable[int]] = None,
+    ) -> int:
+        """Send the same message to every alive neighbor.
+
+        On a wireless broadcast medium (``SimulationConfig.wireless``) the
+        whole batch is accounted as a single transmission, matching the
+        paper's Grid experiments.  Returns the number of neighbors addressed.
+        """
+        excluded = set(exclude) if exclude is not None else set()
+        targets = sorted(self.neighbors() - excluded)
+        if not targets:
+            return 0
+        self._simulator.submit_multicast(
+            sender=self._host,
+            dests=targets,
+            kind=kind,
+            payload=payload,
+            time=self._now,
+            chain_depth=self._chain_depth + 1,
+        )
+        return len(targets)
+
+    def set_timer(self, delay: float, name: str, data: Any = None) -> None:
+        """Schedule a timer for this host ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        self._simulator.schedule_timer(
+            host=self._host,
+            time=self._now + delay,
+            name=name,
+            data=data,
+            chain_depth=self._chain_depth,
+        )
+
+
+class ProtocolHost(abc.ABC):
+    """Base class for per-host protocol state machines.
+
+    Subclasses hold all per-host protocol state (activity flag, partial
+    aggregate, parent pointers, ...) as instance attributes and implement
+    the three reaction hooks.
+    """
+
+    def __init__(self, host_id: int, value: float) -> None:
+        self.host_id = host_id
+        self.value = value
+
+    @abc.abstractmethod
+    def on_query_start(self, ctx: HostContext) -> None:
+        """Called once, at the querying host, when the query is issued."""
+
+    @abc.abstractmethod
+    def on_message(self, message: Message, ctx: HostContext) -> None:
+        """Called when a message addressed to this host is delivered."""
+
+    def on_timer(self, name: str, data: Any, ctx: HostContext) -> None:
+        """Called when one of this host's timers expires.
+
+        The default implementation ignores timers; protocols that use them
+        override this hook.
+        """
+
+    def on_fail(self, time: float) -> None:
+        """Called when this host fails (for protocols that track state)."""
+
+    def local_result(self) -> Any:
+        """The value this host would report if asked right now.
+
+        Only meaningful at the querying host after the protocol terminates;
+        other hosts may return partial state for debugging.
+        """
+        return None

@@ -1,0 +1,56 @@
+"""Message model.
+
+All protocols exchange small fixed-size messages (the paper's cost model is
+message counts, not bytes).  A :class:`Message` records sender, destination,
+payload, the time it was sent and the causal depth used to compute the
+paper's *time cost* (length of the longest chain of messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single protocol message in flight.
+
+    Attributes:
+        sender: host id of the sending host.
+        dest: host id of the destination host (a neighbor of the sender).
+        kind: protocol-defined message kind (e.g. ``"broadcast"``).
+        payload: protocol-defined immutable mapping of message fields.
+        sent_at: simulation time at which the message was sent.
+        chain_depth: 1 + the chain depth of the message whose receipt caused
+            this one to be sent; used for the time-cost metric.
+        wireless: True when the message was sent over a broadcast medium to
+            all neighbors at once (counted once for communication cost).
+    """
+
+    sender: int
+    dest: int
+    kind: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    sent_at: float = 0.0
+    chain_depth: int = 1
+    wireless: bool = False
+
+    def with_dest(self, dest: int) -> "Message":
+        """Return a copy of this message addressed to a different host."""
+        return Message(
+            sender=self.sender,
+            dest=dest,
+            kind=self.kind,
+            payload=self.payload,
+            sent_at=self.sent_at,
+            chain_depth=self.chain_depth,
+            wireless=self.wireless,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line description, useful in logs and tests."""
+        return (
+            f"[{self.kind}] {self.sender} -> {self.dest} "
+            f"at t={self.sent_at:g} depth={self.chain_depth}"
+        )

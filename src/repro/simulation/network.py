@@ -1,0 +1,270 @@
+"""Dynamic network graph.
+
+The network is the undirected graph ``G = (H, E)`` of the paper.  Hosts may
+fail (leave) or join at any simulated instant; the adjacency structure and
+the set of alive hosts are updated accordingly, and every change is recorded
+in an event log so that the :class:`~repro.semantics.oracle.Oracle` can
+reconstruct the exact host sets ``H_I``, ``H_U`` and ``H_C`` after a run.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+class NetworkEventKind(enum.Enum):
+    """Kinds of topology changes recorded in the network event log."""
+
+    FAIL = "fail"
+    JOIN = "join"
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """A single topology change: a host failing or joining at ``time``."""
+
+    time: float
+    kind: NetworkEventKind
+    host: int
+    neighbors: Tuple[int, ...] = ()
+
+
+class DynamicNetwork:
+    """An undirected graph of hosts supporting failures and joins.
+
+    Host identifiers are consecutive integers starting at zero.  The class
+    keeps the *current* adjacency (reflecting failures so far) as well as the
+    *initial* adjacency, and an append-only log of topology changes.
+
+    Args:
+        adjacency: initial neighbor lists; ``adjacency[h]`` is an iterable of
+            the neighbors of host ``h``.  The relation must be symmetric.
+        validate: when True (default) the adjacency is checked for symmetry
+            and self-loops; disable only for very large trusted inputs.
+    """
+
+    def __init__(
+        self,
+        adjacency: Sequence[Iterable[int]],
+        validate: bool = True,
+    ) -> None:
+        self._initial_adjacency: List[Set[int]] = [set(neigh) for neigh in adjacency]
+        n = len(self._initial_adjacency)
+        if validate:
+            self._validate(self._initial_adjacency, n)
+        self._adjacency: List[Set[int]] = [set(s) for s in self._initial_adjacency]
+        self._alive: List[bool] = [True] * n
+        self._events: List[NetworkEvent] = []
+        self._ever_alive: Set[int] = set(range(n))
+
+    @staticmethod
+    def _validate(adjacency: List[Set[int]], n: int) -> None:
+        for host, neighbors in enumerate(adjacency):
+            for other in neighbors:
+                if other == host:
+                    raise ValueError(f"host {host} has a self-loop")
+                if not 0 <= other < n:
+                    raise ValueError(
+                        f"host {host} lists unknown neighbor {other} (n={n})"
+                    )
+                if host not in adjacency[other]:
+                    raise ValueError(
+                        f"asymmetric edge: {host} lists {other} but not vice versa"
+                    )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def num_hosts(self) -> int:
+        """Total number of host slots ever allocated (alive or failed)."""
+        return len(self._adjacency)
+
+    @property
+    def alive_hosts(self) -> List[int]:
+        """Host ids that are currently alive."""
+        return [h for h, alive in enumerate(self._alive) if alive]
+
+    @property
+    def num_alive(self) -> int:
+        return sum(self._alive)
+
+    @property
+    def events(self) -> List[NetworkEvent]:
+        """The append-only log of topology changes."""
+        return list(self._events)
+
+    @property
+    def ever_alive(self) -> Set[int]:
+        """Hosts that were alive at some instant (the upper bound set H_U)."""
+        return set(self._ever_alive)
+
+    def is_alive(self, host: int) -> bool:
+        return self._alive[host]
+
+    def neighbors(self, host: int) -> Set[int]:
+        """Current *alive* neighbors of ``host``."""
+        return {h for h in self._adjacency[host] if self._alive[h]}
+
+    def all_neighbors(self, host: int) -> Set[int]:
+        """Current neighbors of ``host`` regardless of liveness."""
+        return set(self._adjacency[host])
+
+    def initial_neighbors(self, host: int) -> Set[int]:
+        """Neighbors of ``host`` in the initial topology."""
+        return set(self._initial_adjacency[host])
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return b in self._adjacency[a]
+
+    def degree(self, host: int) -> int:
+        return len(self._adjacency[host])
+
+    def num_edges(self) -> int:
+        """Number of undirected edges in the current graph."""
+        return sum(len(neigh) for neigh in self._adjacency) // 2
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over undirected edges (a < b) of the current graph."""
+        for a, neighbors in enumerate(self._adjacency):
+            for b in neighbors:
+                if a < b:
+                    yield a, b
+
+    # ------------------------------------------------------------------
+    # Dynamism
+    # ------------------------------------------------------------------
+    def fail_host(self, host: int, time: float) -> None:
+        """Remove ``host`` from the network at simulation time ``time``.
+
+        A failed host stops participating in any protocol; its edges are
+        removed from the current adjacency.  Failing an already failed host
+        is an error (it indicates a buggy churn schedule).
+        """
+        if not self._alive[host]:
+            raise ValueError(f"host {host} is already failed")
+        self._alive[host] = False
+        neighbors = tuple(sorted(self._adjacency[host]))
+        for other in self._adjacency[host]:
+            self._adjacency[other].discard(host)
+        self._adjacency[host].clear()
+        self._events.append(
+            NetworkEvent(time=time, kind=NetworkEventKind.FAIL, host=host,
+                         neighbors=neighbors)
+        )
+
+    def join_host(self, neighbors: Iterable[int], time: float) -> int:
+        """Add a new host connected to ``neighbors`` and return its id."""
+        new_id = len(self._adjacency)
+        neighbor_set = set(neighbors)
+        for other in neighbor_set:
+            if not 0 <= other < new_id:
+                raise ValueError(f"unknown neighbor {other}")
+            if not self._alive[other]:
+                raise ValueError(f"cannot join at failed host {other}")
+        self._adjacency.append(set(neighbor_set))
+        self._initial_adjacency.append(set())
+        self._alive.append(True)
+        self._ever_alive.add(new_id)
+        for other in neighbor_set:
+            self._adjacency[other].add(new_id)
+        self._events.append(
+            NetworkEvent(time=time, kind=NetworkEventKind.JOIN, host=new_id,
+                         neighbors=tuple(sorted(neighbor_set)))
+        )
+        return new_id
+
+    # ------------------------------------------------------------------
+    # Graph algorithms
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: int, alive_only: bool = True) -> Dict[int, int]:
+        """Hop distances from ``source`` to every reachable host.
+
+        Args:
+            source: starting host.
+            alive_only: when True, only traverse hosts that are currently
+                alive (the usual case).
+        """
+        if alive_only and not self._alive[source]:
+            return {}
+        distances = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            host = frontier.popleft()
+            next_dist = distances[host] + 1
+            for other in self._adjacency[host]:
+                if alive_only and not self._alive[other]:
+                    continue
+                if other not in distances:
+                    distances[other] = next_dist
+                    frontier.append(other)
+        return distances
+
+    def reachable_from(self, source: int) -> Set[int]:
+        """Alive hosts reachable from ``source`` over alive hosts."""
+        return set(self.bfs_distances(source, alive_only=True))
+
+    def diameter_estimate(self, samples: int = 8, seed: int = 0) -> int:
+        """Estimate the diameter by double-sweep BFS from a few sources.
+
+        The estimate is a lower bound on the true diameter but is exact on
+        trees and very tight on the topologies used in the paper; the paper
+        itself only requires a reasonable overestimate of the stable
+        diameter, which callers obtain by padding this value.
+        """
+        import random
+
+        alive = self.alive_hosts
+        if not alive:
+            return 0
+        rng = random.Random(seed)
+        best = 0
+        for _ in range(max(1, samples)):
+            start = rng.choice(alive)
+            dist = self.bfs_distances(start)
+            if not dist:
+                continue
+            far_host, far_dist = max(dist.items(), key=lambda kv: kv[1])
+            best = max(best, far_dist)
+            dist2 = self.bfs_distances(far_host)
+            if dist2:
+                best = max(best, max(dist2.values()))
+        return best
+
+    def is_connected(self) -> bool:
+        """True when every alive host is reachable from every other."""
+        alive = self.alive_hosts
+        if not alive:
+            return True
+        return len(self.reachable_from(alive[0])) == len(alive)
+
+    def snapshot_adjacency(self) -> List[Set[int]]:
+        """A deep copy of the current adjacency (for oracles and tests)."""
+        return [set(neigh) for neigh in self._adjacency]
+
+    def copy(self) -> "DynamicNetwork":
+        """An independent copy of the current network state."""
+        clone = DynamicNetwork.__new__(DynamicNetwork)
+        clone._initial_adjacency = [set(s) for s in self._initial_adjacency]
+        clone._adjacency = [set(s) for s in self._adjacency]
+        clone._alive = list(self._alive)
+        clone._events = list(self._events)
+        clone._ever_alive = set(self._ever_alive)
+        return clone
+
+    @classmethod
+    def from_edges(cls, num_hosts: int, edges: Iterable[Tuple[int, int]]) -> "DynamicNetwork":
+        """Build a network from an edge list."""
+        adjacency: List[Set[int]] = [set() for _ in range(num_hosts)]
+        for a, b in edges:
+            if a == b:
+                raise ValueError(f"self-loop on host {a}")
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return cls(adjacency, validate=False)

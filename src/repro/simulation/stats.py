@@ -1,0 +1,113 @@
+"""Cost accounting.
+
+The paper evaluates protocols on three measures (Section 6.3):
+
+* **Communication cost** -- total number of messages sent between host
+  pairs.  On a wireless broadcast medium a message addressed to all
+  neighbors of a host counts once.
+* **Computation cost** -- the maximum, over hosts, of the number of messages
+  *processed* at a host.
+* **Time cost** -- the length of the longest causal chain of messages,
+  starting with the query initiation at the querying host.
+
+:class:`CostAccounting` tracks all three during a simulation, plus a
+per-time-instant message histogram used by Figure 13(b).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+
+@dataclass
+class CostAccounting:
+    """Mutable accumulator of the paper's three cost measures."""
+
+    messages_sent: int = 0
+    wireless_transmissions: int = 0
+    messages_processed: Counter = field(default_factory=Counter)
+    max_chain_depth: int = 0
+    messages_by_time: Counter = field(default_factory=Counter)
+    messages_by_kind: Counter = field(default_factory=Counter)
+    dropped_messages: int = 0
+
+    def record_send(self, kind: str, time: float, wireless_group: bool = False) -> None:
+        """Record one message transmission.
+
+        Args:
+            kind: protocol message kind (for per-kind breakdowns).
+            time: simulation time of the send.
+            wireless_group: True when this send is part of a wireless
+                broadcast that was already counted; only the first message of
+                the group should be recorded with ``wireless_group=False``.
+        """
+        if not wireless_group:
+            self.messages_sent += 1
+            self.messages_by_time[time] += 1
+            self.messages_by_kind[kind] += 1
+        else:
+            self.wireless_transmissions += 1
+
+    def record_processed(self, host: int, chain_depth: int) -> None:
+        """Record that ``host`` processed a message with given chain depth."""
+        self.messages_processed[host] += 1
+        if chain_depth > self.max_chain_depth:
+            self.max_chain_depth = chain_depth
+
+    def record_dropped(self) -> None:
+        """Record a message dropped because its destination failed."""
+        self.dropped_messages += 1
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+    @property
+    def communication_cost(self) -> int:
+        """Total messages sent (the paper's communication cost)."""
+        return self.messages_sent
+
+    @property
+    def computation_cost(self) -> int:
+        """Maximum number of messages processed by any single host."""
+        if not self.messages_processed:
+            return 0
+        return max(self.messages_processed.values())
+
+    @property
+    def time_cost(self) -> int:
+        """Length of the longest causal message chain."""
+        return self.max_chain_depth
+
+    def computation_histogram(self) -> Dict[int, int]:
+        """Map ``cost -> number of hosts`` that processed exactly that many
+        messages (the Figure 12 distribution)."""
+        histogram: Dict[int, int] = defaultdict(int)
+        for count in self.messages_processed.values():
+            histogram[count] += 1
+        return dict(histogram)
+
+    def messages_per_instant(self) -> Dict[float, int]:
+        """Messages sent at each time instant (the Figure 13(b) series)."""
+        return dict(self.messages_by_time)
+
+    def summary(self) -> Mapping[str, int]:
+        """A compact summary used by the experiment reports."""
+        return {
+            "communication_cost": self.communication_cost,
+            "computation_cost": self.computation_cost,
+            "time_cost": self.time_cost,
+            "wireless_transmissions": self.wireless_transmissions,
+            "dropped_messages": self.dropped_messages,
+        }
+
+    def merge(self, other: "CostAccounting") -> None:
+        """Fold another accounting object into this one (for phased runs)."""
+        self.messages_sent += other.messages_sent
+        self.wireless_transmissions += other.wireless_transmissions
+        self.messages_processed.update(other.messages_processed)
+        self.max_chain_depth = max(self.max_chain_depth, other.max_chain_depth)
+        self.messages_by_time.update(other.messages_by_time)
+        self.messages_by_kind.update(other.messages_by_kind)
+        self.dropped_messages += other.dropped_messages

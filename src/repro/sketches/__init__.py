@@ -1,0 +1,47 @@
+"""Duplicate-insensitive aggregation sketches and combine functions.
+
+Section 5.2 of the paper adapts the Flajolet-Martin (FM) probabilistic
+counting sketch into duplicate-insensitive COUNT and SUM operators whose
+combine function is a bitwise OR, which lets the WILDFIRE protocol aggregate
+them without worrying about a value being folded in more than once.
+"""
+
+from repro.sketches.fm import (
+    FM_CORRECTION,
+    FMSketch,
+    estimate_count,
+    sketch_for_new_element,
+    sketch_for_value,
+)
+from repro.sketches.combiners import (
+    AverageState,
+    Combiner,
+    ExactAverageCombiner,
+    ExactCountCombiner,
+    ExactSumCombiner,
+    FMAverageCombiner,
+    FMCountCombiner,
+    FMSumCombiner,
+    MaxCombiner,
+    MinCombiner,
+    combiner_for_query,
+)
+
+__all__ = [
+    "FMSketch",
+    "FM_CORRECTION",
+    "sketch_for_new_element",
+    "sketch_for_value",
+    "estimate_count",
+    "Combiner",
+    "MinCombiner",
+    "MaxCombiner",
+    "ExactCountCombiner",
+    "ExactSumCombiner",
+    "ExactAverageCombiner",
+    "FMCountCombiner",
+    "FMSumCombiner",
+    "FMAverageCombiner",
+    "AverageState",
+    "combiner_for_query",
+]

@@ -1,0 +1,266 @@
+"""Combine functions ("combiners") for in-network aggregation.
+
+A combiner encapsulates everything a protocol needs to know about a query's
+aggregation semantics:
+
+* how a host turns its local attribute value into an initial partial
+  aggregate (``initial``),
+* how two partial aggregates are merged (``combine``),
+* how the querying host turns its final partial aggregate into the declared
+  answer (``finalize``), and
+* whether the merge is *duplicate-insensitive*, i.e. whether folding the
+  same partial aggregate in twice changes the result.
+
+WILDFIRE floods partial aggregates along every path, so it requires a
+duplicate-insensitive combiner (min, max, or the FM sketch operators);
+tree-based protocols can also use the exact, duplicate-sensitive ones.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Any, Generic, Optional, TypeVar
+
+from repro.sketches.fm import DEFAULT_NUM_BITS, FMSketch
+
+State = TypeVar("State")
+
+
+class Combiner(abc.ABC, Generic[State]):
+    """Interface for query-specific combine functions."""
+
+    #: True when combine(a, a) == a for all states (safe for WILDFIRE).
+    duplicate_insensitive: bool = False
+
+    #: Short name used in reports and experiment tables.
+    name: str = "combiner"
+
+    @abc.abstractmethod
+    def initial(self, value: float, rng: random.Random) -> State:
+        """Partial aggregate representing a single host holding ``value``."""
+
+    @abc.abstractmethod
+    def combine(self, a: State, b: State) -> State:
+        """Merge two partial aggregates."""
+
+    def finalize(self, state: State) -> float:
+        """Turn the final partial aggregate into the declared answer."""
+        return float(state)  # type: ignore[arg-type]
+
+    def states_equal(self, a: State, b: State) -> bool:
+        """Whether two partial aggregates are equal (controls re-sending)."""
+        return a == b
+
+
+# ----------------------------------------------------------------------
+# Order statistics: duplicate-insensitive by nature
+# ----------------------------------------------------------------------
+class MinCombiner(Combiner[float]):
+    """Minimum: the combine function is ``min`` itself."""
+
+    duplicate_insensitive = True
+    name = "min"
+
+    def initial(self, value: float, rng: random.Random) -> float:
+        return float(value)
+
+    def combine(self, a: float, b: float) -> float:
+        return a if a <= b else b
+
+
+class MaxCombiner(Combiner[float]):
+    """Maximum: the combine function is ``max`` itself."""
+
+    duplicate_insensitive = True
+    name = "max"
+
+    def initial(self, value: float, rng: random.Random) -> float:
+        return float(value)
+
+    def combine(self, a: float, b: float) -> float:
+        return a if a >= b else b
+
+
+# ----------------------------------------------------------------------
+# Exact (duplicate-sensitive) combiners for tree-structured protocols
+# ----------------------------------------------------------------------
+class ExactCountCombiner(Combiner[float]):
+    """Exact count: every host contributes 1; combine is addition."""
+
+    duplicate_insensitive = False
+    name = "count-exact"
+
+    def initial(self, value: float, rng: random.Random) -> float:
+        return 1.0
+
+    def combine(self, a: float, b: float) -> float:
+        return a + b
+
+
+class ExactSumCombiner(Combiner[float]):
+    """Exact sum: combine is addition of attribute values."""
+
+    duplicate_insensitive = False
+    name = "sum-exact"
+
+    def initial(self, value: float, rng: random.Random) -> float:
+        return float(value)
+
+    def combine(self, a: float, b: float) -> float:
+        return a + b
+
+
+@dataclass(frozen=True)
+class AverageState:
+    """Partial state for average queries: a (sum, count) pair."""
+
+    total: float
+    count: float
+
+    def value(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class ExactAverageCombiner(Combiner[AverageState]):
+    """Exact average via (sum, count) pairs."""
+
+    duplicate_insensitive = False
+    name = "avg-exact"
+
+    def initial(self, value: float, rng: random.Random) -> AverageState:
+        return AverageState(total=float(value), count=1.0)
+
+    def combine(self, a: AverageState, b: AverageState) -> AverageState:
+        return AverageState(total=a.total + b.total, count=a.count + b.count)
+
+    def finalize(self, state: AverageState) -> float:
+        return state.value()
+
+
+# ----------------------------------------------------------------------
+# Duplicate-insensitive FM combiners (Section 5.2)
+# ----------------------------------------------------------------------
+class FMCountCombiner(Combiner[FMSketch]):
+    """Duplicate-insensitive count using Flajolet-Martin sketches."""
+
+    duplicate_insensitive = True
+    name = "count-fm"
+
+    def __init__(self, repetitions: int = 8, num_bits: int = DEFAULT_NUM_BITS) -> None:
+        if repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        self.repetitions = repetitions
+        self.num_bits = num_bits
+
+    def initial(self, value: float, rng: random.Random) -> FMSketch:
+        return FMSketch.for_new_element(self.repetitions, rng, num_bits=self.num_bits)
+
+    def combine(self, a: FMSketch, b: FMSketch) -> FMSketch:
+        return a.merge(b)
+
+    def finalize(self, state: FMSketch) -> float:
+        return state.estimate()
+
+
+class FMSumCombiner(Combiner[FMSketch]):
+    """Duplicate-insensitive sum: each host contributes ``value`` elements."""
+
+    duplicate_insensitive = True
+    name = "sum-fm"
+
+    def __init__(self, repetitions: int = 8, num_bits: int = DEFAULT_NUM_BITS) -> None:
+        if repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        self.repetitions = repetitions
+        self.num_bits = num_bits
+
+    def initial(self, value: float, rng: random.Random) -> FMSketch:
+        return FMSketch.for_value(int(value), self.repetitions, rng,
+                                  num_bits=self.num_bits)
+
+    def combine(self, a: FMSketch, b: FMSketch) -> FMSketch:
+        return a.merge(b)
+
+    def finalize(self, state: FMSketch) -> float:
+        return state.estimate()
+
+
+@dataclass(frozen=True)
+class _FMAverageState:
+    """Partial state for the FM average: a (sum sketch, count sketch) pair."""
+
+    sum_sketch: FMSketch
+    count_sketch: FMSketch
+
+
+class FMAverageCombiner(Combiner[_FMAverageState]):
+    """Duplicate-insensitive average as the ratio of FM sum and FM count."""
+
+    duplicate_insensitive = True
+    name = "avg-fm"
+
+    def __init__(self, repetitions: int = 8, num_bits: int = DEFAULT_NUM_BITS) -> None:
+        if repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        self.repetitions = repetitions
+        self.num_bits = num_bits
+
+    def initial(self, value: float, rng: random.Random) -> _FMAverageState:
+        return _FMAverageState(
+            sum_sketch=FMSketch.for_value(int(value), self.repetitions, rng,
+                                          num_bits=self.num_bits),
+            count_sketch=FMSketch.for_new_element(self.repetitions, rng,
+                                                  num_bits=self.num_bits),
+        )
+
+    def combine(self, a: _FMAverageState, b: _FMAverageState) -> _FMAverageState:
+        return _FMAverageState(
+            sum_sketch=a.sum_sketch.merge(b.sum_sketch),
+            count_sketch=a.count_sketch.merge(b.count_sketch),
+        )
+
+    def finalize(self, state: _FMAverageState) -> float:
+        count = state.count_sketch.estimate()
+        if count == 0:
+            return 0.0
+        return state.sum_sketch.estimate() / count
+
+
+# ----------------------------------------------------------------------
+# Factory
+# ----------------------------------------------------------------------
+def combiner_for_query(
+    kind: str,
+    exact: bool = False,
+    repetitions: int = 8,
+    num_bits: int = DEFAULT_NUM_BITS,
+) -> Combiner[Any]:
+    """Build the right combiner for a query kind.
+
+    Args:
+        kind: one of ``min``, ``max``, ``count``, ``sum``, ``avg``.
+        exact: when True, return the exact (duplicate-sensitive) combiner for
+            count/sum/avg -- usable only by tree-structured protocols.
+        repetitions: FM repetitions ``c`` for the sketch-based combiners.
+        num_bits: bit-vector width for the sketch-based combiners.
+    """
+    normalized = kind.lower()
+    if normalized in ("min", "minimum"):
+        return MinCombiner()
+    if normalized in ("max", "maximum"):
+        return MaxCombiner()
+    if normalized == "count":
+        if exact:
+            return ExactCountCombiner()
+        return FMCountCombiner(repetitions=repetitions, num_bits=num_bits)
+    if normalized == "sum":
+        if exact:
+            return ExactSumCombiner()
+        return FMSumCombiner(repetitions=repetitions, num_bits=num_bits)
+    if normalized in ("avg", "average", "mean"):
+        if exact:
+            return ExactAverageCombiner()
+        return FMAverageCombiner(repetitions=repetitions, num_bits=num_bits)
+    raise ValueError(f"unknown query kind: {kind!r}")

@@ -1,0 +1,216 @@
+"""Flajolet-Martin probabilistic counting sketches.
+
+An :class:`FMSketch` holds ``c`` bit vectors.  Inserting a (conceptually
+distinct) element samples, for each vector, a geometrically distributed bit
+index -- the position of the last Tail before the first Head in a fair coin
+toss sequence -- and sets that bit.  Two sketches are merged with bitwise OR,
+which is idempotent, commutative and associative: exactly the properties the
+WILDFIRE protocol needs from its combine function.
+
+The number of distinct elements is estimated from the average position of
+the lowest zero bit across the ``c`` vectors:  ``2 ** z_bar / 0.77351``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+#: The Flajolet-Martin bias correction constant phi; E[2^z] ~= phi * n.
+FM_CORRECTION = 0.77351
+
+#: Default number of bits per vector; 32 bits supports networks well beyond
+#: the paper's scale (the paper suggests the same default).
+DEFAULT_NUM_BITS = 32
+
+
+def _geometric_bit_index(rng: random.Random, num_bits: int) -> int:
+    """Sample the bit index set by one simulated fair-coin-toss sequence.
+
+    Half the elements map to bit 0, a quarter to bit 1, an eighth to bit 2,
+    and so on; the index is clamped to the vector width.
+    """
+    index = 0
+    while rng.random() < 0.5 and index < num_bits - 1:
+        index += 1
+    return index
+
+
+@dataclass(frozen=True)
+class FMSketch:
+    """An immutable FM sketch: ``c`` bit vectors stored as Python ints.
+
+    Attributes:
+        vectors: one integer bitmask per repetition.
+        num_bits: width of each bit vector.
+    """
+
+    vectors: Tuple[int, ...]
+    num_bits: int = DEFAULT_NUM_BITS
+
+    def __post_init__(self) -> None:
+        if not self.vectors:
+            raise ValueError("an FM sketch needs at least one vector")
+        if self.num_bits < 1:
+            raise ValueError("num_bits must be positive")
+        limit = 1 << self.num_bits
+        for vector in self.vectors:
+            if vector < 0 or vector >= limit:
+                raise ValueError("bit vector out of range for num_bits")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, repetitions: int, num_bits: int = DEFAULT_NUM_BITS) -> "FMSketch":
+        """A sketch representing the empty set."""
+        if repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        return cls(vectors=tuple([0] * repetitions), num_bits=num_bits)
+
+    @classmethod
+    def for_new_element(
+        cls,
+        repetitions: int,
+        rng: random.Random,
+        num_bits: int = DEFAULT_NUM_BITS,
+    ) -> "FMSketch":
+        """Sketch of a single element distinct from every other element.
+
+        This is the per-host initialisation of the distributed count
+        operator: the host "pretends to have an element distinct from other
+        hosts" by sampling fresh coin-toss sequences.
+        """
+        if repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        vectors = tuple(
+            1 << _geometric_bit_index(rng, num_bits) for _ in range(repetitions)
+        )
+        return cls(vectors=vectors, num_bits=num_bits)
+
+    @classmethod
+    def for_value(
+        cls,
+        value: int,
+        repetitions: int,
+        rng: random.Random,
+        num_bits: int = DEFAULT_NUM_BITS,
+    ) -> "FMSketch":
+        """Sketch representing ``value`` distinct elements (the SUM operator).
+
+        The host pretends to hold ``value`` distinct elements and ORs their
+        single-element sketches locally before any communication, exactly as
+        in Section 5.2.
+        """
+        if value < 0:
+            raise ValueError("sum sketches require non-negative values")
+        if repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        vectors = [0] * repetitions
+        for _ in range(int(value)):
+            for i in range(repetitions):
+                vectors[i] |= 1 << _geometric_bit_index(rng, num_bits)
+        return cls(vectors=tuple(vectors), num_bits=num_bits)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    @property
+    def repetitions(self) -> int:
+        return len(self.vectors)
+
+    def merge(self, other: "FMSketch") -> "FMSketch":
+        """OR-combine two sketches (duplicate-insensitive union)."""
+        if self.repetitions != other.repetitions:
+            raise ValueError("cannot merge sketches with different repetitions")
+        if self.num_bits != other.num_bits:
+            raise ValueError("cannot merge sketches with different widths")
+        vectors = tuple(a | b for a, b in zip(self.vectors, other.vectors))
+        return FMSketch(vectors=vectors, num_bits=self.num_bits)
+
+    def __or__(self, other: "FMSketch") -> "FMSketch":
+        return self.merge(other)
+
+    def is_empty(self) -> bool:
+        return all(vector == 0 for vector in self.vectors)
+
+    def lowest_zero_bits(self) -> Tuple[int, ...]:
+        """The index of the lowest unset bit in each vector."""
+        result = []
+        for vector in self.vectors:
+            index = 0
+            while index < self.num_bits and (vector >> index) & 1:
+                index += 1
+            result.append(index)
+        return tuple(result)
+
+    def estimate(self) -> float:
+        """Estimate of the number of distinct elements represented."""
+        if self.is_empty():
+            return 0.0
+        zeros = self.lowest_zero_bits()
+        z_bar = sum(zeros) / len(zeros)
+        return (2.0 ** z_bar) / FM_CORRECTION
+
+    def describe(self) -> str:
+        """Readable rendering of the bit vectors (for debugging)."""
+        rows = [format(vector, f"0{self.num_bits}b")[::-1] for vector in self.vectors]
+        return "\n".join(rows)
+
+
+# ----------------------------------------------------------------------
+# Convenience functions used by the accuracy experiments (Figure 6)
+# ----------------------------------------------------------------------
+def sketch_for_new_element(
+    repetitions: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    num_bits: int = DEFAULT_NUM_BITS,
+) -> FMSketch:
+    """Standalone wrapper around :meth:`FMSketch.for_new_element`."""
+    rng = rng if rng is not None else random.Random(seed)
+    return FMSketch.for_new_element(repetitions, rng, num_bits=num_bits)
+
+
+def sketch_for_value(
+    value: int,
+    repetitions: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    num_bits: int = DEFAULT_NUM_BITS,
+) -> FMSketch:
+    """Standalone wrapper around :meth:`FMSketch.for_value`."""
+    rng = rng if rng is not None else random.Random(seed)
+    return FMSketch.for_value(value, repetitions, rng, num_bits=num_bits)
+
+
+def estimate_count(sketches: Iterable[FMSketch]) -> float:
+    """OR together per-element sketches and estimate their distinct count."""
+    merged: Optional[FMSketch] = None
+    for sketch in sketches:
+        merged = sketch if merged is None else merged.merge(sketch)
+    if merged is None:
+        return 0.0
+    return merged.estimate()
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """The paper's relative-error validity metric ``|estimate/truth - 1|``."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate / truth - 1.0)
+
+
+def required_repetitions(error_factor: float) -> int:
+    """Repetitions needed so Pr[1/c <= est/true <= c] >= 1 - 2/c (Lemma 5.1).
+
+    Given a target multiplicative error factor ``c`` this simply returns the
+    smallest integer ``c`` satisfying the lemma's premise (c > 2); it exists
+    to make the guarantee explicit in code and tests.
+    """
+    if error_factor <= 2:
+        raise ValueError("the FM guarantee requires an error factor greater than 2")
+    import math
+
+    return int(math.ceil(error_factor))

@@ -1,0 +1,37 @@
+"""Network topology generators.
+
+The paper evaluates on four topologies (Section 6.1): a real Gnutella crawl,
+a random graph with average degree 5, a power-law graph (gamma ~= 2.9) and a
+100x100 sensor grid with 8-neighborhoods.  This package generates all four
+(the Gnutella crawl is replaced by a calibrated synthetic stand-in; see
+DESIGN.md) plus small deterministic topologies used in the paper's proofs
+and in the test suite.
+"""
+
+from repro.topology.base import Topology
+from repro.topology.random_graph import random_topology
+from repro.topology.power_law import power_law_topology
+from repro.topology.grid import grid_topology
+from repro.topology.gnutella import gnutella_like_topology
+from repro.topology.small_world import small_world_topology
+from repro.topology.primitives import (
+    chain_topology,
+    cycle_with_pendant_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+
+__all__ = [
+    "Topology",
+    "random_topology",
+    "power_law_topology",
+    "grid_topology",
+    "gnutella_like_topology",
+    "small_world_topology",
+    "chain_topology",
+    "ring_topology",
+    "star_topology",
+    "tree_topology",
+    "cycle_with_pendant_topology",
+]

@@ -1,0 +1,189 @@
+"""Topology container and shared graph utilities."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.simulation.network import DynamicNetwork
+
+
+@dataclass
+class Topology:
+    """An immutable description of a network topology.
+
+    Attributes:
+        adjacency: neighbor sets indexed by host id.
+        name: short human-readable label ("random", "grid", ...).
+        metadata: generator parameters (size, degree, seed, ...), kept for
+            experiment reports.
+    """
+
+    adjacency: List[Set[int]]
+    name: str = "topology"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.adjacency)
+        for host, neighbors in enumerate(self.adjacency):
+            for other in neighbors:
+                if other == host:
+                    raise ValueError(f"host {host} has a self-loop")
+                if not 0 <= other < n:
+                    raise ValueError(f"host {host} references unknown host {other}")
+                if host not in self.adjacency[other]:
+                    raise ValueError(
+                        f"asymmetric edge {host}->{other}: topologies must be undirected"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.adjacency)
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(neigh) for neigh in self.adjacency) // 2
+
+    @property
+    def average_degree(self) -> float:
+        if not self.adjacency:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_hosts
+
+    def degrees(self) -> List[int]:
+        return [len(neigh) for neigh in self.adjacency]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for a, neighbors in enumerate(self.adjacency):
+            for b in neighbors:
+                if a < b:
+                    yield a, b
+
+    def neighbors(self, host: int) -> Set[int]:
+        return set(self.adjacency[host])
+
+    # ------------------------------------------------------------------
+    # Graph measures
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: int) -> Dict[int, int]:
+        """Hop distances from ``source`` to every reachable host."""
+        distances = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            host = frontier.popleft()
+            next_dist = distances[host] + 1
+            for other in self.adjacency[host]:
+                if other not in distances:
+                    distances[other] = next_dist
+                    frontier.append(other)
+        return distances
+
+    def is_connected(self) -> bool:
+        if not self.adjacency:
+            return True
+        return len(self.bfs_distances(0)) == self.num_hosts
+
+    def largest_component(self) -> Set[int]:
+        """Host set of the largest connected component."""
+        remaining = set(range(self.num_hosts))
+        best: Set[int] = set()
+        while remaining:
+            source = next(iter(remaining))
+            component = set(self.bfs_distances(source))
+            remaining -= component
+            if len(component) > len(best):
+                best = component
+        return best
+
+    def diameter_estimate(self, samples: int = 4, seed: int = 0) -> int:
+        """Double-sweep BFS estimate of the diameter (exact on trees)."""
+        import random
+
+        if self.num_hosts == 0:
+            return 0
+        rng = random.Random(seed)
+        best = 0
+        hosts = list(range(self.num_hosts))
+        for _ in range(max(1, samples)):
+            start = rng.choice(hosts)
+            dist = self.bfs_distances(start)
+            if not dist:
+                continue
+            far_host, far_dist = max(dist.items(), key=lambda kv: kv[1])
+            best = max(best, far_dist)
+            second = self.bfs_distances(far_host)
+            if second:
+                best = max(best, max(second.values()))
+        return best
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_network(self) -> DynamicNetwork:
+        """Instantiate a fresh :class:`DynamicNetwork` with this topology."""
+        return DynamicNetwork([set(neigh) for neigh in self.adjacency], validate=False)
+
+    def to_networkx(self):  # pragma: no cover - convenience only
+        """Return a ``networkx.Graph`` view (requires networkx)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_hosts))
+        graph.add_edges_from(self.edges())
+        return graph
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_hosts: int,
+        edges: Iterable[Tuple[int, int]],
+        name: str = "topology",
+        metadata: Dict[str, object] | None = None,
+    ) -> "Topology":
+        adjacency: List[Set[int]] = [set() for _ in range(num_hosts)]
+        for a, b in edges:
+            if a == b:
+                continue
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return cls(adjacency=adjacency, name=name, metadata=metadata or {})
+
+
+def ensure_connected(adjacency: List[Set[int]], rng) -> None:
+    """Patch ``adjacency`` in place so the graph is connected.
+
+    Generators occasionally produce a few isolated hosts or small secondary
+    components; the paper's topologies are connected, so we stitch components
+    together with single random edges (a negligible perturbation).
+    """
+    n = len(adjacency)
+    if n == 0:
+        return
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for start in range(n):
+        if start in seen:
+            continue
+        component = [start]
+        seen.add(start)
+        frontier = deque([start])
+        while frontier:
+            host = frontier.popleft()
+            for other in adjacency[host]:
+                if other not in seen:
+                    seen.add(other)
+                    component.append(other)
+                    frontier.append(other)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    main = components[0]
+    for component in components[1:]:
+        a = rng.choice(main)
+        b = rng.choice(component)
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+        main.extend(component)

@@ -1,0 +1,77 @@
+"""Random (Erdos-Renyi style) topologies.
+
+The paper's "Random" topology places an edge between pairs of hosts with
+uniform probability such that the average degree is 5.  Sampling all
+O(n^2) pairs is wasteful for large n, so we draw the expected number of
+edges directly, which yields the same G(n, m) distribution up to duplicate
+rejection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+from repro.topology.base import Topology, ensure_connected
+
+
+def random_topology(
+    num_hosts: int,
+    avg_degree: float = 5.0,
+    seed: int = 0,
+    connected: bool = True,
+    name: str = "random",
+) -> Topology:
+    """Generate a uniform random topology with the requested average degree.
+
+    Args:
+        num_hosts: number of hosts ``|H|``.
+        avg_degree: target average degree (the paper uses 5).
+        seed: RNG seed.
+        connected: when True (default), stitch any disconnected components
+            together with single extra edges, as the paper's topologies are
+            connected.
+        name: label stored on the topology.
+
+    Raises:
+        ValueError: for non-positive sizes or infeasible degrees.
+    """
+    if num_hosts <= 0:
+        raise ValueError("num_hosts must be positive")
+    if avg_degree < 0:
+        raise ValueError("avg_degree must be non-negative")
+    if num_hosts > 1 and avg_degree > num_hosts - 1:
+        raise ValueError("avg_degree cannot exceed num_hosts - 1")
+
+    rng = random.Random(seed)
+    target_edges = int(round(num_hosts * avg_degree / 2.0))
+    max_edges = num_hosts * (num_hosts - 1) // 2
+    target_edges = min(target_edges, max_edges)
+
+    adjacency: List[Set[int]] = [set() for _ in range(num_hosts)]
+    edges_added = 0
+    attempts = 0
+    max_attempts = 20 * target_edges + 100
+    while edges_added < target_edges and attempts < max_attempts:
+        attempts += 1
+        a = rng.randrange(num_hosts)
+        b = rng.randrange(num_hosts)
+        if a == b or b in adjacency[a]:
+            continue
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+        edges_added += 1
+
+    if connected:
+        ensure_connected(adjacency, rng)
+
+    return Topology(
+        adjacency=adjacency,
+        name=name,
+        metadata={
+            "generator": "random",
+            "num_hosts": num_hosts,
+            "avg_degree": avg_degree,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,87 @@
+"""Small-world (Watts-Strogatz style) topologies.
+
+Not used directly in the paper's figures, but the paper leans on the
+small-world phenomenon (Section 3.2) to argue that diameters stay small as
+networks grow; this generator lets the test suite and ablation benches
+exercise that regime explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+from repro.topology.base import Topology, ensure_connected
+
+
+def small_world_topology(
+    num_hosts: int,
+    nearest_neighbors: int = 4,
+    rewire_probability: float = 0.1,
+    seed: int = 0,
+    name: str = "small-world",
+) -> Topology:
+    """Generate a Watts-Strogatz small-world topology.
+
+    Hosts start on a ring, each connected to its ``nearest_neighbors``
+    closest ring neighbors; each edge is then rewired to a random endpoint
+    with probability ``rewire_probability``.
+
+    Args:
+        num_hosts: number of hosts.
+        nearest_neighbors: even number of ring neighbors per host.
+        rewire_probability: probability of rewiring each ring edge.
+        seed: RNG seed.
+        name: label stored on the topology.
+    """
+    if num_hosts <= 0:
+        raise ValueError("num_hosts must be positive")
+    if nearest_neighbors < 2 or nearest_neighbors % 2 != 0:
+        raise ValueError("nearest_neighbors must be a positive even number")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ValueError("rewire_probability must be in [0, 1]")
+
+    rng = random.Random(seed)
+    k = min(nearest_neighbors, num_hosts - 1)
+    adjacency: List[Set[int]] = [set() for _ in range(num_hosts)]
+
+    half = k // 2
+    for host in range(num_hosts):
+        for offset in range(1, half + 1):
+            other = (host + offset) % num_hosts
+            if other != host:
+                adjacency[host].add(other)
+                adjacency[other].add(host)
+
+    # Rewire each "forward" ring edge with the given probability.
+    for host in range(num_hosts):
+        for offset in range(1, half + 1):
+            other = (host + offset) % num_hosts
+            if other == host or other not in adjacency[host]:
+                continue
+            if rng.random() < rewire_probability:
+                candidates = [
+                    c for c in range(num_hosts)
+                    if c != host and c not in adjacency[host]
+                ]
+                if not candidates:
+                    continue
+                new_other = rng.choice(candidates)
+                adjacency[host].discard(other)
+                adjacency[other].discard(host)
+                adjacency[host].add(new_other)
+                adjacency[new_other].add(host)
+
+    ensure_connected(adjacency, rng)
+
+    return Topology(
+        adjacency=adjacency,
+        name=name,
+        metadata={
+            "generator": "small_world",
+            "num_hosts": num_hosts,
+            "nearest_neighbors": nearest_neighbors,
+            "rewire_probability": rewire_probability,
+            "seed": seed,
+        },
+    )

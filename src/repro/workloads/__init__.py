@@ -1,0 +1,21 @@
+"""Workload generators: attribute-value distributions and churn models."""
+
+from repro.workloads.values import (
+    constant_values,
+    uniform_values,
+    zipf_values,
+)
+from repro.workloads.churn_models import (
+    churn_for_fraction,
+    departures_sweep,
+    session_lifetimes,
+)
+
+__all__ = [
+    "zipf_values",
+    "uniform_values",
+    "constant_values",
+    "churn_for_fraction",
+    "departures_sweep",
+    "session_lifetimes",
+]

@@ -1,0 +1,78 @@
+"""Attribute-value distributions.
+
+Each host in the paper's experiments possesses an attribute value drawn from
+a Zipfian distribution on the range [10, 500] (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import List
+
+
+def zipf_values(
+    num_hosts: int,
+    low: int = 10,
+    high: int = 500,
+    exponent: float = 1.0,
+    seed: int = 0,
+) -> List[int]:
+    """Draw one Zipf-distributed integer value per host from [low, high].
+
+    The value ``low + k`` is drawn with probability proportional to
+    ``1 / (k + 1) ** exponent``, so small values are common and large values
+    rare, matching the skew the paper assumes.
+
+    Args:
+        num_hosts: number of values to draw.
+        low: smallest possible value (paper: 10).
+        high: largest possible value (paper: 500).
+        exponent: Zipf exponent (1.0 gives the classic harmonic weighting).
+        seed: RNG seed.
+    """
+    if num_hosts < 0:
+        raise ValueError("num_hosts must be non-negative")
+    if high < low:
+        raise ValueError("high must be at least low")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+
+    support = high - low + 1
+    weights = [1.0 / ((rank + 1) ** exponent) for rank in range(support)]
+    cumulative: List[float] = []
+    total = 0.0
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+
+    rng = random.Random(seed)
+    values = []
+    for _ in range(num_hosts):
+        target = rng.random() * total
+        index = bisect_left(cumulative, target)
+        index = min(index, support - 1)
+        values.append(low + index)
+    return values
+
+
+def uniform_values(
+    num_hosts: int,
+    low: int = 10,
+    high: int = 500,
+    seed: int = 0,
+) -> List[int]:
+    """Draw one uniformly distributed integer value per host from [low, high]."""
+    if num_hosts < 0:
+        raise ValueError("num_hosts must be non-negative")
+    if high < low:
+        raise ValueError("high must be at least low")
+    rng = random.Random(seed)
+    return [rng.randint(low, high) for _ in range(num_hosts)]
+
+
+def constant_values(num_hosts: int, value: int = 1) -> List[int]:
+    """Every host holds the same value (count queries reduce to this)."""
+    if num_hosts < 0:
+        raise ValueError("num_hosts must be non-negative")
+    return [value] * num_hosts

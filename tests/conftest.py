@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.grid import grid_topology
+from repro.topology.primitives import chain_topology, ring_topology, star_topology
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import zipf_values
+
+
+@pytest.fixture
+def small_random_topology():
+    """A small connected random topology used across protocol tests."""
+    return random_topology(60, avg_degree=4, seed=7)
+
+
+@pytest.fixture
+def small_grid_topology():
+    """An 8x8 sensor grid."""
+    return grid_topology(8)
+
+
+@pytest.fixture
+def small_chain_topology():
+    return chain_topology(10)
+
+
+@pytest.fixture
+def small_ring_topology():
+    return ring_topology(12)
+
+
+@pytest.fixture
+def small_star_topology():
+    return star_topology(9)
+
+
+@pytest.fixture
+def zipf_values_60():
+    """Zipf attribute values matching the 60-host random topology."""
+    return zipf_values(60, seed=7)

@@ -1,0 +1,53 @@
+"""Tests for the configuration objects."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig, SimulationConfig
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        config = SimulationConfig()
+        assert config.delta == 1.0
+        assert not config.wireless
+        assert config.seed == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(delta=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(max_time=-1.0)
+
+    def test_frozen(self):
+        config = SimulationConfig()
+        with pytest.raises(Exception):
+            config.delta = 2.0
+
+
+class TestProtocolConfig:
+    def test_defaults(self):
+        config = ProtocolConfig()
+        assert config.d_hat is None
+        assert config.fm_repetitions == 8
+        assert config.early_termination
+        assert config.dag_parents == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(d_hat=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(fm_repetitions=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(dag_parents=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(gossip_rounds=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(epsilon=1.0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(zeta=0.0)
+
+    def test_custom_values_accepted(self):
+        config = ProtocolConfig(d_hat=20, fm_repetitions=32, dag_parents=4,
+                                gossip_rounds=10, epsilon=0.2, zeta=0.01)
+        assert config.d_hat == 20
+        assert config.fm_repetitions == 32

@@ -1,0 +1,172 @@
+"""Smoke and shape tests for the per-figure experiment drivers.
+
+These run the same code as the benchmark harness but at tiny scales so the
+whole suite stays fast; the assertions check the *shape* of the results
+(who wins, what stays within bounds) rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments.accuracy import run_accuracy_experiment
+from repro.experiments.badcase import run_theorem_44_experiment
+from repro.experiments.capture_recapture import (
+    run_capture_recapture_experiment,
+    run_ring_segment_experiment,
+)
+from repro.experiments.communication import (
+    run_communication_cost_experiment,
+    run_grid_communication_experiment,
+    wildfire_to_tree_ratio,
+)
+from repro.experiments.computation import (
+    computation_cost_ratio,
+    run_computation_cost_experiment,
+)
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.time_cost import (
+    run_messages_per_instant_experiment,
+    run_time_cost_experiment,
+)
+from repro.experiments.validity_sweep import run_validity_sweep
+from repro.topology.random_graph import random_topology
+
+
+class TestAccuracyExperiment:
+    def test_ratio_approaches_one_with_more_repetitions(self):
+        rows = run_accuracy_experiment(set_sizes=(256,), repetitions_sweep=(1, 16),
+                                       num_trials=4, include_sum=False, seed=1)
+        by_reps = {row.repetitions: row.accuracy_ratio.mean for row in rows
+                   if row.operator == "count"}
+        assert abs(by_reps[16] - 1.0) <= abs(by_reps[1] - 1.0) + 0.35
+        assert 0.4 <= by_reps[16] <= 1.8
+
+    def test_sum_rows_present_when_enabled(self):
+        rows = run_accuracy_experiment(set_sizes=(128,), repetitions_sweep=(4,),
+                                       num_trials=2, include_sum=True, seed=1)
+        assert {row.operator for row in rows} == {"count", "sum"}
+        assert all("ratio_mean" in row.as_dict() for row in rows)
+
+
+class TestValiditySweep:
+    def test_wildfire_valid_tree_degrades(self):
+        topo = random_topology(200, avg_degree=4, seed=5)
+        rows = run_validity_sweep(topo, "count", departures=[4, 40],
+                                  num_trials=2, seed=5)
+        wildfire = [r for r in rows if r.protocol == "wildfire"]
+        tree = [r for r in rows if r.protocol == "spanning-tree"]
+        assert all(r.fraction_valid == 1.0 for r in wildfire)
+        # Heavy churn should hurt the tree's declared count.
+        heavy_tree = [r for r in tree if r.departures == 40][0]
+        light_tree = [r for r in tree if r.departures == 4][0]
+        assert heavy_tree.value.mean <= light_tree.value.mean
+        # Oracle bounds shrink as more hosts leave.
+        heavy_wf = [r for r in wildfire if r.departures == 40][0]
+        light_wf = [r for r in wildfire if r.departures == 4][0]
+        assert heavy_wf.oracle_lower.mean <= light_wf.oracle_lower.mean
+
+    def test_row_serialisation(self):
+        topo = random_topology(80, avg_degree=4, seed=6)
+        rows = run_validity_sweep(topo, "sum", departures=[4], num_trials=1, seed=6)
+        payload = rows[0].as_dict()
+        assert {"protocol", "R", "value_mean", "oracle_lower", "oracle_upper",
+                "valid_fraction"} <= set(payload)
+
+
+class TestCommunicationExperiments:
+    def test_wildfire_costs_more_than_tree_on_random(self):
+        rows = run_communication_cost_experiment(network_sizes=(150,),
+                                                 d_hat_factors=(1.0, 2.0),
+                                                 include_gnutella_point=False,
+                                                 seed=2)
+        ratios = wildfire_to_tree_ratio(rows)
+        assert ratios and all(ratio > 1.5 for ratio in ratios.values())
+
+    def test_d_hat_overestimate_does_not_change_cost(self):
+        rows = run_communication_cost_experiment(network_sizes=(150,),
+                                                 d_hat_factors=(1.0, 2.0),
+                                                 include_gnutella_point=False,
+                                                 seed=2)
+        wildfire_rows = [r for r in rows if r.label.startswith("wildfire")]
+        messages = {r.messages for r in wildfire_rows}
+        assert max(messages) <= min(messages) * 1.1
+
+    def test_grid_min_max_cheaper_than_count(self):
+        rows = run_grid_communication_experiment(grid_sides=(10,),
+                                                 query_kinds=("count", "max", "min"),
+                                                 seed=2)
+        wf = {r.label: r.messages for r in rows if r.label.startswith("wildfire")}
+        assert wf["wildfire/min"] < wf["wildfire/count"]
+        assert wf["wildfire/max"] < wf["wildfire/count"]
+
+
+class TestComputationExperiment:
+    def test_wildfire_computation_cost_higher(self):
+        rows = run_computation_cost_experiment(power_law_size=200, grid_side=8, seed=3)
+        ratios = computation_cost_ratio(rows)
+        assert all(ratio >= 1.0 for ratio in ratios.values())
+        grid_rows = [r for r in rows if r.topology == "grid"]
+        assert grid_rows and all(r.histogram for r in grid_rows)
+
+    def test_histogram_accounts_for_every_host(self):
+        rows = run_computation_cost_experiment(power_law_size=150, grid_side=8, seed=3)
+        for row in rows:
+            assert sum(row.histogram.values()) <= row.num_hosts
+            assert row.median_cost <= row.max_cost
+
+
+class TestTimeCostExperiments:
+    def test_declaration_time_scales_with_d_hat(self):
+        rows = run_time_cost_experiment(network_sizes=(150,),
+                                        d_hat_factors=(1.0, 2.0), seed=4)
+        wf = [r for r in rows if r.label.startswith("wildfire")]
+        small = min(r.declaration_time for r in wf)
+        large = max(r.declaration_time for r in wf)
+        assert large > small
+
+    def test_message_profile_peaks_before_termination(self):
+        rows = run_messages_per_instant_experiment(random_size=150,
+                                                   power_law_size=150,
+                                                   grid_side=8, seed=4)
+        for row in rows:
+            assert row.profile
+            assert row.peak_time() <= 2 * row.diameter_estimate * 2
+            assert row.last_active_time() <= 2 * (row.diameter_estimate * 2 + 1)
+
+
+class TestTheorem44:
+    def test_spanning_tree_halves_wildfire_valid(self):
+        results = run_theorem_44_experiment(cycle_size=30, seed=1)
+        by_name = {r.protocol: r for r in results}
+        assert by_name["spanning-tree"].error_factor >= 1.8
+        assert not by_name["spanning-tree"].is_valid
+        assert by_name["wildfire"].is_valid
+
+
+class TestCaptureRecaptureExperiment:
+    def test_relative_error_stays_small(self):
+        rows = run_capture_recapture_experiment(initial_size=800, num_intervals=8,
+                                                sample_size=200, seed=2)
+        assert rows
+        mean_error = sum(r.relative_error for r in rows) / len(rows)
+        assert mean_error < 0.35
+
+    def test_ring_segment_rows(self):
+        rows = run_ring_segment_experiment(network_sizes=(300,), sample_size=80,
+                                           num_trials=3, seed=2)
+        assert rows[0]["|H|"] == 300
+        assert rows[0]["mean_relative_error"] < 0.6
+
+
+class TestFigureRegistry:
+    def test_all_figures_registered(self):
+        expected = {"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                    "fig13a", "fig13b", "thm4.4", "sec5.4"}
+        assert expected <= set(FIGURES)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+    def test_small_figure_runs_end_to_end(self):
+        rows = run_figure("thm4.4", scale=0.4, seed=1)
+        assert rows and isinstance(rows[0], dict)

@@ -1,0 +1,86 @@
+"""Integration test reproducing the paper's worked Example 5.1.
+
+A four-host P2P network (Fig. 5): w -- x, w -- y, x -- z, y -- z with values
+w=5, x=15, y=1, z=25.  Host w initiates a maximum query with D_hat = 3; the
+protocol terminates at time 2 * D_hat = 6 and w declares 25.  The example
+also notes that the result survives the failure of either x or y, and that
+if both fail the answer 5 is still Single-Site Valid because H_C = {w}.
+"""
+
+import pytest
+
+from repro.protocols.base import run_protocol
+from repro.protocols.wildfire import Wildfire
+from repro.semantics.oracle import Oracle
+from repro.simulation.churn import ChurnSchedule
+from repro.topology.base import Topology
+
+W, X, Y, Z = 0, 1, 2, 3
+VALUES = [5, 15, 1, 25]
+
+
+@pytest.fixture
+def example_topology():
+    return Topology.from_edges(4, [(W, X), (W, Y), (X, Z), (Y, Z)], name="fig5")
+
+
+class TestExample51:
+    def test_failure_free_maximum(self, example_topology):
+        result = run_protocol(Wildfire(), example_topology, VALUES, "max",
+                              querying_host=W, d_hat=3, seed=1)
+        assert result.value == 25.0
+        assert result.termination_time == 6.0
+
+    def test_result_survives_failure_of_x(self, example_topology):
+        churn = ChurnSchedule(failures=[(1.5, X)])
+        result = run_protocol(Wildfire(), example_topology, VALUES, "max",
+                              querying_host=W, d_hat=3, churn=churn, seed=1)
+        assert result.value == 25.0
+
+    def test_result_survives_failure_of_y(self, example_topology):
+        churn = ChurnSchedule(failures=[(1.5, Y)])
+        result = run_protocol(Wildfire(), example_topology, VALUES, "max",
+                              querying_host=W, d_hat=3, churn=churn, seed=1)
+        assert result.value == 25.0
+
+    def test_both_relays_failing_still_yields_valid_answer(self, example_topology):
+        churn = ChurnSchedule(failures=[(0.5, X), (0.5, Y)])
+        result = run_protocol(Wildfire(), example_topology, VALUES, "max",
+                              querying_host=W, d_hat=3, churn=churn, seed=1)
+        # w is cut off from z, so it can only declare its own value...
+        assert result.value == 5.0
+        # ...which is exactly what Single-Site Validity allows: H_C = {w}.
+        oracle = Oracle(example_topology, VALUES, W)
+        assert oracle.is_valid(result.value, "max", churn,
+                               horizon=result.termination_time)
+        bounds = oracle.bounds("max", churn, horizon=result.termination_time)
+        assert set(bounds.stable_core) == {W}
+
+    def test_first_example_counting_scenario(self):
+        """Example 1.1's moral: tree aggregation loses whole subtrees.
+
+        We build a 16-host tree-like sensor network, fail one interior host
+        after Broadcast, and check that SPANNINGTREE undercounts while
+        WILDFIRE's duplicate-insensitive count stays within the oracle
+        bounds (the grid-like network is 2-connected, so every surviving
+        host keeps a stable path)."""
+        from repro.protocols.spanning_tree import SpanningTree
+        from repro.sketches.combiners import FMCountCombiner
+        from repro.topology.grid import grid_topology
+        from repro.workloads.values import constant_values
+
+        topo = grid_topology(4)  # 16 sensors
+        values = constant_values(16, 1)
+        churn = ChurnSchedule(failures=[(2.5, 5)])
+        oracle = Oracle(topo, values, 0)
+
+        tree = run_protocol(SpanningTree(), topo, values, "count", d_hat=6,
+                            churn=churn, seed=3)
+        wildfire = run_protocol(Wildfire(), topo, values, "count",
+                                combiner=FMCountCombiner(repetitions=32),
+                                d_hat=6, churn=churn, seed=3)
+        bounds = oracle.bounds("count", churn, horizon=12.0)
+        assert bounds.core_size == 15
+        assert tree.value <= 15.0
+        assert oracle.is_valid(wildfire.value, "count", churn, horizon=12.0,
+                               epsilon=0.6)

@@ -1,0 +1,94 @@
+"""Property-based end-to-end tests of the Single-Site Validity guarantee.
+
+Theorem 5.1 states that WILDFIRE is Single-Site Valid for min/max queries on
+*any* network and *any* failure pattern that spares the querying host.  We
+generate random topologies and random churn schedules with hypothesis and
+check the guarantee against the oracle every time.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.base import run_protocol
+from repro.protocols.wildfire import Wildfire
+from repro.semantics.oracle import Oracle
+from repro.semantics.validity import stable_core, union_set
+from repro.simulation.churn import ChurnSchedule
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import uniform_values
+
+
+@st.composite
+def network_and_churn(draw):
+    """A random small network, values, and a failure schedule sparing host 0."""
+    num_hosts = draw(st.integers(min_value=4, max_value=28))
+    topo_seed = draw(st.integers(min_value=0, max_value=10_000))
+    avg_degree = min(draw(st.sampled_from([2.0, 3.0, 4.0])), float(num_hosts - 1))
+    topology = random_topology(num_hosts, avg_degree=avg_degree, seed=topo_seed)
+    values = uniform_values(num_hosts, low=1, high=100, seed=topo_seed + 1)
+
+    num_failures = draw(st.integers(min_value=0, max_value=max(0, num_hosts // 3)))
+    victims = draw(
+        st.lists(st.integers(min_value=1, max_value=num_hosts - 1),
+                 min_size=num_failures, max_size=num_failures, unique=True)
+    )
+    times = draw(
+        st.lists(st.floats(min_value=0.1, max_value=12.0,
+                           allow_nan=False, allow_infinity=False),
+                 min_size=num_failures, max_size=num_failures)
+    )
+    churn = ChurnSchedule(failures=list(zip(times, victims)))
+    return topology, values, churn
+
+
+@given(network_and_churn(), st.sampled_from(["max", "min"]))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_wildfire_min_max_always_single_site_valid(setup, kind):
+    topology, values, churn = setup
+    result = run_protocol(Wildfire(), topology, values, kind,
+                          querying_host=0, d_hat=topology.num_hosts,
+                          churn=churn, seed=0)
+    oracle = Oracle(topology, values, 0)
+    assert result.value is not None
+    assert oracle.is_valid(result.value, kind, churn,
+                           horizon=result.termination_time)
+
+
+@given(network_and_churn())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_stable_core_is_subset_of_union(setup):
+    topology, values, churn = setup
+    core = stable_core(topology, churn, querying_host=0)
+    union = union_set(topology, churn)
+    assert core <= union
+    assert 0 in core  # the querying host never fails in these schedules
+
+
+@given(network_and_churn())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_wildfire_max_answer_is_an_actual_host_value(setup):
+    """The declared max is always some host's value, never fabricated."""
+    topology, values, churn = setup
+    result = run_protocol(Wildfire(), topology, values, "max",
+                          querying_host=0, d_hat=topology.num_hosts,
+                          churn=churn, seed=1)
+    assert result.value in set(float(v) for v in values)
+
+
+@given(st.integers(min_value=4, max_value=30), st.integers(min_value=0, max_value=999))
+@settings(max_examples=20, deadline=None)
+def test_failure_free_wildfire_matches_exact_answer(num_hosts, seed):
+    """Without churn the declared min/max equal the true aggregate."""
+    topology = random_topology(num_hosts, avg_degree=3.0, seed=seed)
+    values = uniform_values(num_hosts, low=1, high=1000, seed=seed)
+    maximum = run_protocol(Wildfire(), topology, values, "max",
+                           d_hat=num_hosts, seed=seed)
+    minimum = run_protocol(Wildfire(), topology, values, "min",
+                           d_hat=num_hosts, seed=seed)
+    assert maximum.value == max(values)
+    assert minimum.value == min(values)

@@ -1,0 +1,105 @@
+"""Tests for ALLREPORT and RANDOMIZEDREPORT."""
+
+import pytest
+
+from repro.protocols.allreport import AllReport
+from repro.protocols.base import run_protocol
+from repro.protocols.randomized_report import (
+    RandomizedReport,
+    report_probability_for,
+)
+from repro.protocols.spanning_tree import SpanningTree
+from repro.simulation.churn import ChurnSchedule
+from repro.topology.primitives import chain_topology, ring_topology, star_topology
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import constant_values, zipf_values
+
+
+class TestAllReport:
+    def test_exact_results_failure_free(self, small_random_topology, zipf_values_60):
+        for kind, expected in (
+            ("count", 60),
+            ("sum", sum(zipf_values_60)),
+            ("max", max(zipf_values_60)),
+            ("min", min(zipf_values_60)),
+        ):
+            result = run_protocol(AllReport(), small_random_topology, zipf_values_60,
+                                  kind, seed=1)
+            assert result.value == pytest.approx(expected)
+
+    def test_direct_delivery_costs_more_than_tree(self, small_random_topology):
+        values = constant_values(small_random_topology.num_hosts, 1)
+        allreport = run_protocol(AllReport(), small_random_topology, values, "count",
+                                 seed=1)
+        tree = run_protocol(SpanningTree(), small_random_topology, values, "count",
+                            seed=1)
+        assert allreport.costs.communication_cost > tree.costs.communication_cost
+
+    def test_querying_host_neighborhood_is_hotspot(self):
+        """Reports converge on the querying host's neighbors, so some host
+        processes many more messages than in a tree protocol."""
+        topo = chain_topology(15)
+        values = constant_values(15, 1)
+        result = run_protocol(AllReport(), topo, values, "count", d_hat=17, seed=1)
+        # Host 1 forwards every downstream report: 13 reports + broadcast.
+        assert result.costs.computation_cost >= 13
+
+    def test_reports_reroute_around_failed_upstream(self):
+        """When the recorded upstream hop dies, reports fall back to another
+        alive neighbor instead of being dropped."""
+        topo = ring_topology(8)
+        values = constant_values(8, 1)
+        churn = ChurnSchedule(failures=[(2.5, 1)])
+        result = run_protocol(AllReport(), topo, values, "count", d_hat=10,
+                              churn=churn, seed=1)
+        # The failed host itself is lost, but most of the ring still reports.
+        assert result.value >= 6.0
+
+    def test_invalid_report_probability(self):
+        with pytest.raises(ValueError):
+            AllReport(report_probability=0.0)
+
+
+class TestRandomizedReport:
+    def test_probability_formula(self):
+        p = report_probability_for(0.2, 0.1, 10000)
+        assert 0.0 < p <= 1.0
+        # Larger networks need a smaller sampling probability.
+        assert report_probability_for(0.2, 0.1, 100000) < p
+
+    def test_probability_clamped_to_one(self):
+        assert report_probability_for(0.1, 0.05, 10) == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            report_probability_for(0.0, 0.1, 100)
+        with pytest.raises(ValueError):
+            report_probability_for(0.1, 1.0, 100)
+        with pytest.raises(ValueError):
+            report_probability_for(0.1, 0.1, 0)
+
+    def test_size_estimate_close_to_truth(self):
+        topo = random_topology(400, avg_degree=5, seed=3)
+        values = constant_values(400, 1)
+        protocol = RandomizedReport(report_probability=0.25)
+        result = run_protocol(protocol, topo, values, "count", seed=3)
+        assert result.value == pytest.approx(400, rel=0.35)
+
+    def test_sampling_reduces_report_traffic(self):
+        topo = random_topology(300, avg_degree=5, seed=4)
+        values = constant_values(300, 1)
+        full = run_protocol(AllReport(), topo, values, "count", seed=4)
+        sampled = run_protocol(RandomizedReport(report_probability=0.1), topo, values,
+                               "count", seed=4)
+        full_reports = full.costs.messages_by_kind["ar-report"]
+        sampled_reports = sampled.costs.messages_by_kind["ar-report"]
+        assert sampled_reports < full_reports / 3
+
+    def test_epsilon_zeta_derivation_used_when_no_probability(self):
+        topo = star_topology(30)
+        values = constant_values(31, 1)
+        protocol = RandomizedReport(epsilon=0.3, zeta=0.1)
+        result = run_protocol(protocol, topo, values, "count", seed=5)
+        # With such a small network the derived probability is 1, so the
+        # count is exact.
+        assert result.value == 31.0

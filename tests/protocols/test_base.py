@@ -1,0 +1,85 @@
+"""Tests for the shared protocol plumbing."""
+
+import pytest
+
+from repro.protocols.base import resolve_d_hat, run_protocol
+from repro.protocols.spanning_tree import SpanningTree
+from repro.protocols.wildfire import Wildfire
+from repro.queries.query import AggregateQuery
+from repro.sketches.combiners import ExactCountCombiner
+from repro.topology.primitives import chain_topology, star_topology
+from repro.workloads.values import constant_values
+
+
+class TestResolveDHat:
+    def test_explicit_value_passes_through(self):
+        topo = chain_topology(5)
+        assert resolve_d_hat(topo, 12) == 12
+
+    def test_explicit_value_validated(self):
+        topo = chain_topology(5)
+        with pytest.raises(ValueError):
+            resolve_d_hat(topo, 0)
+
+    def test_estimate_overestimates_diameter(self):
+        topo = chain_topology(9)  # diameter 8
+        assert resolve_d_hat(topo, None) >= 8
+
+    def test_minimum_of_one(self):
+        topo = chain_topology(1)
+        assert resolve_d_hat(topo, None) >= 1
+
+
+class TestRunProtocol:
+    def test_accepts_query_string_or_object(self):
+        topo = star_topology(5)
+        values = constant_values(6, 2)
+        by_string = run_protocol(Wildfire(), topo, values, "max", seed=1)
+        by_object = run_protocol(Wildfire(), topo, values, AggregateQuery.of("max"),
+                                 seed=1)
+        assert by_string.value == by_object.value == 2.0
+
+    def test_validates_inputs(self):
+        topo = star_topology(4)
+        with pytest.raises(ValueError):
+            run_protocol(Wildfire(), topo, [1, 2], "max")
+        with pytest.raises(ValueError):
+            run_protocol(Wildfire(), topo, [1] * 5, "max", querying_host=99)
+
+    def test_duplicate_sensitive_combiner_rejected_for_wildfire(self):
+        topo = star_topology(4)
+        values = constant_values(5, 1)
+        with pytest.raises(ValueError):
+            run_protocol(Wildfire(), topo, values, "count",
+                         combiner=ExactCountCombiner())
+
+    def test_exact_combiner_allowed_for_spanning_tree(self):
+        topo = star_topology(4)
+        values = constant_values(5, 1)
+        result = run_protocol(SpanningTree(), topo, values, "count",
+                              combiner=ExactCountCombiner())
+        assert result.value == 5.0
+
+    def test_result_metadata(self):
+        topo = chain_topology(6)
+        values = constant_values(6, 3)
+        result = run_protocol(Wildfire(), topo, values, "max", d_hat=7, seed=2)
+        assert result.protocol == "wildfire"
+        assert result.d_hat == 7
+        assert result.termination_time == 14.0
+        assert result.querying_host == 0
+        assert result.costs.communication_cost > 0
+
+    def test_default_combiner_choice(self):
+        from repro.sketches.combiners import (
+            ExactCountCombiner as Exact,
+            FMCountCombiner,
+            MaxCombiner,
+        )
+
+        wildfire = Wildfire()
+        tree = SpanningTree()
+        assert isinstance(wildfire.default_combiner(AggregateQuery.of("count")),
+                          FMCountCombiner)
+        assert isinstance(tree.default_combiner(AggregateQuery.of("count")), Exact)
+        assert isinstance(tree.default_combiner(AggregateQuery.of("max")), MaxCombiner)

@@ -1,0 +1,52 @@
+"""Tests for the push-sum gossip baseline."""
+
+import pytest
+
+from repro.protocols.base import run_protocol
+from repro.protocols.gossip import PushSumGossip
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import constant_values, zipf_values
+
+
+class TestPushSumGossip:
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            PushSumGossip(num_rounds=0)
+
+    def test_count_converges_to_network_size(self):
+        topo = random_topology(80, avg_degree=6, seed=1)
+        values = constant_values(80, 1)
+        result = run_protocol(PushSumGossip(num_rounds=80), topo, values, "count",
+                              seed=1)
+        assert result.value == pytest.approx(80, rel=0.15)
+
+    def test_sum_converges(self):
+        topo = random_topology(60, avg_degree=6, seed=2)
+        values = zipf_values(60, seed=2)
+        result = run_protocol(PushSumGossip(num_rounds=80), topo, values, "sum",
+                              seed=2)
+        assert result.value == pytest.approx(sum(values), rel=0.2)
+
+    def test_avg_converges(self):
+        topo = random_topology(60, avg_degree=6, seed=3)
+        values = zipf_values(60, seed=3)
+        result = run_protocol(PushSumGossip(num_rounds=80), topo, values, "avg",
+                              seed=3)
+        assert result.value == pytest.approx(sum(values) / 60, rel=0.2)
+
+    def test_max_found_by_flooding(self):
+        topo = random_topology(60, avg_degree=6, seed=4)
+        values = zipf_values(60, seed=4)
+        result = run_protocol(PushSumGossip(num_rounds=40), topo, values, "max",
+                              seed=4)
+        assert result.value == max(values)
+
+    def test_more_rounds_improve_accuracy(self):
+        """Eventual consistency: the estimate tightens as rounds increase."""
+        topo = random_topology(100, avg_degree=6, seed=5)
+        values = constant_values(100, 1)
+        few = run_protocol(PushSumGossip(num_rounds=8), topo, values, "count", seed=5)
+        many = run_protocol(PushSumGossip(num_rounds=120), topo, values, "count", seed=5)
+        error_few = abs(few.value - 100) / 100
+        error_many = abs(many.value - 100) / 100
+        assert error_many <= error_few

@@ -1,0 +1,152 @@
+"""Tests for the WILDFIRE protocol."""
+
+import pytest
+
+from repro.protocols.base import run_protocol
+from repro.protocols.wildfire import Wildfire
+from repro.semantics.oracle import Oracle
+from repro.simulation.churn import ChurnSchedule, uniform_failure_schedule
+from repro.sketches.combiners import FMCountCombiner, FMSumCombiner
+from repro.topology.primitives import chain_topology, ring_topology, star_topology
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import constant_values, zipf_values
+
+
+class TestFailureFreeCorrectness:
+    def test_max_on_chain(self):
+        topo = chain_topology(8)
+        values = [3, 9, 1, 7, 20, 5, 2, 11]
+        result = run_protocol(Wildfire(), topo, values, "max", d_hat=10, seed=1)
+        assert result.value == 20.0
+
+    def test_min_on_ring(self):
+        topo = ring_topology(9)
+        values = [30, 9, 12, 7, 20, 5, 25, 11, 40]
+        result = run_protocol(Wildfire(), topo, values, "min", d_hat=6, seed=1)
+        assert result.value == 5.0
+
+    def test_max_value_at_farthest_host_still_found(self):
+        topo = chain_topology(10)
+        values = [1] * 9 + [99]
+        result = run_protocol(Wildfire(), topo, values, "max", d_hat=11, seed=1)
+        assert result.value == 99.0
+
+    def test_count_estimate_reasonable(self, small_random_topology):
+        values = constant_values(small_random_topology.num_hosts, 1)
+        result = run_protocol(Wildfire(), small_random_topology, values, "count",
+                              combiner=FMCountCombiner(repetitions=24), seed=3)
+        truth = small_random_topology.num_hosts
+        assert truth / 2 <= result.value <= truth * 2
+
+    def test_sum_estimate_reasonable(self, small_random_topology, zipf_values_60):
+        result = run_protocol(Wildfire(), small_random_topology, zipf_values_60, "sum",
+                              combiner=FMSumCombiner(repetitions=24), seed=3)
+        truth = sum(zipf_values_60)
+        assert truth / 2.5 <= result.value <= truth * 2.5
+
+    def test_single_host_network(self):
+        topo = chain_topology(1)
+        result = run_protocol(Wildfire(), topo, [42], "max", d_hat=1, seed=1)
+        assert result.value == 42.0
+
+
+class TestValidityUnderChurn:
+    def test_max_single_site_valid_with_failures(self, small_random_topology,
+                                                  zipf_values_60):
+        topo = small_random_topology
+        oracle = Oracle(topo, zipf_values_60, 0)
+        for seed in range(4):
+            churn = uniform_failure_schedule(range(topo.num_hosts), 10,
+                                             start=0.5, end=10.0, seed=seed,
+                                             protect=[0])
+            result = run_protocol(Wildfire(), topo, zipf_values_60, "max",
+                                  churn=churn, seed=seed)
+            assert oracle.is_valid(result.value, "max", churn,
+                                   horizon=result.termination_time)
+
+    def test_min_single_site_valid_with_failures(self, small_random_topology,
+                                                  zipf_values_60):
+        topo = small_random_topology
+        oracle = Oracle(topo, zipf_values_60, 0)
+        churn = uniform_failure_schedule(range(topo.num_hosts), 15,
+                                         start=0.5, end=10.0, seed=9, protect=[0])
+        result = run_protocol(Wildfire(), topo, zipf_values_60, "min",
+                              churn=churn, seed=9)
+        assert oracle.is_valid(result.value, "min", churn,
+                               horizon=result.termination_time)
+
+    def test_ring_survives_single_failure(self):
+        """On a ring there are two paths; one failure cannot hide the max."""
+        topo = ring_topology(12)
+        values = [1] * 12
+        values[6] = 77  # host opposite the querying host
+        churn = ChurnSchedule(failures=[(1.5, 1)])
+        result = run_protocol(Wildfire(), topo, values, "max", d_hat=12,
+                              churn=churn, seed=2)
+        assert result.value == 77.0
+
+    def test_partitioned_host_does_not_block_result(self):
+        """Failing the star centre isolates everyone; the querying host still
+        declares a value based on its own attribute (H_C = {hq})."""
+        topo = star_topology(6)
+        values = [5] + [50] * 6
+        churn = ChurnSchedule(failures=[(0.5, 0)])
+        # Query from a leaf; the centre dies before forwarding anything.
+        result = run_protocol(Wildfire(), topo, values, "max", querying_host=1,
+                              d_hat=4, churn=churn, seed=1)
+        assert result.value == 50.0 or result.value == values[1]
+
+
+class TestCostBehaviour:
+    def test_communication_bounded_by_worst_case(self, small_random_topology):
+        topo = small_random_topology
+        values = constant_values(topo.num_hosts, 1)
+        d_hat = 10
+        result = run_protocol(Wildfire(), topo, values, "count",
+                              combiner=FMCountCombiner(repetitions=8),
+                              d_hat=d_hat, seed=4)
+        worst_case = 2 * d_hat * 2 * topo.num_edges  # both directions
+        assert 0 < result.costs.communication_cost <= worst_case
+
+    def test_early_termination_does_not_change_result(self):
+        topo = random_topology(50, avg_degree=4, seed=5)
+        values = zipf_values(50, seed=5)
+        with_opt = run_protocol(Wildfire(early_termination=True), topo, values,
+                                "max", d_hat=12, seed=5)
+        without_opt = run_protocol(Wildfire(early_termination=False), topo, values,
+                                   "max", d_hat=12, seed=5)
+        assert with_opt.value == without_opt.value == max(values)
+        assert with_opt.costs.communication_cost <= without_opt.costs.communication_cost
+
+    def test_d_hat_overestimate_does_not_change_communication(self):
+        topo = random_topology(80, avg_degree=5, seed=6)
+        values = zipf_values(80, seed=6)
+        tight = run_protocol(Wildfire(), topo, values, "max", d_hat=8, seed=6)
+        loose = run_protocol(Wildfire(), topo, values, "max", d_hat=16, seed=6)
+        assert tight.value == loose.value
+        # Messages stop flowing once aggregates converge, so the overestimate
+        # changes the declaration time but not the traffic.
+        assert loose.costs.communication_cost == tight.costs.communication_cost
+        assert loose.termination_time > tight.termination_time
+
+    def test_min_query_cheaper_than_count(self, small_random_topology):
+        """Early aggregation: order-statistic queries quiesce quickly."""
+        topo = small_random_topology
+        values = zipf_values(topo.num_hosts, seed=8)
+        min_run = run_protocol(Wildfire(), topo, values, "min", d_hat=10, seed=8)
+        count_run = run_protocol(Wildfire(), topo, values, "count",
+                                 combiner=FMCountCombiner(repetitions=8),
+                                 d_hat=10, seed=8)
+        assert min_run.costs.communication_cost < count_run.costs.communication_cost
+
+    def test_wireless_medium_reduces_message_count(self):
+        from repro.topology.grid import grid_topology
+
+        topo = grid_topology(6)
+        values = constant_values(topo.num_hosts, 1)
+        wired = run_protocol(Wildfire(), topo, values, "max", d_hat=8,
+                             wireless=False, seed=9)
+        wireless = run_protocol(Wildfire(), topo, values, "max", d_hat=8,
+                                wireless=True, seed=9)
+        assert wireless.costs.communication_cost < wired.costs.communication_cost
+        assert wired.value == wireless.value

@@ -1,0 +1,86 @@
+"""Tests for the related-work validity metrics."""
+
+import pytest
+
+from repro.semantics.metrics import (
+    accuracy_ratio,
+    completeness,
+    mean_and_confidence_interval,
+    relative_error,
+    within_factor,
+)
+
+
+class TestCompleteness:
+    def test_basic_fraction(self):
+        assert completeness([0, 1, 2], 4) == pytest.approx(0.75)
+
+    def test_duplicates_ignored(self):
+        assert completeness([1, 1, 1], 3) == pytest.approx(1 / 3)
+
+    def test_out_of_range_host_rejected(self):
+        with pytest.raises(ValueError):
+            completeness([5], 3)
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            completeness([0], 0)
+
+
+class TestRelativeError:
+    def test_overestimate(self):
+        assert relative_error(120, 100) == pytest.approx(0.2)
+
+    def test_underestimate(self):
+        assert relative_error(80, 100) == pytest.approx(0.2)
+
+    def test_zero_truth(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(5, 0) == float("inf")
+
+
+class TestAccuracyRatio:
+    def test_ratio(self):
+        assert accuracy_ratio(50, 100) == pytest.approx(0.5)
+
+    def test_zero_truth(self):
+        assert accuracy_ratio(0, 0) == 1.0
+        assert accuracy_ratio(3, 0) == float("inf")
+
+
+class TestWithinFactor:
+    def test_inside_and_outside(self):
+        assert within_factor(150, 100, 2)
+        assert within_factor(60, 100, 2)
+        assert not within_factor(40, 100, 2)
+        assert not within_factor(250, 100, 2)
+
+    def test_zero_truth(self):
+        assert within_factor(0, 0, 2)
+        assert not within_factor(1, 0, 2)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            within_factor(1, 1, 0)
+
+
+class TestConfidenceInterval:
+    def test_single_sample_has_zero_width(self):
+        mean, ci = mean_and_confidence_interval([5.0])
+        assert mean == 5.0
+        assert ci == 0.0
+
+    def test_constant_samples_have_zero_width(self):
+        mean, ci = mean_and_confidence_interval([3.0, 3.0, 3.0])
+        assert mean == 3.0
+        assert ci == 0.0
+
+    def test_known_values(self):
+        samples = [10.0, 14.0]
+        mean, ci = mean_and_confidence_interval(samples)
+        assert mean == 12.0
+        assert ci == pytest.approx(1.96 * (8 ** 0.5) / (2 ** 0.5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_confidence_interval([])

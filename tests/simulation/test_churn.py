@@ -1,0 +1,99 @@
+"""Tests for churn schedules."""
+
+import pytest
+
+from repro.simulation.churn import (
+    ChurnSchedule,
+    JoinSpec,
+    poisson_lifetime_schedule,
+    uniform_failure_schedule,
+)
+
+
+class TestChurnSchedule:
+    def test_failures_are_sorted_by_time(self):
+        schedule = ChurnSchedule(failures=[(5.0, 1), (2.0, 2), (9.0, 3)])
+        assert [t for t, _ in schedule.failures] == [2.0, 5.0, 9.0]
+
+    def test_duplicate_failure_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnSchedule(failures=[(1.0, 4), (2.0, 4)])
+
+    def test_failed_hosts_and_counts(self):
+        schedule = ChurnSchedule(failures=[(1.0, 4), (2.0, 5)])
+        assert schedule.num_failures == 2
+        assert set(schedule.failed_hosts) == {4, 5}
+
+    def test_failures_before(self):
+        schedule = ChurnSchedule(failures=[(1.0, 4), (2.0, 5), (3.0, 6)])
+        assert schedule.failures_before(2.0) == [4]
+
+    def test_restricted_to_horizon(self):
+        schedule = ChurnSchedule(
+            failures=[(1.0, 4), (5.0, 5)],
+            joins=[JoinSpec(time=2.0, neighbors=(0,)), JoinSpec(time=9.0, neighbors=(1,))],
+        )
+        restricted = schedule.restricted_to(3.0)
+        assert restricted.failed_hosts == [4]
+        assert len(restricted.joins) == 1
+
+    def test_empty_schedule(self):
+        schedule = ChurnSchedule.empty()
+        assert schedule.num_failures == 0
+        assert schedule.joins == []
+
+
+class TestUniformFailureSchedule:
+    def test_correct_number_of_failures(self):
+        schedule = uniform_failure_schedule(range(100), 10, start=1.0, end=9.0, seed=3)
+        assert schedule.num_failures == 10
+
+    def test_failures_spread_across_interval(self):
+        schedule = uniform_failure_schedule(range(100), 5, start=2.0, end=10.0, seed=3)
+        times = [t for t, _ in schedule.failures]
+        assert times[0] == pytest.approx(2.0)
+        assert times[-1] == pytest.approx(10.0)
+        assert all(times[i] <= times[i + 1] for i in range(len(times) - 1))
+
+    def test_protected_hosts_never_fail(self):
+        schedule = uniform_failure_schedule(range(20), 19, start=0.0, end=1.0,
+                                            seed=0, protect=[0])
+        assert 0 not in schedule.failed_hosts
+
+    def test_zero_failures_gives_empty_schedule(self):
+        schedule = uniform_failure_schedule(range(10), 0, start=0.0, end=1.0)
+        assert schedule.num_failures == 0
+
+    def test_single_failure_placed_mid_interval(self):
+        schedule = uniform_failure_schedule(range(10), 1, start=0.0, end=10.0, seed=1)
+        assert schedule.failures[0][0] == pytest.approx(5.0)
+
+    def test_too_many_failures_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_failure_schedule(range(5), 6, start=0.0, end=1.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_failure_schedule(range(5), 1, start=2.0, end=1.0)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = uniform_failure_schedule(range(50), 5, 0.0, 10.0, seed=11)
+        b = uniform_failure_schedule(range(50), 5, 0.0, 10.0, seed=11)
+        assert a.failures == b.failures
+
+
+class TestPoissonLifetimeSchedule:
+    def test_only_hosts_with_short_lifetimes_fail(self):
+        schedule = poisson_lifetime_schedule(range(200), mean_lifetime=5.0,
+                                             horizon=10.0, seed=2)
+        assert 0 < schedule.num_failures < 200
+        assert all(t <= 10.0 for t, _ in schedule.failures)
+
+    def test_protect_excludes_hosts(self):
+        schedule = poisson_lifetime_schedule(range(50), mean_lifetime=0.1,
+                                             horizon=100.0, seed=2, protect=[3])
+        assert 3 not in schedule.failed_hosts
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_lifetime_schedule(range(5), mean_lifetime=0.0, horizon=1.0)

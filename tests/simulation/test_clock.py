@@ -1,0 +1,49 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.simulation.clock import SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        clock = SimulationClock()
+        assert clock.now == 0.0
+
+    def test_starts_at_custom_time(self):
+        clock = SimulationClock(start=5.5)
+        assert clock.now == 5.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulationClock(start=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimulationClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+        clock.advance_to(3.0)  # advancing to the same time is allowed
+        assert clock.now == 3.0
+
+    def test_advance_backwards_raises(self):
+        clock = SimulationClock()
+        clock.advance_to(4.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(2.0)
+
+    def test_reset_returns_to_start(self):
+        clock = SimulationClock()
+        clock.advance_to(10.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_to_custom_time(self):
+        clock = SimulationClock()
+        clock.advance_to(10.0)
+        clock.reset(2.0)
+        assert clock.now == 2.0
+
+    def test_reset_rejects_negative(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.reset(-3.0)

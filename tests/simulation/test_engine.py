@@ -1,0 +1,194 @@
+"""Tests for the discrete-event simulation engine."""
+
+from typing import Any, Optional
+
+import pytest
+
+from repro.simulation.churn import ChurnSchedule
+from repro.simulation.engine import Simulator
+from repro.simulation.host import HostContext, ProtocolHost
+from repro.simulation.messages import Message
+from repro.simulation.network import DynamicNetwork
+from repro.topology.primitives import chain_topology, star_topology
+
+
+class FloodHost(ProtocolHost):
+    """Minimal protocol: flood a token once, remember when it arrived."""
+
+    def __init__(self, host_id: int, value: float = 0.0) -> None:
+        super().__init__(host_id, value)
+        self.received_at: Optional[float] = None
+        self.seen = False
+
+    def on_query_start(self, ctx: HostContext) -> None:
+        self.seen = True
+        self.received_at = ctx.now
+        ctx.send_to_neighbors("token", {})
+
+    def on_message(self, message: Message, ctx: HostContext) -> None:
+        if self.seen:
+            return
+        self.seen = True
+        self.received_at = ctx.now
+        ctx.send_to_neighbors("token", {}, exclude=(message.sender,))
+
+    def local_result(self):
+        return self.received_at
+
+
+class TimerHost(ProtocolHost):
+    """Host that fires a sequence of timers."""
+
+    def __init__(self, host_id: int) -> None:
+        super().__init__(host_id, 0.0)
+        self.fired = []
+
+    def on_query_start(self, ctx: HostContext) -> None:
+        ctx.set_timer(1.5, "a", data="first")
+        ctx.set_timer(3.0, "b", data="second")
+
+    def on_message(self, message: Message, ctx: HostContext) -> None:
+        pass
+
+    def on_timer(self, name: str, data: Any, ctx: HostContext) -> None:
+        self.fired.append((ctx.now, name, data))
+
+
+def build_simulator(topology, hosts=None, **kwargs):
+    network = topology.to_network()
+    if hosts is None:
+        hosts = [FloodHost(i) for i in range(topology.num_hosts)]
+    return Simulator(network=network, hosts=hosts, querying_host=0, **kwargs), hosts
+
+
+class TestFlooding:
+    def test_flood_reaches_every_host_on_chain(self):
+        topo = chain_topology(6)
+        simulator, hosts = build_simulator(topo)
+        simulator.run(until=50)
+        assert all(h.seen for h in hosts)
+        # Host i is i hops away and delta defaults to 1.
+        assert [h.received_at for h in hosts] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_flood_on_star_takes_two_hops_max(self):
+        topo = star_topology(5)
+        simulator, hosts = build_simulator(topo)
+        simulator.run(until=50)
+        assert hosts[0].received_at == 0.0
+        assert all(h.received_at == 1.0 for h in hosts[1:])
+
+    def test_communication_cost_counts_every_link_message(self):
+        topo = chain_topology(4)
+        simulator, _ = build_simulator(topo)
+        result = simulator.run(until=50)
+        # 0->1, 1->2, 2->3 plus the backward echo exclusions: FloodHost
+        # excludes only the sender, so host 1 sends to 2, host 2 sends to 3.
+        assert result.costs.communication_cost == 3
+
+    def test_wireless_mode_counts_multicast_once(self):
+        topo = star_topology(4)
+        simulator, _ = build_simulator(topo, wireless=True)
+        result = simulator.run(until=50)
+        # The centre's multicast to 4 leaves counts once.
+        assert result.costs.communication_cost == 1
+        assert result.costs.wireless_transmissions == 3
+
+    def test_time_cost_matches_chain_depth(self):
+        topo = chain_topology(5)
+        simulator, _ = build_simulator(topo)
+        result = simulator.run(until=50)
+        assert result.costs.time_cost == 4
+
+
+class TestTimers:
+    def test_timers_fire_in_order_with_data(self):
+        topo = chain_topology(1)
+        host = TimerHost(0)
+        simulator, _ = build_simulator(topo, hosts=[host])
+        simulator.run(until=10)
+        assert host.fired == [(1.5, "a", "first"), (3.0, "b", "second")]
+
+    def test_negative_timer_delay_rejected(self):
+        topo = chain_topology(2)
+
+        class BadHost(FloodHost):
+            def on_query_start(self, ctx):
+                ctx.set_timer(-1.0, "oops")
+
+        simulator, _ = build_simulator(topo, hosts=[BadHost(0), FloodHost(1)])
+        with pytest.raises(ValueError):
+            simulator.run(until=5)
+
+
+class TestFailures:
+    def test_failed_host_stops_forwarding(self):
+        topo = chain_topology(5)
+        churn = ChurnSchedule(failures=[(1.5, 2)])
+        simulator, hosts = build_simulator(topo, churn=churn)
+        simulator.run(until=50)
+        # Host 2 fails after receiving (t=2 would be its receive time) --
+        # it fails at 1.5 so it never receives; hosts 3, 4 stay unreached.
+        assert hosts[1].seen
+        assert not hosts[3].seen
+        assert not hosts[4].seen
+
+    def test_message_to_failed_host_is_dropped_and_counted(self):
+        topo = chain_topology(3)
+        churn = ChurnSchedule(failures=[(0.5, 1)])
+        simulator, _ = build_simulator(topo, churn=churn)
+        result = simulator.run(until=50)
+        assert result.costs.dropped_messages >= 1
+
+    def test_failure_callback_invoked(self):
+        topo = chain_topology(3)
+        churn = ChurnSchedule(failures=[(2.0, 2)])
+        simulator, _ = build_simulator(topo, churn=churn)
+        observed = []
+        simulator.on_host_failure(lambda host, time: observed.append((host, time)))
+        simulator.run(until=10)
+        assert observed == [(2, 2.0)]
+
+    def test_querying_host_must_be_alive(self):
+        topo = chain_topology(3)
+        network = topo.to_network()
+        network.fail_host(0, time=0.0)
+        with pytest.raises(ValueError):
+            Simulator(network=network, hosts=[FloodHost(i) for i in range(3)],
+                      querying_host=0)
+
+
+class TestJoins:
+    def test_join_event_adds_inert_host(self):
+        topo = chain_topology(3)
+        from repro.simulation.churn import JoinSpec
+
+        churn = ChurnSchedule(joins=[JoinSpec(time=1.0, neighbors=(0,))])
+        simulator, _ = build_simulator(topo, churn=churn)
+        simulator.run(until=10)
+        assert simulator.network.num_hosts == 4
+        assert simulator.network.is_alive(3)
+
+
+class TestRunControl:
+    def test_run_stops_at_horizon(self):
+        topo = chain_topology(50)
+        simulator, hosts = build_simulator(topo)
+        simulator.run(until=5)
+        assert hosts[4].seen
+        assert not hosts[20].seen
+
+    def test_invalid_parameters_rejected(self):
+        topo = chain_topology(3)
+        network = topo.to_network()
+        hosts = [FloodHost(i) for i in range(3)]
+        with pytest.raises(ValueError):
+            Simulator(network=network, hosts=hosts[:2], querying_host=0)
+        with pytest.raises(ValueError):
+            Simulator(network=network, hosts=hosts, querying_host=0, delta=0.0)
+
+    def test_result_reports_querying_host_value(self):
+        topo = chain_topology(4)
+        simulator, _ = build_simulator(topo)
+        result = simulator.run(until=20)
+        assert result.value == 0.0  # querying host received at time 0
+        assert result.querying_host == 0

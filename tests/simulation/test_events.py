@@ -1,0 +1,96 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.simulation.events import EventKind, EventQueue
+from repro.simulation.messages import Message
+
+
+def make_message(sender=0, dest=1):
+    return Message(sender=sender, dest=dest, kind="test", payload={})
+
+
+class TestEventQueueOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, EventKind.TIMER, host=1, timer_name="b")
+        queue.push(1.0, EventKind.TIMER, host=1, timer_name="a")
+        queue.push(3.0, EventKind.TIMER, host=1, timer_name="c")
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_broken_by_insertion_order_within_same_kind(self):
+        queue = EventQueue()
+        first = queue.push(2.0, EventKind.TIMER, host=1, timer_name="first")
+        second = queue.push(2.0, EventKind.TIMER, host=2, timer_name="second")
+        assert queue.pop().timer_name == "first"
+        assert queue.pop().timer_name == "second"
+        assert first.seq < second.seq
+
+    def test_deliveries_precede_timers_at_same_instant(self):
+        queue = EventQueue()
+        queue.push(2.0, EventKind.TIMER, host=1, timer_name="deadline")
+        queue.push(2.0, EventKind.DELIVER, message=make_message())
+        assert queue.pop().kind is EventKind.DELIVER
+        assert queue.pop().kind is EventKind.TIMER
+
+    def test_failures_processed_last_at_same_instant(self):
+        queue = EventQueue()
+        queue.push(2.0, EventKind.FAIL, host=3)
+        queue.push(2.0, EventKind.DELIVER, message=make_message())
+        queue.push(2.0, EventKind.TIMER, host=1, timer_name="t")
+        kinds = [queue.pop().kind for _ in range(3)]
+        assert kinds == [EventKind.DELIVER, EventKind.TIMER, EventKind.FAIL]
+
+    def test_query_start_runs_before_everything(self):
+        queue = EventQueue()
+        queue.push(0.0, EventKind.DELIVER, message=make_message())
+        queue.push(0.0, EventKind.QUERY_START, host=0)
+        assert queue.pop().kind is EventKind.QUERY_START
+
+
+class TestEventQueueBehaviour:
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert not queue
+        queue.push(1.0, EventKind.TIMER, host=0, timer_name="x")
+        assert len(queue) == 1
+        assert queue
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-0.5, EventKind.TIMER, host=0, timer_name="x")
+
+    def test_pop_empty_raises(self):
+        queue = EventQueue()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_cancel_skips_event(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, EventKind.TIMER, host=0, timer_name="keep")
+        drop = queue.push(0.5, EventKind.TIMER, host=0, timer_name="drop")
+        queue.cancel(drop)
+        assert len(queue) == 1
+        event = queue.pop()
+        assert event.timer_name == "keep"
+        assert event.seq == keep.seq
+
+    def test_peek_time_ignores_cancelled(self):
+        queue = EventQueue()
+        drop = queue.push(0.5, EventKind.TIMER, host=0, timer_name="drop")
+        queue.push(2.0, EventKind.TIMER, host=0, timer_name="keep")
+        queue.cancel(drop)
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_drain_yields_all_in_order(self):
+        queue = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            queue.push(t, EventKind.TIMER, host=0, timer_name=str(t))
+        assert [e.time for e in queue.drain()] == [1.0, 2.0, 3.0]
+        assert not queue

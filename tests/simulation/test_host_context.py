@@ -1,0 +1,91 @@
+"""Tests for the HostContext API exposed to protocol hosts."""
+
+from typing import Any
+
+from repro.simulation.engine import Simulator
+from repro.simulation.host import HostContext, ProtocolHost
+from repro.simulation.messages import Message
+from repro.topology.primitives import star_topology
+
+
+class ProbeHost(ProtocolHost):
+    """Records what the context exposes and exercises its send paths."""
+
+    def __init__(self, host_id: int) -> None:
+        super().__init__(host_id, 0.0)
+        self.observed_neighbors = None
+        self.observed_delta = None
+        self.send_results = []
+        self.received = []
+
+    def on_query_start(self, ctx: HostContext) -> None:
+        self.observed_neighbors = ctx.neighbors()
+        self.observed_delta = ctx.delta
+        # Valid neighbor send, invalid non-neighbor send, invalid failed send.
+        self.send_results.append(ctx.send(1, "ping", {"n": 1}))
+        self.send_results.append(ctx.send(99, "ping", {"n": 2}) if False else None)
+
+    def on_message(self, message: Message, ctx: HostContext) -> None:
+        self.received.append((message.sender, message.kind, dict(message.payload)))
+
+
+class TestHostContext:
+    def _run(self):
+        topo = star_topology(3)  # host 0 centre, hosts 1..3 leaves
+        network = topo.to_network()
+        hosts = [ProbeHost(i) for i in range(4)]
+        simulator = Simulator(network=network, hosts=hosts, querying_host=0)
+        simulator.run(until=5)
+        return hosts, simulator
+
+    def test_neighbors_and_delta_exposed(self):
+        hosts, simulator = self._run()
+        assert hosts[0].observed_neighbors == {1, 2, 3}
+        assert hosts[0].observed_delta == simulator.delta
+
+    def test_send_to_neighbor_succeeds(self):
+        hosts, _ = self._run()
+        assert hosts[0].send_results[0] is True
+        assert hosts[1].received == [(0, "ping", {"n": 1})]
+
+    def test_send_to_non_neighbor_fails(self):
+        topo = star_topology(3)
+        network = topo.to_network()
+
+        class NonNeighborSender(ProbeHost):
+            def on_query_start(self, ctx):
+                self.send_results.append(ctx.send(3, "ping", {}))
+
+        hosts = [ProbeHost(0), NonNeighborSender(1), ProbeHost(2), ProbeHost(3)]
+        # Host 1 is a leaf: its only neighbor is 0, so sending to 3 fails.
+        simulator = Simulator(network=network, hosts=hosts, querying_host=1)
+        simulator.run(until=5)
+        assert hosts[1].send_results == [False]
+        assert hosts[3].received == []
+
+    def test_multicast_excludes_requested_hosts(self):
+        topo = star_topology(3)
+        network = topo.to_network()
+
+        class Multicaster(ProbeHost):
+            def on_query_start(self, ctx):
+                ctx.send_to_neighbors("ping", {}, exclude=(2,))
+
+        hosts = [Multicaster(0), ProbeHost(1), ProbeHost(2), ProbeHost(3)]
+        simulator = Simulator(network=network, hosts=hosts, querying_host=0)
+        simulator.run(until=5)
+        assert hosts[1].received and hosts[3].received
+        assert hosts[2].received == []
+
+    def test_message_delivered_after_delta(self):
+        topo = star_topology(2)
+        network = topo.to_network()
+
+        class Recorder(ProbeHost):
+            def on_message(self, message, ctx):
+                self.received.append(ctx.now)
+
+        hosts = [ProbeHost(0), Recorder(1), Recorder(2)]
+        simulator = Simulator(network=network, hosts=hosts, querying_host=0, delta=2.5)
+        simulator.run(until=10)
+        assert hosts[1].received == [2.5]

@@ -1,0 +1,39 @@
+"""Tests for the message model."""
+
+from repro.simulation.messages import Message
+
+
+class TestMessage:
+    def test_defaults(self):
+        message = Message(sender=1, dest=2, kind="broadcast")
+        assert message.payload == {}
+        assert message.sent_at == 0.0
+        assert message.chain_depth == 1
+        assert not message.wireless
+
+    def test_with_dest_copies_everything_else(self):
+        message = Message(sender=1, dest=2, kind="k", payload={"a": 3},
+                          sent_at=4.0, chain_depth=7, wireless=True)
+        copy = message.with_dest(9)
+        assert copy.dest == 9
+        assert copy.sender == message.sender
+        assert copy.kind == message.kind
+        assert copy.payload == message.payload
+        assert copy.sent_at == message.sent_at
+        assert copy.chain_depth == message.chain_depth
+        assert copy.wireless == message.wireless
+
+    def test_is_frozen(self):
+        message = Message(sender=1, dest=2, kind="k")
+        try:
+            message.dest = 5
+            mutated = True
+        except AttributeError:
+            mutated = False
+        assert not mutated
+
+    def test_describe_mentions_endpoints_and_kind(self):
+        message = Message(sender=1, dest=2, kind="broadcast", sent_at=3.0)
+        text = message.describe()
+        assert "broadcast" in text
+        assert "1" in text and "2" in text

@@ -1,0 +1,144 @@
+"""Tests for the dynamic network graph."""
+
+import pytest
+
+from repro.simulation.network import DynamicNetwork, NetworkEventKind
+
+
+def triangle_plus_tail():
+    """Hosts 0-1-2 form a triangle; host 3 hangs off host 2."""
+    return DynamicNetwork.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestConstruction:
+    def test_from_edges_builds_symmetric_adjacency(self):
+        network = triangle_plus_tail()
+        assert network.neighbors(0) == {1, 2}
+        assert network.neighbors(3) == {2}
+        assert network.num_edges() == 4
+
+    def test_validation_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            DynamicNetwork([{0}])
+
+    def test_validation_rejects_asymmetric_edges(self):
+        with pytest.raises(ValueError):
+            DynamicNetwork([{1}, set()])
+
+    def test_validation_rejects_unknown_neighbor(self):
+        with pytest.raises(ValueError):
+            DynamicNetwork([{5}])
+
+    def test_from_edges_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            DynamicNetwork.from_edges(2, [(0, 0)])
+
+
+class TestAccessors:
+    def test_alive_hosts_initially_all(self):
+        network = triangle_plus_tail()
+        assert network.alive_hosts == [0, 1, 2, 3]
+        assert network.num_alive == 4
+        assert len(network) == 4
+
+    def test_edges_iteration_is_undirected(self):
+        network = triangle_plus_tail()
+        edges = set(network.edges())
+        assert edges == {(0, 1), (0, 2), (1, 2), (2, 3)}
+
+    def test_degree(self):
+        network = triangle_plus_tail()
+        assert network.degree(2) == 3
+        assert network.degree(3) == 1
+
+    def test_ever_alive_tracks_initial_hosts(self):
+        network = triangle_plus_tail()
+        assert network.ever_alive == {0, 1, 2, 3}
+
+
+class TestFailures:
+    def test_fail_host_removes_edges_and_liveness(self):
+        network = triangle_plus_tail()
+        network.fail_host(2, time=1.0)
+        assert not network.is_alive(2)
+        assert network.neighbors(0) == {1}
+        assert network.neighbors(3) == set()
+        assert network.num_alive == 3
+
+    def test_fail_host_twice_raises(self):
+        network = triangle_plus_tail()
+        network.fail_host(2, time=1.0)
+        with pytest.raises(ValueError):
+            network.fail_host(2, time=2.0)
+
+    def test_failure_recorded_in_event_log(self):
+        network = triangle_plus_tail()
+        network.fail_host(1, time=4.5)
+        events = network.events
+        assert len(events) == 1
+        assert events[0].kind is NetworkEventKind.FAIL
+        assert events[0].host == 1
+        assert events[0].time == 4.5
+        assert events[0].neighbors == (0, 2)
+
+    def test_failed_host_still_counted_in_ever_alive(self):
+        network = triangle_plus_tail()
+        network.fail_host(3, time=1.0)
+        assert 3 in network.ever_alive
+
+
+class TestJoins:
+    def test_join_adds_host_with_edges(self):
+        network = triangle_plus_tail()
+        new_id = network.join_host([0, 1], time=2.0)
+        assert new_id == 4
+        assert network.is_alive(new_id)
+        assert network.neighbors(new_id) == {0, 1}
+        assert new_id in network.neighbors(0)
+
+    def test_join_at_failed_host_raises(self):
+        network = triangle_plus_tail()
+        network.fail_host(1, time=1.0)
+        with pytest.raises(ValueError):
+            network.join_host([1], time=2.0)
+
+    def test_join_records_event(self):
+        network = triangle_plus_tail()
+        network.join_host([0], time=3.0)
+        assert network.events[-1].kind is NetworkEventKind.JOIN
+
+
+class TestGraphAlgorithms:
+    def test_bfs_distances_on_chain(self):
+        network = DynamicNetwork.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert network.bfs_distances(0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_bfs_skips_failed_hosts(self):
+        network = DynamicNetwork.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        network.fail_host(1, time=1.0)
+        distances = network.bfs_distances(0)
+        assert distances == {0: 0}
+
+    def test_reachability_after_partition(self):
+        network = triangle_plus_tail()
+        network.fail_host(2, time=1.0)
+        assert network.reachable_from(0) == {0, 1}
+        assert network.reachable_from(3) == {3}
+        assert not network.is_connected()
+
+    def test_diameter_estimate_on_chain_is_exact(self):
+        network = DynamicNetwork.from_edges(6, [(i, i + 1) for i in range(5)])
+        assert network.diameter_estimate(samples=4) == 5
+
+    def test_copy_is_independent(self):
+        network = triangle_plus_tail()
+        clone = network.copy()
+        network.fail_host(0, time=1.0)
+        assert clone.is_alive(0)
+        assert not network.is_alive(0)
+
+    def test_snapshot_adjacency_is_deep(self):
+        network = triangle_plus_tail()
+        snapshot = network.snapshot_adjacency()
+        snapshot[0].add(3)
+        assert 3 not in network.neighbors(0)

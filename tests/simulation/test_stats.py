@@ -1,0 +1,77 @@
+"""Tests for cost accounting."""
+
+from repro.simulation.stats import CostAccounting
+
+
+class TestCostAccounting:
+    def test_initially_zero(self):
+        costs = CostAccounting()
+        assert costs.communication_cost == 0
+        assert costs.computation_cost == 0
+        assert costs.time_cost == 0
+
+    def test_record_send_counts_messages_and_time_buckets(self):
+        costs = CostAccounting()
+        costs.record_send("broadcast", time=1.0)
+        costs.record_send("broadcast", time=1.0)
+        costs.record_send("report", time=2.0)
+        assert costs.communication_cost == 3
+        assert costs.messages_per_instant() == {1.0: 2, 2.0: 1}
+        assert costs.messages_by_kind["broadcast"] == 2
+
+    def test_wireless_group_counts_once(self):
+        costs = CostAccounting()
+        costs.record_send("broadcast", time=0.0, wireless_group=False)
+        costs.record_send("broadcast", time=0.0, wireless_group=True)
+        costs.record_send("broadcast", time=0.0, wireless_group=True)
+        assert costs.communication_cost == 1
+        assert costs.wireless_transmissions == 2
+
+    def test_computation_cost_is_max_over_hosts(self):
+        costs = CostAccounting()
+        for _ in range(3):
+            costs.record_processed(7, chain_depth=1)
+        costs.record_processed(8, chain_depth=1)
+        assert costs.computation_cost == 3
+        assert costs.messages_processed[7] == 3
+
+    def test_time_cost_is_max_chain_depth(self):
+        costs = CostAccounting()
+        costs.record_processed(0, chain_depth=4)
+        costs.record_processed(1, chain_depth=2)
+        assert costs.time_cost == 4
+
+    def test_computation_histogram(self):
+        costs = CostAccounting()
+        costs.record_processed(0, 1)
+        costs.record_processed(0, 1)
+        costs.record_processed(1, 1)
+        histogram = costs.computation_histogram()
+        assert histogram == {2: 1, 1: 1}
+
+    def test_dropped_messages_counted(self):
+        costs = CostAccounting()
+        costs.record_dropped()
+        costs.record_dropped()
+        assert costs.dropped_messages == 2
+
+    def test_summary_contains_all_measures(self):
+        costs = CostAccounting()
+        costs.record_send("x", 0.0)
+        costs.record_processed(0, 2)
+        summary = costs.summary()
+        assert summary["communication_cost"] == 1
+        assert summary["computation_cost"] == 1
+        assert summary["time_cost"] == 2
+
+    def test_merge_combines_accumulators(self):
+        a = CostAccounting()
+        b = CostAccounting()
+        a.record_send("x", 0.0)
+        b.record_send("x", 1.0)
+        b.record_processed(3, 5)
+        a.merge(b)
+        assert a.communication_cost == 2
+        assert a.computation_cost == 1
+        assert a.time_cost == 5
+        assert a.messages_per_instant() == {0.0: 1, 1.0: 1}

@@ -1,0 +1,88 @@
+"""Property-based tests for the FM sketch algebra.
+
+The WILDFIRE correctness argument rests on the combine function being a
+semilattice operation (idempotent, commutative, associative) so that folding
+the same partial aggregate in any order, any number of times, cannot change
+the result.  These properties are exercised with hypothesis.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.fm import FMSketch
+
+
+def sketches(repetitions=4, num_bits=16):
+    """Strategy producing FM sketches with fixed shape."""
+    vector = st.integers(min_value=0, max_value=(1 << num_bits) - 1)
+    return st.builds(
+        lambda vs: FMSketch(vectors=tuple(vs), num_bits=num_bits),
+        st.lists(vector, min_size=repetitions, max_size=repetitions),
+    )
+
+
+@given(sketches())
+@settings(max_examples=80)
+def test_merge_idempotent(sketch):
+    assert sketch.merge(sketch) == sketch
+
+
+@given(sketches(), sketches())
+@settings(max_examples=80)
+def test_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(sketches(), sketches(), sketches())
+@settings(max_examples=80)
+def test_merge_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(sketches(), sketches())
+@settings(max_examples=80)
+def test_merge_monotone_estimate(a, b):
+    """Merging can never lower the estimate (bits are only ever added)."""
+    merged = a.merge(b)
+    assert merged.estimate() >= a.estimate() - 1e-9
+    assert merged.estimate() >= b.estimate() - 1e-9
+
+
+@given(sketches())
+@settings(max_examples=80)
+def test_empty_is_identity(sketch):
+    empty = FMSketch.empty(sketch.repetitions, num_bits=sketch.num_bits)
+    assert sketch.merge(empty) == sketch
+
+
+@given(st.integers(min_value=0, max_value=400), st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=40)
+def test_for_value_bit_count_bounded_by_value(value, seed):
+    """A sketch for value v can set at most v bits per vector."""
+    rng = random.Random(seed)
+    sketch = FMSketch.for_value(value, 3, rng)
+    for vector in sketch.vectors:
+        assert bin(vector).count("1") <= max(value, 0) or value == 0
+    if value == 0:
+        assert sketch.is_empty()
+
+
+@given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=30),
+       st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=30)
+def test_order_of_merging_does_not_matter(values, seed):
+    """Folding host sketches in any order yields the same final sketch."""
+    rng = random.Random(seed)
+    host_sketches = [FMSketch.for_value(v, 4, rng) for v in values]
+
+    forward = FMSketch.empty(4)
+    for sketch in host_sketches:
+        forward = forward.merge(sketch)
+
+    backward = FMSketch.empty(4)
+    for sketch in reversed(host_sketches):
+        backward = backward.merge(sketch)
+
+    assert forward == backward

@@ -1,0 +1,84 @@
+"""Tests for the Topology container."""
+
+import pytest
+
+from repro.topology.base import Topology
+from repro.topology.primitives import chain_topology, ring_topology
+
+
+class TestTopologyValidation:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Topology(adjacency=[{0}])
+
+    def test_rejects_unknown_host(self):
+        with pytest.raises(ValueError):
+            Topology(adjacency=[{5}, {0}])
+
+    def test_rejects_asymmetric_edge(self):
+        with pytest.raises(ValueError):
+            Topology(adjacency=[{1}, set()])
+
+    def test_from_edges_ignores_self_loops(self):
+        topo = Topology.from_edges(3, [(0, 1), (1, 1), (1, 2)])
+        assert topo.num_edges == 2
+
+
+class TestTopologyMeasures:
+    def test_counts_on_chain(self):
+        topo = chain_topology(5)
+        assert topo.num_hosts == 5
+        assert topo.num_edges == 4
+        assert topo.average_degree == pytest.approx(1.6)
+        assert sorted(topo.degrees()) == [1, 1, 2, 2, 2]
+
+    def test_edges_are_unique_and_ordered(self):
+        topo = ring_topology(4)
+        edges = list(topo.edges())
+        assert len(edges) == 4
+        assert all(a < b for a, b in edges)
+
+    def test_bfs_distances(self):
+        topo = chain_topology(4)
+        assert topo.bfs_distances(0) == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert topo.bfs_distances(3)[0] == 3
+
+    def test_connectivity(self):
+        topo = chain_topology(4)
+        assert topo.is_connected()
+        disconnected = Topology(adjacency=[{1}, {0}, set()])
+        assert not disconnected.is_connected()
+        assert disconnected.largest_component() == {0, 1}
+
+    def test_diameter_estimate_exact_on_chain(self):
+        assert chain_topology(9).diameter_estimate(samples=4) == 8
+
+    def test_diameter_estimate_on_ring(self):
+        # Ring of 10: diameter 5; double sweep finds it.
+        assert ring_topology(10).diameter_estimate(samples=6) == 5
+
+    def test_neighbors_returns_copy(self):
+        topo = chain_topology(3)
+        neighbors = topo.neighbors(1)
+        neighbors.add(99)
+        assert topo.neighbors(1) == {0, 2}
+
+
+class TestConversions:
+    def test_to_network_preserves_structure(self):
+        topo = ring_topology(6)
+        network = topo.to_network()
+        assert network.num_hosts == 6
+        assert network.num_edges() == 6
+        assert network.neighbors(0) == topo.neighbors(0)
+
+    def test_to_network_is_independent_instance(self):
+        topo = ring_topology(6)
+        network = topo.to_network()
+        network.fail_host(0, time=1.0)
+        assert topo.neighbors(1) == {0, 2}
+
+    def test_to_networkx_roundtrip(self):
+        nx_graph = ring_topology(5).to_networkx()
+        assert nx_graph.number_of_nodes() == 5
+        assert nx_graph.number_of_edges() == 5

@@ -1,0 +1,49 @@
+"""Tests for churn workload helpers."""
+
+import pytest
+
+from repro.workloads.churn_models import (
+    churn_for_fraction,
+    departures_sweep,
+    session_lifetimes,
+)
+
+
+class TestChurnForFraction:
+    def test_fraction_of_hosts_fail(self):
+        schedule = churn_for_fraction(200, 0.1, start=0.0, end=10.0, seed=1)
+        assert schedule.num_failures == 20
+
+    def test_zero_fraction(self):
+        schedule = churn_for_fraction(200, 0.0, start=0.0, end=10.0)
+        assert schedule.num_failures == 0
+
+    def test_protected_host_excluded(self):
+        schedule = churn_for_fraction(50, 0.9, start=0.0, end=1.0, seed=2, protect=[0])
+        assert 0 not in schedule.failed_hosts
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            churn_for_fraction(10, 1.5, start=0.0, end=1.0)
+
+
+class TestDeparturesSweep:
+    def test_one_schedule_per_departure_count(self):
+        schedules = departures_sweep(500, [10, 20, 40], start=0.0, end=5.0, seed=3)
+        assert [s.num_failures for s in schedules] == [10, 20, 40]
+
+    def test_schedules_use_independent_victims(self):
+        schedules = departures_sweep(500, [50, 50], start=0.0, end=5.0, seed=3)
+        assert set(schedules[0].failed_hosts) != set(schedules[1].failed_hosts)
+
+
+class TestSessionLifetimes:
+    def test_median_roughly_matches(self):
+        lifetimes = session_lifetimes(20000, median_lifetime=60.0, seed=1)
+        lifetimes.sort()
+        median = lifetimes[len(lifetimes) // 2]
+        assert median == pytest.approx(60.0, rel=0.1)
+
+    def test_invalid_median(self):
+        with pytest.raises(ValueError):
+            session_lifetimes(10, median_lifetime=0.0)

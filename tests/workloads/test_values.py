@@ -1,0 +1,68 @@
+"""Tests for attribute-value distributions."""
+
+import pytest
+
+from repro.workloads.values import constant_values, uniform_values, zipf_values
+
+
+class TestZipfValues:
+    def test_range_respected(self):
+        values = zipf_values(2000, low=10, high=500, seed=1)
+        assert len(values) == 2000
+        assert min(values) >= 10
+        assert max(values) <= 500
+
+    def test_skew_towards_small_values(self):
+        values = zipf_values(5000, low=10, high=500, seed=2)
+        small = sum(1 for v in values if v < 50)
+        large = sum(1 for v in values if v > 400)
+        assert small > 5 * max(1, large)
+
+    def test_exponent_zero_is_uniformish(self):
+        values = zipf_values(5000, low=1, high=10, exponent=0.0, seed=3)
+        counts = {v: values.count(v) for v in range(1, 11)}
+        assert min(counts.values()) > 300
+
+    def test_deterministic_for_seed(self):
+        assert zipf_values(100, seed=4) == zipf_values(100, seed=4)
+
+    def test_zero_hosts(self):
+        assert zipf_values(0) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            zipf_values(-1)
+        with pytest.raises(ValueError):
+            zipf_values(10, low=5, high=4)
+        with pytest.raises(ValueError):
+            zipf_values(10, exponent=-0.5)
+
+
+class TestUniformValues:
+    def test_range_and_count(self):
+        values = uniform_values(1000, low=10, high=20, seed=1)
+        assert len(values) == 1000
+        assert set(values) <= set(range(10, 21))
+
+    def test_roughly_uniform(self):
+        values = uniform_values(11000, low=1, high=11, seed=2)
+        counts = [values.count(v) for v in range(1, 12)]
+        assert min(counts) > 700
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            uniform_values(-1)
+        with pytest.raises(ValueError):
+            uniform_values(10, low=2, high=1)
+
+
+class TestConstantValues:
+    def test_default_is_all_ones(self):
+        assert constant_values(4) == [1, 1, 1, 1]
+
+    def test_custom_value(self):
+        assert constant_values(3, value=7) == [7, 7, 7]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            constant_values(-2)
