@@ -27,3 +27,28 @@ def run_once(benchmark, func, *args, **kwargs):
     wall-clock cost of regenerating the figure.
     """
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_orchestrated(benchmark, figure_id, *, scale=BENCH_SCALE, trials=1,
+                     workers=1, store=None, force=False):
+    """Run a figure's trial matrix through the orchestration subsystem.
+
+    Routes the benchmark through :func:`repro.experiments.figures.
+    run_figure_matrix` (spec -> executor -> cache) so the harness measures
+    the same path the ``python -m repro`` CLI exercises.  Returns the
+    figure's :class:`~repro.orchestration.executor.RunReport`.
+    """
+    from repro.experiments.figures import run_figure_matrix
+
+    def orchestrate():
+        reports = run_figure_matrix(
+            [figure_id], scale=scale, num_trials=trials,
+            base_seed=BENCH_SEED, workers=workers, store=store, force=force,
+        )
+        return reports[figure_id]
+
+    report = run_once(benchmark, orchestrate)
+    benchmark.extra_info["cache_key"] = report.cache_key[:12]
+    benchmark.extra_info["trials_cached"] = report.num_cached
+    benchmark.extra_info["trials_executed"] = report.num_executed
+    return report

@@ -5,63 +5,36 @@ Usage:
     python examples/reproduce_figures.py                # list figures
     python examples/reproduce_figures.py fig7           # run one figure
     python examples/reproduce_figures.py all --scale 0.3
-    python examples/reproduce_figures.py fig10 --scale 1.0 --seed 3
+    python examples/reproduce_figures.py fig8 --workers 4 --trials 4
 
-The ``--scale`` flag scales network sizes relative to the default
-benchmark-friendly configuration; ``--scale 1.0`` is still far below the
-paper's 40K-host networks (see EXPERIMENTS.md for how to go to full scale
-and what to expect in runtime).
+This script is a thin veneer over the orchestration CLI (``python -m
+repro``): with no argument it lists the figures, and otherwise it forwards
+``FIGURE [options...]`` to ``repro run`` unchanged, so every ``repro run``
+option (``--scale``, ``--seed``, ``--trials``, ``--workers``,
+``--no-cache``, ``--force``, ``--quiet``, ``--cache-dir``) works here too.
+Figure runs fan out over ``--workers`` processes and are cached
+content-addressably under ``.repro_cache/``; note that per-trial driver
+seeds are derived from the experiment spec and ``--seed``, so use
+``repro.experiments.figures.run_figure`` directly to drive a specific
+raw seed.
+
+``--scale 1.0`` is still far below the paper's 40K-host networks; scale
+up gradually and expect runtime to grow superlinearly with network size.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
 
-from repro.experiments.figures import FIGURES, run_figure
-from repro.experiments.tables import format_table
-
-
-def list_figures() -> None:
-    rows = [{"figure": key, "description": description}
-            for key, (description, _) in FIGURES.items()]
-    print(format_table(rows, title="Available figures"))
-
-
-def run_one(figure_id: str, scale: float, seed: int) -> None:
-    description, _ = FIGURES[figure_id]
-    print(f"== {figure_id}: {description} (scale={scale}) ==")
-    started = time.time()
-    rows = run_figure(figure_id, scale=scale, seed=seed)
-    elapsed = time.time() - started
-    print(format_table(rows))
-    print(f"-- {len(rows)} rows in {elapsed:.1f}s --")
-    print()
+from repro.orchestration.cli import main as cli_main
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("figure", nargs="?", default=None,
-                        help="figure id (e.g. fig7) or 'all'")
-    parser.add_argument("--scale", type=float, default=0.5,
-                        help="network-size scale factor (default 0.5)")
-    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
-    args = parser.parse_args(argv)
-
-    if args.figure is None:
-        list_figures()
-        return 0
-    if args.figure == "all":
-        for figure_id in FIGURES:
-            run_one(figure_id, args.scale, args.seed)
-        return 0
-    if args.figure not in FIGURES:
-        print(f"unknown figure {args.figure!r}; known figures:", file=sys.stderr)
-        list_figures()
-        return 1
-    run_one(args.figure, args.scale, args.seed)
-    return 0
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv == ["-h"] or argv == ["--help"]:
+        print(__doc__)
+        return cli_main(["figures"])
+    return cli_main(["run", *argv])
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from repro.semantics.validity import ValidityBounds, check_single_site_validity
 from repro import (
     core,
     experiments,
+    orchestration,
     protocols,
     queries,
     semantics,
@@ -50,6 +51,7 @@ __all__ = [
     "check_single_site_validity",
     "core",
     "experiments",
+    "orchestration",
     "protocols",
     "queries",
     "semantics",

@@ -20,7 +20,12 @@ from repro.experiments.time_cost import (
 )
 from repro.experiments.badcase import run_theorem_44_experiment
 from repro.experiments.capture_recapture import run_capture_recapture_experiment
-from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.figures import (
+    FIGURES,
+    figure_spec,
+    run_figure,
+    run_figure_matrix,
+)
 
 __all__ = [
     "TrialStats",
@@ -38,5 +43,7 @@ __all__ = [
     "run_theorem_44_experiment",
     "run_capture_recapture_experiment",
     "FIGURES",
+    "figure_spec",
     "run_figure",
+    "run_figure_matrix",
 ]

@@ -3,11 +3,21 @@
 Each entry runs a scaled-down version of the corresponding paper figure and
 returns a list of dictionaries (one per table row); EXPERIMENTS.md records a
 representative output of every entry next to the paper's reported shape.
+
+:func:`figure_spec` and :func:`run_figure_matrix` bridge this registry to
+the orchestration subsystem: a figure becomes a declarative
+:class:`~repro.orchestration.spec.ExperimentSpec` that can be fanned out
+over a worker pool and cached content-addressably.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.orchestration.executor import RunReport
+    from repro.orchestration.spec import ExperimentSpec
+    from repro.orchestration.store import ResultStore
 
 from repro.experiments.accuracy import run_accuracy_experiment
 from repro.experiments.badcase import run_theorem_44_experiment
@@ -145,3 +155,57 @@ def run_figure(figure_id: str, scale: float = 1.0, seed: int = 0) -> List[Dict[s
         )
     _, driver = FIGURES[figure_id]
     return driver(scale=scale, seed=seed)
+
+
+def figure_spec(
+    figure_id: str,
+    scale: float = 0.5,
+    num_trials: int = 1,
+    base_seed: int = 0,
+) -> "ExperimentSpec":
+    """Wrap a figure as a declarative spec for the orchestration layer."""
+    from repro.orchestration.spec import ExperimentSpec
+
+    if figure_id not in FIGURES:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}"
+        )
+    description, _ = FIGURES[figure_id]
+    return ExperimentSpec.create(
+        name=description,
+        runner="figure",
+        axes={"figure": [figure_id], "scale": [scale]},
+        num_trials=num_trials,
+        base_seed=base_seed,
+    )
+
+
+def run_figure_matrix(
+    figure_ids: Sequence[str],
+    scale: float = 0.5,
+    num_trials: int = 1,
+    base_seed: int = 0,
+    workers: int = 1,
+    store: Optional["ResultStore"] = None,
+    force: bool = False,
+) -> Dict[str, "RunReport"]:
+    """Run several figures' trial matrices through the orchestration layer.
+
+    All figures' pending trials share one worker pool, so ``workers``
+    parallelism spans figures as well as trials.  Results are bit-identical
+    for any worker count.  Note that each trial's driver seed is *derived*
+    from the spec hash, ``base_seed``, and the trial index (see
+    :func:`repro.orchestration.spec.derive_trial_seed`), not passed through
+    verbatim -- to reproduce one trial with :func:`run_figure` directly,
+    take its seed from the report (or ``spec.trials()``).
+    """
+    from repro.orchestration.executor import run_specs
+
+    figure_ids = list(dict.fromkeys(figure_ids))
+    specs = [
+        figure_spec(figure_id, scale=scale, num_trials=num_trials,
+                    base_seed=base_seed)
+        for figure_id in figure_ids
+    ]
+    reports = run_specs(specs, workers=workers, store=store, force=force)
+    return dict(zip(figure_ids, reports))

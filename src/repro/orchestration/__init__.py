@@ -1,0 +1,46 @@
+"""Parallel experiment orchestration: specs, execution, and result caching.
+
+The subsystem separates *what* an experiment is from *how* it runs:
+
+- :class:`ExperimentSpec` declares a trial matrix (axes x repetitions)
+  with a stable content hash;
+- :class:`ParallelExecutor` / :func:`run_spec` fan trials out over a
+  process pool with per-trial seeds derived from the spec hash, so results
+  are identical for any worker count;
+- :class:`ResultStore` content-addresses results on disk for
+  skip-if-cached resume and incremental re-runs;
+- :mod:`repro.orchestration.cli` exposes it all as ``python -m repro``.
+"""
+
+from repro.orchestration.executor import (
+    ParallelExecutor,
+    RunReport,
+    TrialResult,
+    map_over_seeds,
+    run_spec,
+    run_specs,
+)
+from repro.orchestration.runners import (
+    register_runner,
+    registered_runners,
+    resolve_runner,
+)
+from repro.orchestration.spec import ExperimentSpec, Trial, derive_trial_seed
+from repro.orchestration.store import ResultStore, default_cache_root
+
+__all__ = [
+    "ExperimentSpec",
+    "Trial",
+    "derive_trial_seed",
+    "ParallelExecutor",
+    "RunReport",
+    "TrialResult",
+    "map_over_seeds",
+    "run_spec",
+    "run_specs",
+    "register_runner",
+    "registered_runners",
+    "resolve_runner",
+    "ResultStore",
+    "default_cache_root",
+]

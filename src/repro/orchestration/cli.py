@@ -1,0 +1,192 @@
+"""Command-line interface for the orchestration subsystem.
+
+Exposed both as ``python -m repro`` and as the ``repro`` console script:
+
+    repro figures                      # list available figure experiments
+    repro run fig8 --workers 4         # run one figure's trial matrix
+    repro run all --scale 0.3 -t 2     # every figure, two trials each
+    repro cache ls                     # list cached results
+    repro cache clear 3fa9c1           # evict one spec (cache-key prefix)
+    repro cache clear --all            # evict everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.orchestration.executor import RunReport, run_specs
+from repro.orchestration.store import ResultStore, default_cache_root
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel experiment orchestration for the "
+                    "Price-of-Validity reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list available figure experiments")
+
+    run = sub.add_parser("run", help="run figure trial matrices")
+    run.add_argument("figures", nargs="+", metavar="FIGURE",
+                     help="figure ids (e.g. fig8) or 'all'")
+    run.add_argument("--scale", type=float, default=0.5,
+                     help="network-size scale factor (default 0.5)")
+    run.add_argument("-t", "--trials", type=int, default=1,
+                     help="independent trials per figure (default 1)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="base seed folded into per-trial derivation")
+    run.add_argument("-w", "--workers", type=int, default=1,
+                     help="worker processes (default 1 = in-process)")
+    run.add_argument("--cache-dir", default=None,
+                     help=f"cache location (default {default_cache_root()})")
+    run.add_argument("--no-cache", action="store_true",
+                     help="neither read nor write the result cache")
+    run.add_argument("--force", action="store_true",
+                     help="recompute even if cached")
+    run.add_argument("-q", "--quiet", action="store_true",
+                     help="suppress result tables; print summaries only")
+
+    cache = sub.add_parser("cache", help="inspect or evict cached results")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser("ls", help="list cached records")
+    cache_ls.add_argument("--cache-dir", default=None)
+    cache_clear = cache_sub.add_parser("clear", help="remove cached records")
+    cache_clear.add_argument("hash", nargs="?", default=None,
+                             help="spec hash (or unique prefix) to evict")
+    cache_clear.add_argument("--all", action="store_true", dest="clear_all",
+                             help="evict every record")
+    cache_clear.add_argument("--cache-dir", default=None)
+    return parser
+
+
+def _cmd_figures() -> int:
+    from repro.experiments.figures import FIGURES
+    from repro.experiments.tables import format_table
+
+    rows = [{"figure": key, "description": description}
+            for key, (description, _) in FIGURES.items()]
+    print(format_table(rows, title="Available figures"))
+    return 0
+
+
+def _print_report(figure_id: str, report: RunReport, quiet: bool) -> None:
+    from repro.experiments.tables import format_table
+
+    spec = report.spec
+    print(f"== {figure_id}: {spec.name} "
+          f"[cache {report.cache_key[:12]}] ==")
+    if not quiet:
+        first = report.results[0]
+        rows = first.value if isinstance(first.value, list) else [first.value]
+        print(format_table(rows))
+        if len(report.results) > 1:
+            summary = [{
+                "trial": result.index,
+                "seed": result.seed,
+                "rows": len(result.value) if isinstance(result.value, list)
+                        else 1,
+                "elapsed_s": round(result.elapsed, 2),
+                "cached": "yes" if result.cached else "no",
+            } for result in report.results]
+            print(format_table(summary, title="Trials"))
+    cached = report.num_cached
+    print(f"-- {len(report.results)} trials "
+          f"({cached} cached, {report.num_executed} executed) "
+          f"in {report.elapsed:.2f}s with {report.workers} worker(s) --")
+    print()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import FIGURES, figure_spec
+
+    if args.trials < 1:
+        print("--trials must be at least 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    figure_ids: List[str] = []
+    for figure_id in args.figures:
+        if figure_id == "all":
+            figure_ids.extend(FIGURES)
+        elif figure_id in FIGURES:
+            figure_ids.append(figure_id)
+        else:
+            print(f"unknown figure {figure_id!r}; known: "
+                  f"{', '.join(sorted(FIGURES))}", file=sys.stderr)
+            return 2
+    # Dedupe while preserving order: `run all fig9` runs fig9 once.
+    figure_ids = list(dict.fromkeys(figure_ids))
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    specs = [
+        figure_spec(figure_id, scale=args.scale,
+                    num_trials=args.trials, base_seed=args.seed)
+        for figure_id in figure_ids
+    ]
+    # One shared pool across figures: `run all --workers N` parallelises
+    # even at one trial per figure.
+    reports = run_specs(specs, workers=args.workers, store=store,
+                        force=args.force)
+    for figure_id, report in zip(figure_ids, reports):
+        _print_report(figure_id, report, args.quiet)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table
+
+    store = ResultStore(args.cache_dir)
+    if args.cache_command == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"(cache at {store.root} is empty)")
+            return 0
+        print(format_table(entries, title=f"Cache at {store.root}"))
+        return 0
+    # clear
+    if args.clear_all:
+        target = None
+    elif args.hash is not None:
+        target = args.hash
+    else:
+        print("cache clear requires a hash prefix or --all", file=sys.stderr)
+        return 2
+    try:
+        removed = store.clear(target)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"removed {removed} record(s) from {store.root}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "figures":
+            return _cmd_figures()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+    except KeyboardInterrupt:
+        # Completed trials are already persisted; a re-run resumes there.
+        print("\ninterrupted; finished trials are cached", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved unix filter.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

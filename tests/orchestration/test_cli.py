@@ -1,0 +1,76 @@
+"""CLI smoke tests: run with cache, figures listing, cache ls/clear."""
+
+import pytest
+
+from repro.orchestration.cli import main
+
+#: Cheapest figure configuration that still exercises a real driver.
+RUN_ARGS = ["--scale", "0.05", "--trials", "1"]
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def test_figures_lists_every_registered_figure(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    from repro.experiments.figures import FIGURES
+
+    for figure_id in FIGURES:
+        assert figure_id in out
+
+
+def test_run_then_cached_rerun(cache_dir, capsys):
+    assert main(["run", "fig6", *RUN_ARGS, "--cache-dir", cache_dir]) == 0
+    cold = capsys.readouterr().out
+    assert "1 trials (0 cached, 1 executed)" in cold
+
+    assert main(["run", "fig6", *RUN_ARGS, "--cache-dir", cache_dir]) == 0
+    warm = capsys.readouterr().out
+    assert "1 trials (1 cached, 0 executed)" in warm
+
+    # The printed result table is identical between cold and warm runs.
+    table = [line for line in cold.splitlines()
+             if line.startswith(("count", "sum"))]
+    assert table and table == \
+        [line for line in warm.splitlines()
+         if line.startswith(("count", "sum"))]
+
+
+def test_run_unknown_figure_fails_cleanly(cache_dir, capsys):
+    assert main(["run", "fig99", "--cache-dir", cache_dir]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_cache_ls_and_targeted_clear(cache_dir, capsys):
+    main(["run", "fig6", *RUN_ARGS, "--cache-dir", cache_dir])
+    capsys.readouterr()
+
+    assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+    listing = capsys.readouterr().out
+    assert "figure" in listing
+
+    # Grab the hash from the listing and clear exactly that record.
+    spec_hash = next(
+        line.split()[0] for line in listing.splitlines()
+        if line and not line.startswith(("Cache", "hash", "-"))
+    )
+    assert main(["cache", "clear", spec_hash[:10],
+                 "--cache-dir", cache_dir]) == 0
+    assert "removed 1 record(s)" in capsys.readouterr().out
+
+    assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+def test_cache_clear_requires_target(cache_dir, capsys):
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 2
+    assert "--all" in capsys.readouterr().err
+
+
+def test_no_cache_leaves_no_records(cache_dir, tmp_path, capsys):
+    assert main(["run", "fig6", *RUN_ARGS, "--no-cache", "-q",
+                 "--cache-dir", cache_dir]) == 0
+    assert not (tmp_path / "cache").exists()

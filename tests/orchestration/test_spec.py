@@ -1,0 +1,112 @@
+"""ExperimentSpec: canonical hashing, expansion, and seed derivation."""
+
+import pytest
+
+from repro.orchestration.spec import ExperimentSpec, derive_trial_seed
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        name="spec under test",
+        runner="figure",
+        axes={"figure": ["fig6"], "scale": [0.5]},
+        num_trials=3,
+        base_seed=0,
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec.create(**kwargs)
+
+
+def test_hash_is_stable_across_processes_and_calls():
+    spec = make_spec()
+    assert spec.content_hash() == make_spec().content_hash()
+    # Pin the digest: a change here invalidates every existing cache entry,
+    # so it must be deliberate.
+    assert len(spec.content_hash()) == 64
+
+
+def test_hash_ignores_axis_insertion_order_and_name():
+    a = ExperimentSpec.create("a", "figure",
+                              axes={"figure": ["fig7"], "scale": [0.3]})
+    b = ExperimentSpec.create("some other label", "figure",
+                              axes={"scale": [0.3], "figure": ["fig7"]})
+    assert a.content_hash() == b.content_hash()
+
+
+@pytest.mark.parametrize("overrides", [
+    {"runner": "validity-point"},
+    {"axes": {"figure": ["fig7"], "scale": [0.5]}},
+    {"axes": {"figure": ["fig6"], "scale": [0.25]}},
+    {"num_trials": 4},
+    {"base_seed": 7},
+])
+def test_hash_changes_with_identity_fields(overrides):
+    assert make_spec().content_hash() != make_spec(**overrides).content_hash()
+
+
+def test_points_is_cartesian_product_in_canonical_order():
+    spec = ExperimentSpec.create(
+        "matrix", "validity-point",
+        axes={"topology": ["ring", "grid"], "protocol": ["wildfire"],
+              "size": [16, 32]},
+    )
+    points = spec.points()
+    assert len(points) == 4
+    assert points[0] == {"protocol": "wildfire", "size": 16, "topology": "ring"}
+    # Axes iterate in sorted-name order and later axes vary fastest, so
+    # "topology" (last alphabetically) alternates while "size" varies slower.
+    assert [p["topology"] for p in points] == ["ring", "grid", "ring", "grid"]
+    assert [p["size"] for p in points] == [16, 16, 32, 32]
+
+
+def test_trials_are_seeded_from_spec_hash_and_index():
+    spec = make_spec(num_trials=4)
+    trials = spec.trials()
+    assert [t.index for t in trials] == [0, 1, 2, 3]
+    spec_hash = spec.content_hash()
+    for trial in trials:
+        assert trial.seed == derive_trial_seed(spec_hash, 0, trial.index)
+    assert len({t.seed for t in trials}) == 4  # distinct per index
+    # Re-expansion yields the same seeds.
+    assert [t.seed for t in spec.trials()] == [t.seed for t in trials]
+
+
+def test_version_bump_evicts_cache_but_keeps_seeds(monkeypatch):
+    spec = make_spec()
+    hash_before = spec.content_hash()
+    key_before = spec.cache_key()
+    seeds_before = [t.seed for t in spec.trials()]
+
+    monkeypatch.setattr("repro.__version__", "999.0.0")
+    bumped = make_spec()
+    # Cache key moves (old results are never served for new code)...
+    assert bumped.cache_key() != key_before
+    # ...but the spec identity and every derived seed are unchanged, so
+    # the experiment's numbers are stable across releases.
+    assert bumped.content_hash() == hash_before
+    assert [t.seed for t in bumped.trials()] == seeds_before
+
+
+def test_different_specs_derive_different_seed_streams():
+    seeds_a = [t.seed for t in make_spec(num_trials=3).trials()]
+    seeds_b = [t.seed for t in make_spec(num_trials=3, base_seed=1).trials()]
+    assert seeds_a != seeds_b
+
+
+def test_num_cells_counts_points_times_trials():
+    spec = ExperimentSpec.create(
+        "matrix", "validity-point",
+        axes={"topology": ["ring", "grid"], "size": [16, 32, 64]},
+        num_trials=2,
+    )
+    assert spec.num_cells == 12
+    assert len(spec.trials()) == 12
+
+
+def test_create_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        make_spec(num_trials=0)
+    with pytest.raises(ValueError):
+        make_spec(axes={"figure": []})
+    with pytest.raises(TypeError):
+        make_spec(axes={"figure": [["nested", "list"]]})
