@@ -1,0 +1,145 @@
+"""Beyond-paper scale benchmarks for the simulation kernel.
+
+The paper's experiments top out at the ~39k-host Gnutella crawl; the
+batched-ring kernel opens network sizes an order of magnitude past that.
+:func:`run_scale_benchmark` runs one protocol/topology/aggregate cell at an
+arbitrary host count and reports wall-clock throughput alongside the
+paper's cost measures, so kernel regressions show up as a number, not a
+feeling.  The ``repro bench`` CLI and ``benchmarks/test_kernel_scale.py``
+both route through here.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.protocols.base import run_protocol
+from repro.topology.base import Topology
+
+
+def _build_topology(name: str, num_hosts: int, seed: int) -> Topology:
+    from repro.orchestration.runners import TOPOLOGY_BUILDERS
+
+    if name not in TOPOLOGY_BUILDERS:
+        raise KeyError(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGY_BUILDERS)}"
+        )
+    return TOPOLOGY_BUILDERS[name](num_hosts, seed)
+
+
+def _build_protocol(name: str):
+    from repro.protocols.dag import DirectedAcyclicGraph
+    from repro.protocols.spanning_tree import SpanningTree
+    from repro.protocols.wildfire import Wildfire
+
+    if name == "wildfire":
+        return Wildfire()
+    if name == "spanning-tree":
+        return SpanningTree()
+    if name.startswith("dag"):
+        suffix = name[3:] or "2"
+        if suffix.isdigit() and int(suffix) >= 2:
+            return DirectedAcyclicGraph(num_parents=int(suffix))
+    raise KeyError(
+        f"unknown protocol {name!r}; known: wildfire, spanning-tree, dagK "
+        f"(K >= 2, e.g. dag2)"
+    )
+
+
+def run_scale_benchmark(
+    num_hosts: int,
+    topology: str = "gnutella",
+    protocol: str = "wildfire",
+    aggregate: str = "count",
+    seed: int = 0,
+    repetitions: int = 8,
+    values: Optional[Sequence[float]] = None,
+    prebuilt_topology: Optional[Topology] = None,
+) -> Dict[str, Any]:
+    """Run one protocol once at ``num_hosts`` scale and measure it.
+
+    Returns one table row with the wall-clock split (topology generation
+    vs. simulation), the three paper cost measures, and the kernel
+    throughput in delivered messages per second.
+
+    Args:
+        num_hosts: network size (the paper stops at ~39k; 100k+ works).
+        topology: a :data:`~repro.orchestration.runners.TOPOLOGY_BUILDERS`
+            key (``gnutella``, ``power-law``, ``grid``, ``random``, ...).
+        protocol: ``wildfire``, ``spanning-tree`` or ``dagK``.
+        aggregate: query kind (``count``, ``sum``, ``min``, ...).
+        seed: seed for topology generation, values and the protocol run.
+        repetitions: FM repetitions for sketch-based combiners.
+        values: per-host attribute values (default: uniform floats in
+            [0, 100) drawn from ``seed``).
+        prebuilt_topology: reuse an existing topology (e.g. to time several
+            protocols on one graph without regenerating it).
+    """
+    if num_hosts < 2:
+        raise ValueError("scale benchmarks need at least 2 hosts")
+
+    gen_start = time.perf_counter()
+    if prebuilt_topology is not None:
+        topo = prebuilt_topology
+    else:
+        topo = _build_topology(topology, num_hosts, seed)
+    gen_seconds = time.perf_counter() - gen_start
+
+    if values is None:
+        rng = random.Random(seed)
+        values = [rng.random() * 100.0 for _ in range(topo.num_hosts)]
+
+    run_start = time.perf_counter()
+    result = run_protocol(
+        _build_protocol(protocol),
+        topo,
+        values,
+        aggregate,
+        querying_host=0,
+        seed=seed,
+        repetitions=repetitions,
+    )
+    run_seconds = time.perf_counter() - run_start
+
+    messages = result.costs.messages_sent
+    return {
+        "hosts": topo.num_hosts,
+        "topology": topology if prebuilt_topology is None else topo.name,
+        "protocol": protocol,
+        "aggregate": aggregate,
+        "seed": seed,
+        "value": result.value,
+        "d_hat": result.d_hat,
+        "messages": messages,
+        "computation_cost": result.costs.computation_cost,
+        "time_cost": result.costs.time_cost,
+        "gen_seconds": round(gen_seconds, 4),
+        "run_seconds": round(run_seconds, 4),
+        "messages_per_second": (
+            round(messages / run_seconds) if run_seconds > 0 else 0
+        ),
+    }
+
+
+def run_scale_sweep(
+    host_counts: Sequence[int],
+    topology: str = "gnutella",
+    protocol: str = "wildfire",
+    aggregate: str = "count",
+    seed: int = 0,
+    repetitions: int = 8,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> List[Dict[str, Any]]:
+    """Run :func:`run_scale_benchmark` for each host count, in order."""
+    rows: List[Dict[str, Any]] = []
+    for num_hosts in host_counts:
+        row = run_scale_benchmark(
+            int(num_hosts), topology=topology, protocol=protocol,
+            aggregate=aggregate, seed=seed, repetitions=repetitions,
+        )
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    return rows

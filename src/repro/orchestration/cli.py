@@ -5,6 +5,8 @@ Exposed both as ``python -m repro`` and as the ``repro`` console script:
     repro figures                      # list available figure experiments
     repro run fig8 --workers 4         # run one figure's trial matrix
     repro run all --scale 0.3 -t 2     # every figure, two trials each
+    repro run fig7 --scale 2.0         # beyond-paper network sizes
+    repro bench --hosts 1000 100000    # kernel scale benchmark
     repro cache ls                     # list cached results
     repro cache clear 3fa9c1           # evict one spec (cache-key prefix)
     repro cache clear --all            # evict everything
@@ -34,7 +36,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("figures", nargs="+", metavar="FIGURE",
                      help="figure ids (e.g. fig8) or 'all'")
     run.add_argument("--scale", type=float, default=0.5,
-                     help="network-size scale factor (default 0.5)")
+                     help="network-size scale factor: 1.0 = the paper's "
+                          "sizes, >1 runs beyond-paper networks "
+                          "(default 0.5)")
     run.add_argument("-t", "--trials", type=int, default=1,
                      help="independent trials per figure (default 1)")
     run.add_argument("--seed", type=int, default=0,
@@ -49,6 +53,28 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="recompute even if cached")
     run.add_argument("-q", "--quiet", action="store_true",
                      help="suppress result tables; print summaries only")
+
+    bench = sub.add_parser(
+        "bench", help="kernel scale benchmark at arbitrary host counts")
+    bench.add_argument("--hosts", type=int, nargs="+",
+                       default=[1000, 10000],
+                       help="network sizes to run (default: 1000 10000; "
+                            "100000 completes in well under a minute)")
+    bench.add_argument("--topology", default="gnutella",
+                       help="topology generator (default gnutella)")
+    bench.add_argument("--protocol", default="wildfire",
+                       help="protocol: wildfire | spanning-tree | dagK")
+    bench.add_argument("--aggregate", default="count",
+                       help="query kind (default count)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--repetitions", type=int, default=8,
+                       help="FM repetitions c for sketch combiners")
+    bench.add_argument("--json", default=None, metavar="PATH",
+                       help="append rows to a BENCH_kernel.json trajectory "
+                            "file at PATH")
+    bench.add_argument("--label", default=None,
+                       help="trajectory label for --json (default: "
+                            "'cli' plus the cell parameters)")
 
     cache = sub.add_parser("cache", help="inspect or evict cached results")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -137,6 +163,74 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.scale_bench import run_scale_sweep
+    from repro.experiments.tables import format_table
+
+    if any(h < 2 for h in args.hosts):
+        print("--hosts values must be at least 2", file=sys.stderr)
+        return 2
+    if args.repetitions < 1:
+        print("--repetitions must be at least 1", file=sys.stderr)
+        return 2
+    payload = None
+    if args.json:
+        # Pre-flight the trajectory file BEFORE the (potentially long)
+        # sweep: a corrupt or non-object file must fail fast, not after
+        # minutes of benchmarking, and must never be silently overwritten.
+        import json
+
+        try:
+            with open(args.json) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            payload = {"trajectory": []}
+        except (OSError, ValueError) as exc:
+            print(f"refusing to overwrite {args.json}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(payload, dict):
+            print(f"refusing to overwrite {args.json}: top-level JSON "
+                  f"value is {type(payload).__name__}, expected an object",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(payload.setdefault("trajectory", []), list):
+            print(f"refusing to overwrite {args.json}: 'trajectory' is "
+                  f"not a list", file=sys.stderr)
+            return 2
+    try:
+        rows = run_scale_sweep(
+            args.hosts,
+            topology=args.topology,
+            protocol=args.protocol,
+            aggregate=args.aggregate,
+            seed=args.seed,
+            repetitions=args.repetitions,
+            progress=lambda row: print(
+                f".. {row['hosts']} hosts: {row['run_seconds']:.2f}s, "
+                f"{row['messages']} messages "
+                f"({row['messages_per_second']}/s)", file=sys.stderr),
+        )
+    except (KeyError, ValueError) as exc:
+        # Unknown topology/protocol/aggregate names surface as one-line
+        # errors, matching the `run` subcommand's convention.
+        message = exc.args[0] if exc.args else str(exc)
+        print(str(message), file=sys.stderr)
+        return 2
+    print(format_table(rows, title=f"Kernel scale benchmark "
+                                   f"({args.protocol} / {args.topology} / "
+                                   f"{args.aggregate})"))
+    if args.json and payload is not None:
+        label = args.label or (
+            f"cli {args.protocol}/{args.topology}/{args.aggregate}")
+        payload["trajectory"].append({"label": label, "rows": rows})
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"appended trajectory point to {args.json}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.tables import format_table
 
@@ -172,6 +266,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_figures()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "cache":
             return _cmd_cache(args)
     except KeyboardInterrupt:

@@ -148,6 +148,33 @@ def figure_runner(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
     )
 
 
+@register_runner("scale-bench")
+def scale_bench_runner(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Run one kernel scale-benchmark cell (see ``repro bench``).
+
+    Axes: ``hosts``, plus optional ``topology`` / ``protocol`` /
+    ``aggregate`` / ``repetitions``.  The spec's derived seed feeds
+    topology generation, values and the protocol run, so a cell is fully
+    reproducible.  Wall-clock fields are stripped from the returned rows:
+    spec results are content-address cached, and a replayed timing would
+    masquerade as a fresh measurement -- use ``repro bench`` (uncached)
+    to measure, and this runner to sweep the deterministic cost measures.
+    """
+    from repro.experiments.scale_bench import run_scale_benchmark
+
+    row = run_scale_benchmark(
+        int(params.get("hosts", 1000)),
+        topology=str(params.get("topology", "gnutella")),
+        protocol=str(params.get("protocol", "wildfire")),
+        aggregate=str(params.get("aggregate", "count")),
+        seed=seed,
+        repetitions=int(params.get("repetitions", 8)),
+    )
+    for timing_field in ("gen_seconds", "run_seconds", "messages_per_second"):
+        row.pop(timing_field, None)
+    return [row]
+
+
 @register_runner("validity-point")
 def validity_point_runner(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
     """Run a single (topology, protocol, aggregate, churn) validity trial.

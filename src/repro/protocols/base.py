@@ -117,8 +117,18 @@ def run_protocol(
     wireless: bool = False,
     seed: int = 0,
     repetitions: int = 8,
+    max_time: Optional[float] = None,
 ) -> ProtocolRunResult:
     """Run ``protocol`` once and return its declared answer and costs.
+
+    This is the seam between the experiment drivers and the batched
+    simulation kernel: the topology hands its freshly built adjacency to
+    :class:`~repro.simulation.network.DynamicNetwork` without re-copying
+    or re-validating, the diameter estimate behind ``d_hat`` is memoised
+    on the topology (drivers re-run many trials on one graph), and the
+    per-trial RNG seeds both sketch initialisation and protocol
+    randomness so a (topology, seed) pair is fully reproducible at any
+    network size.
 
     Args:
         protocol: the protocol to execute.
@@ -137,6 +147,9 @@ def run_protocol(
         wireless: model a broadcast medium (sensor grid experiments).
         seed: RNG seed for sketch initialisation and protocol randomness.
         repetitions: FM repetitions used when a default combiner is built.
+        max_time: override for the simulator's runaway backstop (defaults
+            to four times the nominal termination time; tighten it to
+            fail fast on non-terminating regressions in large-scale runs).
     """
     if isinstance(query, str):
         query = AggregateQuery.of(query)
@@ -174,7 +187,7 @@ def run_protocol(
         delta=delta,
         churn=churn,
         wireless=wireless,
-        max_time=termination * 4 + 16,
+        max_time=termination * 4 + 16 if max_time is None else max_time,
     )
     sim_result: SimulationResult = simulator.run(until=termination)
     return ProtocolRunResult(

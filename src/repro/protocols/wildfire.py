@@ -34,6 +34,7 @@ from repro.queries.query import AggregateQuery
 from repro.simulation.host import HostContext, ProtocolHost
 from repro.simulation.messages import Message
 from repro.sketches.combiners import Combiner
+from repro.sketches.fm import FMSketch
 from repro.topology.base import Topology
 
 #: Message kinds used by the protocol.
@@ -67,7 +68,6 @@ class WildfireHost(ProtocolHost):
         self.early_termination = early_termination
 
         self.active = False
-        self.partial: Any = None
         self.distance: Optional[int] = None
         self.updates_observed = 0
 
@@ -77,9 +77,47 @@ class WildfireHost(ProtocolHost):
         self._reply_to: Set[int] = set()
         self._flush_pending = False
 
+        # Hot-path bindings: the combine/equality hooks are resolved once,
+        # and the participation deadline is cached at activation time (it
+        # only depends on the hop distance, which never changes afterwards).
+        self._combine = combiner.combine
+        self._states_equal = combiner.states_equal
+        self._absorbs = combiner.absorbs
+        self._deadline = 2.0 * d_hat * delta
+
+        # FM fast path: when the combiner's state is a packed bitmask
+        # (count/sum sketches), convergecast folding runs on bare ints and
+        # the FMSketch object is materialised lazily, only when the
+        # aggregate is actually sent or read.  Outcomes are identical to
+        # the combiner calls: OR <=> combine, int == <=> states_equal.
+        self._packed_mode = bool(getattr(combiner, "packed_state", False))
+        self._packed: Optional[int] = None
+        self._packed_stale = False
+        if self._packed_mode:
+            self._reps = combiner.repetitions
+            self._nbits = combiner.num_bits
+        self._partial_obj: Any = None
+        self.partial = None
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    @property
+    def partial(self) -> Any:
+        """The current partial aggregate (materialised on demand)."""
+        if self._packed_stale:
+            self._partial_obj = FMSketch._from_packed(
+                self._packed, self._reps, self._nbits)
+            self._packed_stale = False
+        return self._partial_obj
+
+    @partial.setter
+    def partial(self, value: Any) -> None:
+        self._partial_obj = value
+        self._packed_stale = False
+        if self._packed_mode and value is not None:
+            self._packed = value.packed
+
     @property
     def _global_deadline(self) -> float:
         return 2.0 * self.d_hat * self.delta
@@ -98,6 +136,7 @@ class WildfireHost(ProtocolHost):
         self.active = True
         self.distance = distance
         self.partial = self.combiner.initial(self.value, self.rng)
+        self._deadline = self._participation_deadline()
 
     def _payload(self) -> dict:
         return {
@@ -147,31 +186,71 @@ class WildfireHost(ProtocolHost):
             self._dirty = False  # neighbors just heard our aggregate
             return
 
-        if ctx.now > self._participation_deadline():
+        if ctx.now > self._deadline:
             return
-        self._fold(incoming, message.sender, ctx)
+        # Inlined _fold (Fig. 4 rules), the hottest protocol code path.
+        if incoming is None:
+            return
+        if self._packed_mode:
+            # Sketch folding on bare packed ints; no object allocation at
+            # all unless the aggregate actually grows.
+            packed = self._packed
+            inc = incoming.packed
+            merged = packed | inc
+            if merged == packed:
+                if packed != inc:
+                    self._reply_to.add(message.sender)
+                    self._schedule_flush(ctx)
+                return
+            self._packed = merged
+            self._packed_stale = True
+            self.updates_observed += 1
+            self._dirty = True
+            # If the merge result equals what the sender already has, there
+            # is no point echoing it straight back (Example 5.1).
+            self._skip_neighbor = message.sender if merged == inc else None
+            self._reply_to.discard(message.sender)
+            self._schedule_flush(ctx)
+            return
+        # Generic combiners: ``absorbs`` tests containment without
+        # allocating a merged state that would be discarded.
+        partial = self.partial
+        if self._absorbs(partial, incoming):
+            if not self._states_equal(partial, incoming):
+                # Our aggregate did not change but the sender's is stale:
+                # send ours back so the sender (and eventually the querying
+                # host on the other side of it) catches up.
+                self._reply_to.add(message.sender)
+                self._schedule_flush(ctx)
+            return
+        self.partial = new_partial = self._combine(partial, incoming)
+        self.updates_observed += 1
+        self._dirty = True
+        # If the merge result equals what the sender already has, there
+        # is no point echoing it straight back (Example 5.1).
+        if self._states_equal(new_partial, incoming):
+            self._skip_neighbor = message.sender
+        else:
+            self._skip_neighbor = None
+        self._reply_to.discard(message.sender)
+        self._schedule_flush(ctx)
 
     def _fold(self, incoming: Any, sender: int, ctx: HostContext) -> None:
         """Fold a received partial aggregate into our own (Fig. 4 rules)."""
         if incoming is None:
             return
-        new_partial = self.combiner.combine(self.partial, incoming)
-        if not self.combiner.states_equal(new_partial, self.partial):
+        new_partial = self._combine(self.partial, incoming)
+        if not self._states_equal(new_partial, self.partial):
             self.partial = new_partial
             self.updates_observed += 1
             self._dirty = True
-            # If the merge result equals what the sender already has, there
-            # is no point echoing it straight back (Example 5.1).
-            if self.combiner.states_equal(self.partial, incoming):
+            if self._states_equal(self.partial, incoming):
                 self._skip_neighbor = sender
             else:
                 self._skip_neighbor = None
             self._reply_to.discard(sender)
             self._schedule_flush(ctx)
-        elif not self.combiner.states_equal(self.partial, incoming):
-            # Our aggregate did not change but the sender's is stale: send
-            # ours back so the sender (and eventually the querying host on
-            # the other side of it) catches up.
+        elif not self._states_equal(self.partial, incoming):
             self._reply_to.add(sender)
             self._schedule_flush(ctx)
 
@@ -179,7 +258,7 @@ class WildfireHost(ProtocolHost):
         if name != FLUSH:
             return
         self._flush_pending = False
-        if not self.active or ctx.now > self._participation_deadline():
+        if not self.active or ctx.now > self._deadline:
             self._dirty = False
             self._reply_to.clear()
             return

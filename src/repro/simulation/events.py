@@ -1,8 +1,30 @@
 """Event queue for the discrete-event simulator.
 
-Events are ordered by (time, sequence number) so that ties are broken
-deterministically in insertion order, which keeps simulations reproducible
-for a fixed random seed.
+Events are ordered by ``(time, kind priority, sequence number)`` so that
+ties are broken deterministically in insertion order, which keeps
+simulations reproducible for a fixed random seed.
+
+The queue is implemented as a *batched delivery ring* rather than a single
+binary heap of events.  The simulator's network model delivers every
+message after exactly ``delta`` time, so at any instant nearly all pending
+events share a handful of distinct timestamps (``t + delta`` for messages,
+a few timer deadlines, the churn schedule).  The ring exploits that:
+
+* each distinct timestamp owns one *slot* -- six FIFO lists, one per
+  :data:`_KIND_PRIORITY` level -- and pushing an event is a dict lookup
+  plus a list append (no per-event heap sift, no event comparisons);
+* a small heap of *bare floats* (one entry per distinct timestamp, not per
+  event) orders the slots; slots drain fully before the next timestamp is
+  considered;
+* within a slot, events drain in priority order and, within a priority, in
+  insertion order -- exactly the ``(time, priority, seq)`` total order the
+  original heap implementation produced, including events appended to the
+  slot *while it is draining* (a zero-delay timer scheduled at the current
+  instant still runs after the instant's remaining deliveries, and a
+  delivery appended mid-drain still precedes the instant's timers).
+
+The public API (``push`` / ``pop`` / ``peek_time`` / ``cancel`` /
+``drain``) is unchanged from the heap implementation.
 """
 
 from __future__ import annotations
@@ -11,7 +33,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.simulation.messages import Message
 
@@ -41,8 +63,12 @@ _KIND_PRIORITY = {
     EventKind.FAIL: 5,
 }
 
+_NUM_PRIORITIES = 6
+_DELIVER_PRIORITY = _KIND_PRIORITY[EventKind.DELIVER]
+_TIMER_PRIORITY = _KIND_PRIORITY[EventKind.TIMER]
 
-@dataclass(order=True)
+
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled simulation event.
 
@@ -60,24 +86,57 @@ class Event:
     data: Any = field(compare=False, default=None)
 
 
-class EventQueue:
-    """A priority queue of :class:`Event` objects.
+class _Slot:
+    """All events scheduled at one instant: six priority-ordered FIFOs.
 
-    Supports lazy cancellation: cancelled events stay in the heap but are
+    ``cursors[p]`` is the index of the next undrained event in
+    ``buckets[p]``; appends during draining land beyond the cursor and are
+    therefore picked up before the slot is released.  ``min_pri`` is a
+    lower bound on the smallest priority level with pending events, so the
+    drain scan can skip the (usually empty) levels below it; pushes lower
+    it when they schedule below the current bound.
+    """
+
+    __slots__ = ("buckets", "cursors", "min_pri")
+
+    def __init__(self) -> None:
+        self.buckets: List[List[Event]] = [[] for _ in range(_NUM_PRIORITIES)]
+        self.cursors: List[int] = [0] * _NUM_PRIORITIES
+        self.min_pri = _NUM_PRIORITIES
+
+
+class EventQueue:
+    """A batched ring of :class:`Event` objects ordered by (time, prio, seq).
+
+    Supports lazy cancellation: cancelled events stay in their slot but are
     skipped when popped.
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._slots: Dict[float, _Slot] = {}
+        self._times: List[float] = []          # heap of bare floats
         self._counter = itertools.count()
         self._cancelled: set[int] = set()
+        self._size = 0
 
     def __len__(self) -> int:
-        return len(self._heap) - len(self._cancelled)
+        return self._size - len(self._cancelled)
 
     def __bool__(self) -> bool:
         return len(self) > 0
 
+    def _slot_at(self, time: float) -> _Slot:
+        """The slot for ``time``, creating (and heap-registering) it once."""
+        slot = self._slots.get(time)
+        if slot is None:
+            slot = _Slot()
+            self._slots[time] = slot
+            heapq.heappush(self._times, time)
+        return slot
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
     def push(
         self,
         time: float,
@@ -87,12 +146,13 @@ class EventQueue:
         timer_name: Optional[str] = None,
         data: Any = None,
     ) -> Event:
-        """Schedule a new event and return it (its ``seq`` can cancel it)."""
+        """Schedule a new event and return it (useful for ``cancel``)."""
         if time < 0:
             raise ValueError("events cannot be scheduled at negative times")
+        priority = _KIND_PRIORITY[kind]
         event = Event(
             time=time,
-            priority=_KIND_PRIORITY[kind],
+            priority=priority,
             seq=next(self._counter),
             kind=kind,
             host=host,
@@ -100,12 +160,133 @@ class EventQueue:
             timer_name=timer_name,
             data=data,
         )
-        heapq.heappush(self._heap, event)
+        slot = self._slot_at(time)
+        slot.buckets[priority].append(event)
+        if priority < slot.min_pri:
+            slot.min_pri = priority
+        self._size += 1
         return event
+
+    def push_deliver(self, time: float, message: Message) -> None:
+        """Fast-path scheduling of a message delivery (the hot event kind).
+
+        The bare :class:`Message` is stored in the slot's deliver bucket --
+        FIFO position alone encodes its place in the (time, priority, seq)
+        total order, so no :class:`Event` wrapper (and no sequence number)
+        is allocated.  Ordering semantics are identical to
+        ``push(time, EventKind.DELIVER, message=message)``; the only
+        difference is that fast-path deliveries cannot be cancelled (the
+        simulator never cancels deliveries).
+        """
+        slot = self._slot_at(time)
+        slot.buckets[_DELIVER_PRIORITY].append(message)
+        if _DELIVER_PRIORITY < slot.min_pri:
+            slot.min_pri = _DELIVER_PRIORITY
+        self._size += 1
+
+    def push_timer(self, time: float, host: int, name: str, info: Any) -> Event:
+        """Fast-path scheduling of a host timer.
+
+        Equivalent to ``push(time, EventKind.TIMER, host=host,
+        timer_name=name, data=info)`` minus the keyword plumbing; the
+        returned event carries a sequence number and can be cancelled like
+        any other event.
+        """
+        event = Event(time, _TIMER_PRIORITY, next(self._counter),
+                      EventKind.TIMER, host, None, name, info)
+        slot = self._slot_at(time)
+        slot.buckets[_TIMER_PRIORITY].append(event)
+        if _TIMER_PRIORITY < slot.min_pri:
+            slot.min_pri = _TIMER_PRIORITY
+        self._size += 1
+        return event
+
+    def extend_delivers(self, time: float, messages: List[Message]) -> None:
+        """Bulk :meth:`push_deliver`: append one multicast's messages.
+
+        All messages of a multicast share the delivery instant, so the
+        whole batch lands in one slot bucket with a single call.
+        """
+        slot = self._slot_at(time)
+        slot.buckets[_DELIVER_PRIORITY].extend(messages)
+        if _DELIVER_PRIORITY < slot.min_pri:
+            slot.min_pri = _DELIVER_PRIORITY
+        self._size += len(messages)
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (lazy removal)."""
         self._cancelled.add(event.seq)
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def _locate_front(self):
+        """Advance past cancelled events and locate the earliest live one.
+
+        Returns ``(time, slot, priority, index, entry)`` without consuming
+        the entry, or ``None`` when the queue is empty.  Cancelled events
+        encountered on the way are discarded and exhausted slots are
+        released (their timestamp popped from the time heap), so the ring
+        never revisits them.  Both :meth:`pop_due` and :meth:`peek_time`
+        share this scan, keeping the cursor/``min_pri``/``_size``
+        bookkeeping in exactly one place.
+        """
+        times = self._times
+        cancelled = self._cancelled
+        while times:
+            time = times[0]
+            slot = self._slots.get(time)
+            if slot is None:  # released slot whose timestamp lingered
+                heapq.heappop(times)
+                continue
+            buckets = slot.buckets
+            cursors = slot.cursors
+            priority = slot.min_pri
+            while priority < _NUM_PRIORITIES:
+                bucket = buckets[priority]
+                index = cursors[priority]
+                length = len(bucket)
+                while index < length:
+                    entry = bucket[index]
+                    if (entry.__class__ is not Message
+                            and entry.seq in cancelled):
+                        cancelled.discard(entry.seq)
+                        self._size -= 1
+                        bucket[index] = None  # type: ignore[call-overload]
+                        index += 1
+                        continue
+                    cursors[priority] = index
+                    return time, slot, priority, index, entry
+                cursors[priority] = index
+                # Level drained; remember so future scans skip it (a later
+                # push at a lower level lowers ``min_pri`` again).
+                priority += 1
+                slot.min_pri = priority
+            # Every bucket drained: release the slot and its timestamp.
+            del self._slots[time]
+            heapq.heappop(times)
+        return None
+
+    def pop_due(self, horizon: Optional[float]):
+        """Consume and return ``(time, entry)`` for the earliest live event.
+
+        This is the kernel-facing drain API: it fuses the ``peek_time`` +
+        ``pop`` pair into one traversal and skips the delivery ``Event``
+        wrapper.  ``entry`` is a bare :class:`Message` for fast-path
+        deliveries and an :class:`Event` for everything else.  When
+        ``horizon`` is given, an event due after it is *not* consumed and
+        ``None`` is returned; ``None`` consumes unconditionally.
+        """
+        front = self._locate_front()
+        if front is None:
+            return None
+        time, slot, priority, index, entry = front
+        if horizon is not None and time > horizon:
+            return None
+        slot.cursors[priority] = index + 1
+        self._size -= 1
+        slot.buckets[priority][index] = None  # type: ignore[call-overload]
+        return time, entry
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
@@ -113,24 +294,25 @@ class EventQueue:
         Raises:
             IndexError: if the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.seq in self._cancelled:
-                self._cancelled.discard(event.seq)
-                continue
-            return event
-        raise IndexError("pop from empty event queue")
+        front = self.pop_due(None)
+        if front is None:
+            raise IndexError("pop from empty event queue")
+        time, entry = front
+        if entry.__class__ is Message:
+            # Wrap fast-path deliveries for the generic Event API.
+            return Event(
+                time=time,
+                priority=_DELIVER_PRIORITY,
+                seq=next(self._counter),
+                kind=EventKind.DELIVER,
+                message=entry,
+            )
+        return entry
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next event without removing it."""
-        while self._heap:
-            event = self._heap[0]
-            if event.seq in self._cancelled:
-                heapq.heappop(self._heap)
-                self._cancelled.discard(event.seq)
-                continue
-            return event.time
-        return None
+        front = self._locate_front()
+        return None if front is None else front[0]
 
     def drain(self) -> Iterator[Event]:
         """Yield remaining events in order (mainly for tests)."""

@@ -11,7 +11,7 @@ model (messages only travel along alive edges, one hop per ``delta``).
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Set
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence, Set
 
 from repro.simulation.messages import Message
 
@@ -22,11 +22,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 class HostContext:
     """The simulator-facing API available to a protocol host.
 
-    A fresh context is handed to the host for every stimulus; it is bound to
-    the host id, the current simulation time, and the causal chain depth of
-    the triggering event so that the time-cost metric can be computed
-    without protocol cooperation.
+    The context handed to the host for a stimulus is bound to the host id,
+    the current simulation time, and the causal chain depth of the
+    triggering event so that the time-cost metric can be computed without
+    protocol cooperation.  The simulator may *reuse* one context object
+    across stimuli (rebinding it between handler calls), so protocol code
+    must not retain a context past the handler invocation it was passed to.
     """
+
+    __slots__ = ("_simulator", "host_id", "now", "_chain_depth")
 
     def __init__(
         self,
@@ -36,19 +40,11 @@ class HostContext:
         chain_depth: int,
     ) -> None:
         self._simulator = simulator
-        self._host = host
-        self._now = now
+        #: The id of the host this context is bound to.
+        self.host_id = host
+        #: Current simulation time.
+        self.now = now
         self._chain_depth = chain_depth
-
-    @property
-    def host_id(self) -> int:
-        """The id of the host this context is bound to."""
-        return self._host
-
-    @property
-    def now(self) -> float:
-        """Current simulation time."""
-        return self._now
 
     @property
     def delta(self) -> float:
@@ -62,7 +58,7 @@ class HostContext:
         allows hosts to monitor neighbors via heartbeats, so knowledge of
         which neighbors are alive (within one heartbeat period) is fair.
         """
-        return self._simulator.network.neighbors(self._host)
+        return self._simulator.network.neighbors(self.host_id)
 
     def send(self, dest: int, kind: str, payload: Mapping[str, Any]) -> bool:
         """Send one message to neighbor ``dest``.
@@ -72,11 +68,11 @@ class HostContext:
         an alive neighbor at send time.
         """
         return self._simulator.submit_message(
-            sender=self._host,
+            sender=self.host_id,
             dest=dest,
             kind=kind,
             payload=payload,
-            time=self._now,
+            time=self.now,
             chain_depth=self._chain_depth + 1,
         )
 
@@ -92,17 +88,21 @@ class HostContext:
         whole batch is accounted as a single transmission, matching the
         paper's Grid experiments.  Returns the number of neighbors addressed.
         """
-        excluded = set(exclude) if exclude is not None else set()
-        targets = sorted(self.neighbors() - excluded)
+        targets: Sequence[int] = self._simulator.network.alive_neighbors_sorted(
+            self.host_id
+        )
+        if exclude is not None:
+            excluded = set(exclude)
+            if excluded:
+                targets = [t for t in targets if t not in excluded]
         if not targets:
             return 0
+        # ``targets`` was just derived from the network's alive-neighbor
+        # view, so the multicast can skip re-checking each destination
+        # (positional call: this is the kernel's hottest send path).
         self._simulator.submit_multicast(
-            sender=self._host,
-            dests=targets,
-            kind=kind,
-            payload=payload,
-            time=self._now,
-            chain_depth=self._chain_depth + 1,
+            self.host_id, targets, kind, payload, self.now,
+            self._chain_depth + 1, True,
         )
         return len(targets)
 
@@ -110,12 +110,11 @@ class HostContext:
         """Schedule a timer for this host ``delay`` time units from now."""
         if delay < 0:
             raise ValueError("timer delay must be non-negative")
-        self._simulator.schedule_timer(
-            host=self._host,
-            time=self._now + delay,
-            name=name,
-            data=data,
-            chain_depth=self._chain_depth,
+        # Equivalent to Simulator.schedule_timer, via the queue's timer
+        # fast path (zero-delay flush timers fire once per host-instant).
+        self._simulator._queue.push_timer(
+            self.now + delay, self.host_id, name,
+            (data, self._chain_depth),
         )
 
 

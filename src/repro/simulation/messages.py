@@ -12,9 +12,16 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Message:
     """A single protocol message in flight.
+
+    Treated as immutable by convention (the frozen-dataclass enforcement
+    was dropped because its per-field ``object.__setattr__`` cost showed up
+    on the kernel's per-message hot path); simulation code never mutates a
+    message after construction.  A consequence of losing ``frozen=True``
+    is that messages are no longer hashable -- use ``id(message)`` or a
+    derived key for dedup structures.
 
     Attributes:
         sender: host id of the sending host.

@@ -5,6 +5,13 @@ fail (leave) or join at any simulated instant; the adjacency structure and
 the set of alive hosts are updated accordingly, and every change is recorded
 in an event log so that the :class:`~repro.semantics.oracle.Oracle` can
 reconstruct the exact host sets ``H_I``, ``H_U`` and ``H_C`` after a run.
+
+The adjacency is tuned for the simulation hot path: the alive-neighbor view
+of each host -- queried once per message send -- is cached as a frozenset
+plus a sorted tuple and invalidated only for the hosts a failure or join
+actually touches, and the pristine *initial* adjacency is materialised
+lazily on the first topology change instead of being deep-copied up front
+(which matters when constructing 100k-host networks).
 """
 
 from __future__ import annotations
@@ -12,7 +19,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 
 class NetworkEventKind(enum.Enum):
@@ -44,21 +51,38 @@ class DynamicNetwork:
             the neighbors of host ``h``.  The relation must be symmetric.
         validate: when True (default) the adjacency is checked for symmetry
             and self-loops; disable only for very large trusted inputs.
+        copy: when True (default) the adjacency is deep-copied; pass False
+            when handing over freshly built neighbor sets that no other
+            code aliases (the :meth:`~repro.topology.base.Topology.
+            to_network` fast path for very large graphs).
     """
 
     def __init__(
         self,
         adjacency: Sequence[Iterable[int]],
         validate: bool = True,
+        copy: bool = True,
     ) -> None:
-        self._initial_adjacency: List[Set[int]] = [set(neigh) for neigh in adjacency]
-        n = len(self._initial_adjacency)
+        if copy:
+            self._adjacency: List[Set[int]] = [set(neigh) for neigh in adjacency]
+        else:
+            self._adjacency = [
+                neigh if isinstance(neigh, set) else set(neigh)
+                for neigh in adjacency
+            ]
+        n = len(self._adjacency)
         if validate:
-            self._validate(self._initial_adjacency, n)
-        self._adjacency: List[Set[int]] = [set(s) for s in self._initial_adjacency]
+            self._validate(self._adjacency, n)
+        # The pristine time-0 adjacency, materialised on the first topology
+        # change (before that, the current adjacency *is* the initial one).
+        self._pristine: Optional[List[Set[int]]] = None
         self._alive: List[bool] = [True] * n
         self._events: List[NetworkEvent] = []
         self._ever_alive: Set[int] = set(range(n))
+        # Per-host caches of the alive-neighbor view; invalidated only for
+        # the hosts an individual failure or join touches.
+        self._alive_neighbors: List[Optional[FrozenSet[int]]] = [None] * n
+        self._alive_sorted: List[Optional[Tuple[int, ...]]] = [None] * n
 
     @staticmethod
     def _validate(adjacency: List[Set[int]], n: int) -> None:
@@ -74,6 +98,19 @@ class DynamicNetwork:
                     raise ValueError(
                         f"asymmetric edge: {host} lists {other} but not vice versa"
                     )
+
+    def _ensure_pristine(self) -> List[Set[int]]:
+        """Materialise the initial adjacency before the first mutation."""
+        if self._pristine is None:
+            self._pristine = [set(neigh) for neigh in self._adjacency]
+        return self._pristine
+
+    @property
+    def _initial_adjacency(self) -> List[Set[int]]:
+        """The time-0 adjacency (kept for compatibility and the oracle)."""
+        if self._pristine is None:
+            return self._adjacency
+        return self._pristine
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -108,9 +145,28 @@ class DynamicNetwork:
     def is_alive(self, host: int) -> bool:
         return self._alive[host]
 
-    def neighbors(self, host: int) -> Set[int]:
-        """Current *alive* neighbors of ``host``."""
-        return {h for h in self._adjacency[host] if self._alive[h]}
+    def neighbors(self, host: int) -> FrozenSet[int]:
+        """Current *alive* neighbors of ``host`` (cached; do not mutate)."""
+        cached = self._alive_neighbors[host]
+        if cached is None:
+            alive = self._alive
+            cached = frozenset(
+                h for h in self._adjacency[host] if alive[h]
+            )
+            self._alive_neighbors[host] = cached
+        return cached
+
+    def alive_neighbors_sorted(self, host: int) -> Tuple[int, ...]:
+        """Current alive neighbors of ``host`` in ascending id order (cached)."""
+        cached = self._alive_sorted[host]
+        if cached is None:
+            cached = tuple(sorted(self.neighbors(host)))
+            self._alive_sorted[host] = cached
+        return cached
+
+    def has_alive_edge(self, sender: int, dest: int) -> bool:
+        """Whether ``dest`` is an alive current neighbor of ``sender``."""
+        return dest in self._adjacency[sender] and self._alive[dest]
 
     def all_neighbors(self, host: int) -> Set[int]:
         """Current neighbors of ``host`` regardless of liveness."""
@@ -140,6 +196,10 @@ class DynamicNetwork:
     # ------------------------------------------------------------------
     # Dynamism
     # ------------------------------------------------------------------
+    def _invalidate(self, host: int) -> None:
+        self._alive_neighbors[host] = None
+        self._alive_sorted[host] = None
+
     def fail_host(self, host: int, time: float) -> None:
         """Remove ``host`` from the network at simulation time ``time``.
 
@@ -149,11 +209,14 @@ class DynamicNetwork:
         """
         if not self._alive[host]:
             raise ValueError(f"host {host} is already failed")
+        self._ensure_pristine()
         self._alive[host] = False
         neighbors = tuple(sorted(self._adjacency[host]))
         for other in self._adjacency[host]:
             self._adjacency[other].discard(host)
+            self._invalidate(other)
         self._adjacency[host].clear()
+        self._invalidate(host)
         self._events.append(
             NetworkEvent(time=time, kind=NetworkEventKind.FAIL, host=host,
                          neighbors=neighbors)
@@ -168,12 +231,16 @@ class DynamicNetwork:
                 raise ValueError(f"unknown neighbor {other}")
             if not self._alive[other]:
                 raise ValueError(f"cannot join at failed host {other}")
+        self._ensure_pristine()
         self._adjacency.append(set(neighbor_set))
-        self._initial_adjacency.append(set())
+        self._pristine.append(set())
         self._alive.append(True)
         self._ever_alive.add(new_id)
+        self._alive_neighbors.append(None)
+        self._alive_sorted.append(None)
         for other in neighbor_set:
             self._adjacency[other].add(new_id)
+            self._invalidate(other)
         self._events.append(
             NetworkEvent(time=time, kind=NetworkEventKind.JOIN, host=new_id,
                          neighbors=tuple(sorted(neighbor_set)))
@@ -251,11 +318,16 @@ class DynamicNetwork:
     def copy(self) -> "DynamicNetwork":
         """An independent copy of the current network state."""
         clone = DynamicNetwork.__new__(DynamicNetwork)
-        clone._initial_adjacency = [set(s) for s in self._initial_adjacency]
         clone._adjacency = [set(s) for s in self._adjacency]
+        clone._pristine = (
+            None if self._pristine is None
+            else [set(s) for s in self._pristine]
+        )
         clone._alive = list(self._alive)
         clone._events = list(self._events)
         clone._ever_alive = set(self._ever_alive)
+        clone._alive_neighbors = [None] * len(clone._adjacency)
+        clone._alive_sorted = [None] * len(clone._adjacency)
         return clone
 
     @classmethod
@@ -267,4 +339,4 @@ class DynamicNetwork:
                 raise ValueError(f"self-loop on host {a}")
             adjacency[a].add(b)
             adjacency[b].add(a)
-        return cls(adjacency, validate=False)
+        return cls(adjacency, validate=False, copy=False)

@@ -50,6 +50,22 @@ class CostAccounting:
         else:
             self.wireless_transmissions += 1
 
+    def record_send_batch(self, kind: str, time: float, count: int) -> None:
+        """Record ``count`` point-to-point transmissions of one multicast.
+
+        Equivalent to ``count`` calls to :meth:`record_send` with
+        ``wireless_group=False`` -- same counters, one bump each.
+        """
+        if count <= 0:
+            return
+        self.messages_sent += count
+        self.messages_by_time[time] += count
+        self.messages_by_kind[kind] += count
+
+    def record_wireless_group(self, count: int) -> None:
+        """Record ``count`` follow-on members of one wireless broadcast."""
+        self.wireless_transmissions += count
+
     def record_processed(self, host: int, chain_depth: int) -> None:
         """Record that ``host`` processed a message with given chain depth."""
         self.messages_processed[host] += 1

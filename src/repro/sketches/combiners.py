@@ -28,6 +28,18 @@ from repro.sketches.fm import DEFAULT_NUM_BITS, FMSketch
 State = TypeVar("State")
 
 
+def _sketch_absorbs(a: FMSketch, b: FMSketch) -> bool:
+    """Whether merging ``b`` into ``a`` would change nothing.
+
+    Shares :meth:`FMSketch.merge`'s shape guard so mismatched sketches
+    stay an error rather than silent corruption, but tests containment on
+    the packed masks without allocating a merged sketch.
+    """
+    if a.repetitions != b.repetitions or a.num_bits != b.num_bits:
+        raise ValueError("cannot merge sketches with different shapes")
+    return (a.packed | b.packed) == a.packed
+
+
 class Combiner(abc.ABC, Generic[State]):
     """Interface for query-specific combine functions."""
 
@@ -53,6 +65,15 @@ class Combiner(abc.ABC, Generic[State]):
         """Whether two partial aggregates are equal (controls re-sending)."""
         return a == b
 
+    def absorbs(self, a: State, b: State) -> bool:
+        """Whether folding ``b`` into ``a`` would leave ``a`` unchanged.
+
+        Equivalent to ``states_equal(combine(a, b), a)``; combiners with a
+        cheap containment test override this so the simulation hot path can
+        skip allocating a merged state that would be discarded.
+        """
+        return self.states_equal(self.combine(a, b), a)
+
 
 # ----------------------------------------------------------------------
 # Order statistics: duplicate-insensitive by nature
@@ -69,6 +90,9 @@ class MinCombiner(Combiner[float]):
     def combine(self, a: float, b: float) -> float:
         return a if a <= b else b
 
+    def absorbs(self, a: float, b: float) -> bool:
+        return a <= b
+
 
 class MaxCombiner(Combiner[float]):
     """Maximum: the combine function is ``max`` itself."""
@@ -81,6 +105,9 @@ class MaxCombiner(Combiner[float]):
 
     def combine(self, a: float, b: float) -> float:
         return a if a >= b else b
+
+    def absorbs(self, a: float, b: float) -> bool:
+        return a >= b
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +174,8 @@ class FMCountCombiner(Combiner[FMSketch]):
 
     duplicate_insensitive = True
     name = "count-fm"
+    #: State is a single packed bitmask int (enables protocol fast paths).
+    packed_state = True
 
     def __init__(self, repetitions: int = 8, num_bits: int = DEFAULT_NUM_BITS) -> None:
         if repetitions < 1:
@@ -160,6 +189,12 @@ class FMCountCombiner(Combiner[FMSketch]):
     def combine(self, a: FMSketch, b: FMSketch) -> FMSketch:
         return a.merge(b)
 
+    def states_equal(self, a: FMSketch, b: FMSketch) -> bool:
+        return a.packed == b.packed
+
+    def absorbs(self, a: FMSketch, b: FMSketch) -> bool:
+        return _sketch_absorbs(a, b)
+
     def finalize(self, state: FMSketch) -> float:
         return state.estimate()
 
@@ -169,6 +204,8 @@ class FMSumCombiner(Combiner[FMSketch]):
 
     duplicate_insensitive = True
     name = "sum-fm"
+    #: State is a single packed bitmask int (enables protocol fast paths).
+    packed_state = True
 
     def __init__(self, repetitions: int = 8, num_bits: int = DEFAULT_NUM_BITS) -> None:
         if repetitions < 1:
@@ -182,6 +219,12 @@ class FMSumCombiner(Combiner[FMSketch]):
 
     def combine(self, a: FMSketch, b: FMSketch) -> FMSketch:
         return a.merge(b)
+
+    def states_equal(self, a: FMSketch, b: FMSketch) -> bool:
+        return a.packed == b.packed
+
+    def absorbs(self, a: FMSketch, b: FMSketch) -> bool:
+        return _sketch_absorbs(a, b)
 
     def finalize(self, state: FMSketch) -> float:
         return state.estimate()
@@ -220,6 +263,12 @@ class FMAverageCombiner(Combiner[_FMAverageState]):
             sum_sketch=a.sum_sketch.merge(b.sum_sketch),
             count_sketch=a.count_sketch.merge(b.count_sketch),
         )
+
+    def absorbs(self, a: _FMAverageState, b: _FMAverageState) -> bool:
+        # Short-circuit order matches combine(): both components must be
+        # contained for the state to be unchanged.
+        return (_sketch_absorbs(a.sum_sketch, b.sum_sketch)
+                and _sketch_absorbs(a.count_sketch, b.count_sketch))
 
     def finalize(self, state: _FMAverageState) -> float:
         count = state.count_sketch.estimate()

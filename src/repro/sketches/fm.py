@@ -9,13 +9,34 @@ WILDFIRE protocol needs from its combine function.
 
 The number of distinct elements is estimated from the average position of
 the lowest zero bit across the ``c`` vectors:  ``2 ** z_bar / 0.77351``.
+
+Storage and sampling are built for the simulation kernel's hot path:
+
+* All ``c`` vectors live in ONE Python integer (vector ``i`` occupies bits
+  ``[i * num_bits, (i + 1) * num_bits)``), so merging two sketches -- the
+  operation WILDFIRE performs once per received message -- is a single
+  bitwise OR of two ints instead of ``c`` separate ORs plus tuple and
+  dataclass construction.
+* Geometric sampling draws one ``getrandbits(c * (num_bits - 1))`` block
+  per element and reads each vector's index as the length of the run of
+  ones at the bottom of its ``num_bits - 1`` chunk.  A chunk of ``k`` ones
+  followed by a zero has probability ``2**-(k+1)`` and a chunk of all ones
+  has probability ``2**-(num_bits-1)`` -- exactly the clamped coin-toss
+  distribution, at a fraction of the cost of per-toss ``rng.random()``
+  calls.
+
+The pre-rewrite sampler (one ``rng.random()`` call per coin toss) is kept
+as the ``"legacy"`` sampling mode.  It consumes the underlying RNG stream
+bit-for-bit like the seed implementation did, which is what lets the golden
+seeded-equivalence tests (``tests/golden/``) replay pre-rewrite experiment
+results on the rewritten kernel.  Switch modes with :func:`sampling_mode`.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 #: The Flajolet-Martin bias correction constant phi; E[2^z] ~= phi * n.
 FM_CORRECTION = 0.77351
@@ -24,12 +45,48 @@ FM_CORRECTION = 0.77351
 #: the paper's scale (the paper suggests the same default).
 DEFAULT_NUM_BITS = 32
 
+#: Valid sampling modes: ``"fast"`` (getrandbits blocks, the default) and
+#: ``"legacy"`` (per-toss ``rng.random()``, stream-compatible with the seed
+#: implementation; used by the golden equivalence harness).
+SAMPLING_MODES = ("fast", "legacy")
+
+_sampling_mode = "fast"
+
+
+def get_sampling_mode() -> str:
+    """The geometric sampling mode currently in effect."""
+    return _sampling_mode
+
+
+def set_sampling_mode(mode: str) -> str:
+    """Set the sampling mode and return the previous one."""
+    global _sampling_mode
+    if mode not in SAMPLING_MODES:
+        raise ValueError(
+            f"unknown sampling mode {mode!r}; valid: {SAMPLING_MODES}"
+        )
+    previous = _sampling_mode
+    _sampling_mode = mode
+    return previous
+
+
+@contextmanager
+def sampling_mode(mode: str) -> Iterator[None]:
+    """Temporarily switch the geometric sampling mode (for tests/goldens)."""
+    previous = set_sampling_mode(mode)
+    try:
+        yield
+    finally:
+        set_sampling_mode(previous)
+
 
 def _geometric_bit_index(rng: random.Random, num_bits: int) -> int:
     """Sample the bit index set by one simulated fair-coin-toss sequence.
 
     Half the elements map to bit 0, a quarter to bit 1, an eighth to bit 2,
-    and so on; the index is clamped to the vector width.
+    and so on; the index is clamped to the vector width.  This is the
+    ``"legacy"`` sampler: one ``rng.random()`` call per toss, identical RNG
+    consumption to the seed implementation.
     """
     index = 0
     while rng.random() < 0.5 and index < num_bits - 1:
@@ -37,27 +94,78 @@ def _geometric_bit_index(rng: random.Random, num_bits: int) -> int:
     return index
 
 
-@dataclass(frozen=True)
+def _sample_packed_element(rng: random.Random, repetitions: int,
+                           num_bits: int) -> int:
+    """One element's sketch as a packed int: one set bit per vector."""
+    if _sampling_mode == "legacy":
+        packed = 0
+        for rep in range(repetitions):
+            packed |= 1 << (rep * num_bits + _geometric_bit_index(rng, num_bits))
+        return packed
+    chunk = num_bits - 1
+    if chunk == 0:
+        # One-bit vectors: every element lands on bit 0 of each vector.
+        packed = 0
+        for rep in range(repetitions):
+            packed |= 1 << (rep * num_bits)
+        return packed
+    draw = rng.getrandbits(repetitions * chunk)
+    mask = (1 << chunk) - 1
+    packed = 0
+    offset = 0
+    for rep in range(repetitions):
+        bits = (draw >> (rep * chunk)) & mask
+        # Index = length of the run of ones at the bottom of the chunk:
+        # ``~bits & (bits + 1)`` isolates the lowest zero bit.
+        packed |= 1 << (offset + (~bits & (bits + 1)).bit_length() - 1)
+        offset += num_bits
+    return packed
+
+
 class FMSketch:
-    """An immutable FM sketch: ``c`` bit vectors stored as Python ints.
+    """An immutable FM sketch: ``c`` bit vectors packed into one integer.
 
     Attributes:
-        vectors: one integer bitmask per repetition.
+        packed: all vectors in one int; vector ``i`` occupies the bit range
+            ``[i * num_bits, (i + 1) * num_bits)``.
+        repetitions: the number of vectors ``c``.
         num_bits: width of each bit vector.
+
+    The public surface of the original tuple-of-ints representation is
+    preserved: sketches construct from ``vectors=``, expose a ``vectors``
+    view, and compare equal iff their vectors and widths are equal.
     """
 
-    vectors: Tuple[int, ...]
-    num_bits: int = DEFAULT_NUM_BITS
+    __slots__ = ("packed", "repetitions", "num_bits")
 
-    def __post_init__(self) -> None:
-        if not self.vectors:
+    def __init__(self, vectors: Tuple[int, ...],
+                 num_bits: int = DEFAULT_NUM_BITS) -> None:
+        vectors = tuple(vectors)
+        if not vectors:
             raise ValueError("an FM sketch needs at least one vector")
-        if self.num_bits < 1:
+        if num_bits < 1:
             raise ValueError("num_bits must be positive")
-        limit = 1 << self.num_bits
-        for vector in self.vectors:
+        limit = 1 << num_bits
+        packed = 0
+        offset = 0
+        for vector in vectors:
             if vector < 0 or vector >= limit:
                 raise ValueError("bit vector out of range for num_bits")
+            packed |= vector << offset
+            offset += num_bits
+        self.packed = packed
+        self.repetitions = len(vectors)
+        self.num_bits = num_bits
+
+    @classmethod
+    def _from_packed(cls, packed: int, repetitions: int,
+                     num_bits: int) -> "FMSketch":
+        """Internal unchecked constructor used on the merge hot path."""
+        sketch = object.__new__(cls)
+        sketch.packed = packed
+        sketch.repetitions = repetitions
+        sketch.num_bits = num_bits
+        return sketch
 
     # ------------------------------------------------------------------
     # Constructors
@@ -67,7 +175,9 @@ class FMSketch:
         """A sketch representing the empty set."""
         if repetitions < 1:
             raise ValueError("repetitions must be at least 1")
-        return cls(vectors=tuple([0] * repetitions), num_bits=num_bits)
+        if num_bits < 1:
+            raise ValueError("num_bits must be positive")
+        return cls._from_packed(0, repetitions, num_bits)
 
     @classmethod
     def for_new_element(
@@ -84,10 +194,12 @@ class FMSketch:
         """
         if repetitions < 1:
             raise ValueError("repetitions must be at least 1")
-        vectors = tuple(
-            1 << _geometric_bit_index(rng, num_bits) for _ in range(repetitions)
+        if num_bits < 1:
+            raise ValueError("num_bits must be positive")
+        return cls._from_packed(
+            _sample_packed_element(rng, repetitions, num_bits),
+            repetitions, num_bits,
         )
-        return cls(vectors=vectors, num_bits=num_bits)
 
     @classmethod
     def for_value(
@@ -107,18 +219,39 @@ class FMSketch:
             raise ValueError("sum sketches require non-negative values")
         if repetitions < 1:
             raise ValueError("repetitions must be at least 1")
-        vectors = [0] * repetitions
+        if num_bits < 1:
+            raise ValueError("num_bits must be positive")
+        if _sampling_mode == "legacy":
+            # Replays the seed implementation's RNG consumption order:
+            # element-major, vector-minor, one coin-toss loop per sample.
+            vectors = [0] * repetitions
+            for _ in range(int(value)):
+                for i in range(repetitions):
+                    vectors[i] |= 1 << _geometric_bit_index(rng, num_bits)
+            packed = 0
+            offset = 0
+            for vector in vectors:
+                packed |= vector << offset
+                offset += num_bits
+            return cls._from_packed(packed, repetitions, num_bits)
+        packed = 0
         for _ in range(int(value)):
-            for i in range(repetitions):
-                vectors[i] |= 1 << _geometric_bit_index(rng, num_bits)
-        return cls(vectors=tuple(vectors), num_bits=num_bits)
+            packed |= _sample_packed_element(rng, repetitions, num_bits)
+        return cls._from_packed(packed, repetitions, num_bits)
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
     @property
-    def repetitions(self) -> int:
-        return len(self.vectors)
+    def vectors(self) -> Tuple[int, ...]:
+        """The per-repetition bit vectors (unpacked view)."""
+        mask = (1 << self.num_bits) - 1
+        packed = self.packed
+        num_bits = self.num_bits
+        return tuple(
+            (packed >> (rep * num_bits)) & mask
+            for rep in range(self.repetitions)
+        )
 
     def merge(self, other: "FMSketch") -> "FMSketch":
         """OR-combine two sketches (duplicate-insensitive union)."""
@@ -126,28 +259,51 @@ class FMSketch:
             raise ValueError("cannot merge sketches with different repetitions")
         if self.num_bits != other.num_bits:
             raise ValueError("cannot merge sketches with different widths")
-        vectors = tuple(a | b for a, b in zip(self.vectors, other.vectors))
-        return FMSketch(vectors=vectors, num_bits=self.num_bits)
+        return FMSketch._from_packed(
+            self.packed | other.packed, self.repetitions, self.num_bits
+        )
 
     def __or__(self, other: "FMSketch") -> "FMSketch":
         return self.merge(other)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FMSketch):
+            return NotImplemented
+        return (
+            self.packed == other.packed
+            and self.repetitions == other.repetitions
+            and self.num_bits == other.num_bits
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self.packed, self.repetitions, self.num_bits))
+
+    def __repr__(self) -> str:
+        return f"FMSketch(vectors={self.vectors!r}, num_bits={self.num_bits})"
+
     def is_empty(self) -> bool:
-        return all(vector == 0 for vector in self.vectors)
+        return self.packed == 0
 
     def lowest_zero_bits(self) -> Tuple[int, ...]:
         """The index of the lowest unset bit in each vector."""
-        result = []
-        for vector in self.vectors:
-            index = 0
-            while index < self.num_bits and (vector >> index) & 1:
-                index += 1
-            result.append(index)
+        mask = (1 << self.num_bits) - 1
+        result: List[int] = []
+        for rep in range(self.repetitions):
+            vector = (self.packed >> (rep * self.num_bits)) & mask
+            # ``~v & (v + 1)`` isolates the lowest zero bit; a full vector
+            # (all ones) yields index ``num_bits``.
+            result.append((~vector & (vector + 1)).bit_length() - 1)
         return tuple(result)
 
     def estimate(self) -> float:
         """Estimate of the number of distinct elements represented."""
-        if self.is_empty():
+        if self.packed == 0:
             return 0.0
         zeros = self.lowest_zero_bits()
         z_bar = sum(zeros) / len(zeros)

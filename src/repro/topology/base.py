@@ -37,6 +37,25 @@ class Topology:
                         f"asymmetric edge {host}->{other}: topologies must be undirected"
                     )
 
+    @classmethod
+    def trusted(
+        cls,
+        adjacency: List[Set[int]],
+        name: str = "topology",
+        metadata: Dict[str, object] | None = None,
+    ) -> "Topology":
+        """Construct without the symmetry/self-loop validation pass.
+
+        For generator-built adjacencies that are symmetric by construction;
+        the O(E) validation in ``__post_init__`` is pure overhead at
+        100k-node scale.  Takes ownership of ``adjacency``.
+        """
+        topology = object.__new__(cls)
+        topology.adjacency = adjacency
+        topology.name = name
+        topology.metadata = metadata if metadata is not None else {}
+        return topology
+
     def __len__(self) -> int:
         return len(self.adjacency)
 
@@ -100,11 +119,23 @@ class Topology:
         return best
 
     def diameter_estimate(self, samples: int = 4, seed: int = 0) -> int:
-        """Double-sweep BFS estimate of the diameter (exact on trees)."""
+        """Double-sweep BFS estimate of the diameter (exact on trees).
+
+        The estimate is deterministic for a given ``(samples, seed)`` and
+        the topology is immutable, so results are memoised -- experiment
+        drivers re-run protocols on one topology many times and the BFS
+        sweeps would otherwise dominate small-run wall time.
+        """
         import random
 
         if self.num_hosts == 0:
             return 0
+        cache: Dict[Tuple[int, int], int] = self.__dict__.setdefault(
+            "_diameter_cache", {})
+        key = (samples, seed)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
         rng = random.Random(seed)
         best = 0
         hosts = list(range(self.num_hosts))
@@ -118,6 +149,7 @@ class Topology:
             second = self.bfs_distances(far_host)
             if second:
                 best = max(best, max(second.values()))
+        cache[key] = best
         return best
 
     # ------------------------------------------------------------------
@@ -125,7 +157,10 @@ class Topology:
     # ------------------------------------------------------------------
     def to_network(self) -> DynamicNetwork:
         """Instantiate a fresh :class:`DynamicNetwork` with this topology."""
-        return DynamicNetwork([set(neigh) for neigh in self.adjacency], validate=False)
+        # The list of sets is freshly built and unaliased, so the network
+        # can take ownership instead of deep-copying it again.
+        return DynamicNetwork([set(neigh) for neigh in self.adjacency],
+                              validate=False, copy=False)
 
     def to_networkx(self):  # pragma: no cover - convenience only
         """Return a ``networkx.Graph`` view (requires networkx)."""

@@ -96,8 +96,8 @@ def gnutella_like_topology(
 
     ensure_connected(adjacency, rng)
 
-    return Topology(
-        adjacency=adjacency,
+    return Topology.trusted(
+        adjacency,
         name=name,
         metadata={
             "generator": "gnutella_like",

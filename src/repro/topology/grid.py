@@ -56,8 +56,8 @@ def grid_topology(
                 if 0 <= nr < rows and 0 <= nc < cols:
                     adjacency[host].add(nr * cols + nc)
 
-    return Topology(
-        adjacency=adjacency,
+    return Topology.trusted(
+        adjacency,
         name=name,
         metadata={
             "generator": "grid",

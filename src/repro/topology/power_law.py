@@ -78,8 +78,8 @@ def power_law_topology(
     if connected:
         ensure_connected(adjacency, rng)
 
-    return Topology(
-        adjacency=adjacency,
+    return Topology.trusted(
+        adjacency,
         name=name,
         metadata={
             "generator": "power_law",

@@ -65,8 +65,8 @@ def random_topology(
     if connected:
         ensure_connected(adjacency, rng)
 
-    return Topology(
-        adjacency=adjacency,
+    return Topology.trusted(
+        adjacency,
         name=name,
         metadata={
             "generator": "random",

