@@ -149,6 +149,8 @@ class ValidAggregator:
             wireless=self.simulation.wireless,
             seed=run_seed,
             repetitions=self.protocol_config.fm_repetitions,
+            delay=self.simulation.delay,
+            stats=self.simulation.stats,
         )
 
         certificate = None

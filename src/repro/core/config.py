@@ -12,22 +12,39 @@ class SimulationConfig:
 
     Attributes:
         delta: maximum per-hop message delay (the paper's ``delta``).
+            This is the *bound* protocol timer math relies on; the
+            realised delay of each message comes from ``delay``.
         wireless: model a broadcast medium where one transmission reaches all
             neighbors of the sender (sensor-network grids).
         seed: base RNG seed for sketches and protocol randomness.
         max_time: hard upper bound on simulated time as a safety net.
+        delay: realised link-delay model spec (``"fixed"``, ``"uniform"``,
+            ``"uniform:0.25,1.0"``, ``"per_edge"``, ``"heavy_tail:1.2"``;
+            see :func:`repro.simulation.delay.delay_model_from_spec`).
+            The default reproduces the paper's exact-``delta`` worst case.
+        stats: cost-accounting mode -- ``"full"`` keeps per-host counters,
+            ``"streaming"`` is the bounded-memory sink for very large runs
+            (see :mod:`repro.simulation.stats`).
     """
 
     delta: float = 1.0
     wireless: bool = False
     seed: int = 0
     max_time: float = 1_000_000.0
+    delay: str = "fixed"
+    stats: str = "full"
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
             raise ValueError("delta must be positive")
         if self.max_time <= 0:
             raise ValueError("max_time must be positive")
+        # Fail fast on malformed specs instead of at first query time.
+        from repro.simulation.delay import delay_model_from_spec
+        from repro.simulation.stats import validate_stats_mode
+
+        delay_model_from_spec(self.delay, self.delta, seed=self.seed)
+        validate_stats_mode(self.stats)
 
 
 @dataclass(frozen=True)

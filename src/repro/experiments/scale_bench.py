@@ -1,12 +1,15 @@
 """Beyond-paper scale benchmarks for the simulation kernel.
 
 The paper's experiments top out at the ~39k-host Gnutella crawl; the
-batched-ring kernel opens network sizes an order of magnitude past that.
+batched-ring kernel opens network sizes an order of magnitude past that,
+and the streaming stats sink (``stats="streaming"``) keeps cost
+accounting memory bounded all the way to million-host runs.
 :func:`run_scale_benchmark` runs one protocol/topology/aggregate cell at an
 arbitrary host count and reports wall-clock throughput alongside the
-paper's cost measures, so kernel regressions show up as a number, not a
-feeling.  The ``repro bench`` CLI and ``benchmarks/test_kernel_scale.py``
-both route through here.
+paper's cost measures, the process's peak RSS, and the accounting
+footprint, so kernel regressions show up as a number, not a feeling.
+The ``repro bench`` CLI and ``benchmarks/test_kernel_scale.py`` both
+route through here.
 """
 
 from __future__ import annotations
@@ -17,6 +20,20 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.protocols.base import run_protocol
 from repro.topology.base import Topology
+
+
+def peak_rss_mb() -> Optional[float]:
+    """The process's peak resident set size in MiB (None if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-unix platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux/BSD but *bytes* on macOS.
+    import sys
+
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return round(peak / divisor, 1)
 
 
 def _build_topology(name: str, num_hosts: int, seed: int) -> Topology:
@@ -57,15 +74,19 @@ def run_scale_benchmark(
     repetitions: int = 8,
     values: Optional[Sequence[float]] = None,
     prebuilt_topology: Optional[Topology] = None,
+    stats: str = "full",
+    delay: str = "fixed",
 ) -> Dict[str, Any]:
     """Run one protocol once at ``num_hosts`` scale and measure it.
 
     Returns one table row with the wall-clock split (topology generation
-    vs. simulation), the three paper cost measures, and the kernel
-    throughput in delivered messages per second.
+    vs. simulation), the three paper cost measures, the kernel throughput
+    in delivered messages per second, the process's peak RSS and the
+    accounting structures' footprint.
 
     Args:
-        num_hosts: network size (the paper stops at ~39k; 100k+ works).
+        num_hosts: network size (the paper stops at ~39k; with
+            ``stats="streaming"`` a 1,000,000-host run completes).
         topology: a :data:`~repro.orchestration.runners.TOPOLOGY_BUILDERS`
             key (``gnutella``, ``power-law``, ``grid``, ``random``, ...).
         protocol: ``wildfire``, ``spanning-tree`` or ``dagK``.
@@ -76,6 +97,10 @@ def run_scale_benchmark(
             [0, 100) drawn from ``seed``).
         prebuilt_topology: reuse an existing topology (e.g. to time several
             protocols on one graph without regenerating it).
+        stats: cost accounting mode, ``"full"`` or ``"streaming"``.
+        delay: link-delay model spec (``"fixed"``, ``"uniform"``,
+            ``"per_edge"``, ``"heavy_tail"``, with optional ``:``
+            arguments).
     """
     if num_hosts < 2:
         raise ValueError("scale benchmarks need at least 2 hosts")
@@ -100,6 +125,8 @@ def run_scale_benchmark(
         querying_host=0,
         seed=seed,
         repetitions=repetitions,
+        stats=stats,
+        delay=delay,
     )
     run_seconds = time.perf_counter() - run_start
 
@@ -110,6 +137,8 @@ def run_scale_benchmark(
         "protocol": protocol,
         "aggregate": aggregate,
         "seed": seed,
+        "stats": stats,
+        "delay": delay,
         "value": result.value,
         "d_hat": result.d_hat,
         "messages": messages,
@@ -120,6 +149,8 @@ def run_scale_benchmark(
         "messages_per_second": (
             round(messages / run_seconds) if run_seconds > 0 else 0
         ),
+        "peak_rss_mb": peak_rss_mb(),
+        "accounting_bytes": result.costs.footprint_bytes(),
     }
 
 
@@ -131,13 +162,21 @@ def run_scale_sweep(
     seed: int = 0,
     repetitions: int = 8,
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    stats: str = "full",
+    delay: str = "fixed",
 ) -> List[Dict[str, Any]]:
-    """Run :func:`run_scale_benchmark` for each host count, in order."""
+    """Run :func:`run_scale_benchmark` for each host count, in order.
+
+    Note that ``peak_rss_mb`` is a process-wide high-water mark, so
+    within one sweep it is non-decreasing and attributable to the
+    largest run so far.
+    """
     rows: List[Dict[str, Any]] = []
     for num_hosts in host_counts:
         row = run_scale_benchmark(
             int(num_hosts), topology=topology, protocol=protocol,
             aggregate=aggregate, seed=seed, repetitions=repetitions,
+            stats=stats, delay=delay,
         )
         rows.append(row)
         if progress is not None:

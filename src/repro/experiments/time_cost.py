@@ -50,7 +50,12 @@ class TimeCostRow:
 
 @dataclass(frozen=True)
 class MessageProfileRow:
-    """The per-time-instant message counts of one run (Fig. 13b)."""
+    """The per-time-instant message counts of one run (Fig. 13b).
+
+    ``profile`` keys are clock-tick start times (``delta``-wide buckets),
+    so the histogram stays well-defined under variable delay models; for
+    fixed-delay runs the keys coincide with the raw send instants.
+    """
 
     topology: str
     num_hosts: int

@@ -6,7 +6,12 @@ Exposed both as ``python -m repro`` and as the ``repro`` console script:
     repro run fig8 --workers 4         # run one figure's trial matrix
     repro run all --scale 0.3 -t 2     # every figure, two trials each
     repro run fig7 --scale 2.0         # beyond-paper network sizes
+    repro run all --stats streaming    # bounded-memory cost accounting
     repro bench --hosts 1000 100000    # kernel scale benchmark
+    repro bench --hosts 1000000 --stats streaming   # million-host run
+    repro bench --hosts 10000 --delay heavy_tail    # variable link delay
+    repro bench --hosts 1000 --profile              # cProfile the kernel
+    repro delay-sweep --size 200 --departures 0 10  # validity vs delay
     repro cache ls                     # list cached results
     repro cache clear 3fa9c1           # evict one spec (cache-key prefix)
     repro cache clear --all            # evict everything
@@ -53,6 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="recompute even if cached")
     run.add_argument("-q", "--quiet", action="store_true",
                      help="suppress result tables; print summaries only")
+    run.add_argument("--stats", choices=("full", "streaming"),
+                     default="full",
+                     help="cost accounting mode for every simulation "
+                          "(streaming = bounded memory; requires "
+                          "--workers 1)")
 
     bench = sub.add_parser(
         "bench", help="kernel scale benchmark at arbitrary host counts")
@@ -69,12 +79,42 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--repetitions", type=int, default=8,
                        help="FM repetitions c for sketch combiners")
+    bench.add_argument("--stats", choices=("full", "streaming"),
+                       default="full",
+                       help="cost accounting mode (streaming keeps memory "
+                            "bounded; required for million-host runs)")
+    bench.add_argument("--delay", default="fixed", metavar="MODEL",
+                       help="link-delay model spec: fixed | uniform[:lo,hi]"
+                            " | per_edge[:lo,hi] | heavy_tail[:alpha,xm] "
+                            "(default fixed)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the top 25 "
+                            "functions by cumulative time to stderr")
     bench.add_argument("--json", default=None, metavar="PATH",
                        help="append rows to a BENCH_kernel.json trajectory "
                             "file at PATH")
     bench.add_argument("--label", default=None,
                        help="trajectory label for --json (default: "
                             "'cli' plus the cell parameters)")
+
+    sweep = sub.add_parser(
+        "delay-sweep",
+        help="validity curves under variable link delay (figs 7-9 style)")
+    sweep.add_argument("--topology", default="random",
+                       help="topology generator (default random)")
+    sweep.add_argument("--size", type=int, default=100,
+                       help="network size (default 100)")
+    sweep.add_argument("--aggregate", default="count",
+                       help="query kind (default count)")
+    sweep.add_argument("--delays", nargs="+", metavar="MODEL",
+                       default=None,
+                       help="delay model specs to sweep (default: fixed, "
+                            "uniform:0.25,1.0, heavy_tail:1.2)")
+    sweep.add_argument("--departures", type=int, nargs="+", default=[0],
+                       help="churn levels R to sweep (default: 0 = static)")
+    sweep.add_argument("-t", "--trials", type=int, default=3,
+                       help="independent trials per point (default 3)")
+    sweep.add_argument("--seed", type=int, default=0)
 
     cache = sub.add_parser("cache", help="inspect or evict cached results")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -148,16 +188,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Dedupe while preserving order: `run all fig9` runs fig9 once.
     figure_ids = list(dict.fromkeys(figure_ids))
 
-    store = None if args.no_cache else ResultStore(args.cache_dir)
-    specs = [
-        figure_spec(figure_id, scale=args.scale,
-                    num_trials=args.trials, base_seed=args.seed)
-        for figure_id in figure_ids
-    ]
-    # One shared pool across figures: `run all --workers N` parallelises
-    # even at one trial per figure.
-    reports = run_specs(specs, workers=args.workers, store=store,
-                        force=args.force)
+    previous_stats_mode = None
+    if args.stats != "full":
+        if args.workers > 1:
+            # The mode is a process-wide default that worker processes
+            # would not inherit; silently falling back to full accounting
+            # would defeat the reason the user asked for streaming.
+            print("--stats streaming requires --workers 1 (worker "
+                  "processes do not inherit the stats mode)",
+                  file=sys.stderr)
+            return 2
+        # Process-wide default so every simulation behind the figure
+        # drivers picks the sink up without per-driver plumbing;
+        # restored afterwards for in-process callers of main().
+        from repro.simulation.stats import set_default_stats_mode
+
+        previous_stats_mode = set_default_stats_mode(args.stats)
+    try:
+        store = None if args.no_cache else ResultStore(args.cache_dir)
+        specs = [
+            figure_spec(figure_id, scale=args.scale,
+                        num_trials=args.trials, base_seed=args.seed)
+            for figure_id in figure_ids
+        ]
+        # One shared pool across figures: `run all --workers N`
+        # parallelises even at one trial per figure.
+        reports = run_specs(specs, workers=args.workers, store=store,
+                            force=args.force)
+    finally:
+        if previous_stats_mode is not None:
+            from repro.simulation.stats import set_default_stats_mode
+
+            set_default_stats_mode(previous_stats_mode)
     for figure_id, report in zip(figure_ids, reports):
         _print_report(figure_id, report, args.quiet)
     return 0
@@ -198,7 +260,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"refusing to overwrite {args.json}: 'trajectory' is "
                   f"not a list", file=sys.stderr)
             return 2
+    profiler = None
+    if args.profile:
+        if args.json:
+            # Profiled wall times carry cProfile's tracing overhead; a
+            # trajectory file must only ever record clean measurements.
+            print("--profile cannot be combined with --json (profiled "
+                  "timings would pollute the trajectory)", file=sys.stderr)
+            return 2
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
+        if profiler is not None:
+            profiler.enable()
         rows = run_scale_sweep(
             args.hosts,
             topology=args.topology,
@@ -206,20 +281,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             aggregate=args.aggregate,
             seed=args.seed,
             repetitions=args.repetitions,
+            stats=args.stats,
+            delay=args.delay,
             progress=lambda row: print(
                 f".. {row['hosts']} hosts: {row['run_seconds']:.2f}s, "
                 f"{row['messages']} messages "
-                f"({row['messages_per_second']}/s)", file=sys.stderr),
+                f"({row['messages_per_second']}/s, "
+                f"peak RSS {row['peak_rss_mb']} MiB)", file=sys.stderr),
         )
     except (KeyError, ValueError) as exc:
-        # Unknown topology/protocol/aggregate names surface as one-line
-        # errors, matching the `run` subcommand's convention.
+        # Unknown topology/protocol/aggregate/delay names surface as
+        # one-line errors, matching the `run` subcommand's convention.
         message = exc.args[0] if exc.args else str(exc)
         print(str(message), file=sys.stderr)
         return 2
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    if profiler is not None:
+        # Top cumulative-time functions, for hunting the next hot path.
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
     print(format_table(rows, title=f"Kernel scale benchmark "
                                    f"({args.protocol} / {args.topology} / "
-                                   f"{args.aggregate})"))
+                                   f"{args.aggregate} / {args.delay} delay / "
+                                   f"{args.stats} stats)"))
     if args.json and payload is not None:
         label = args.label or (
             f"cli {args.protocol}/{args.topology}/{args.aggregate}")
@@ -228,6 +316,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=1, sort_keys=True)
             handle.write("\n")
         print(f"appended trajectory point to {args.json}")
+    return 0
+
+
+def _cmd_delay_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.delay_sweep import (
+        DEFAULT_DELAY_SPECS,
+        run_delay_sweep,
+    )
+    from repro.experiments.tables import format_table
+    from repro.orchestration.runners import TOPOLOGY_BUILDERS
+
+    if args.size < 2:
+        print("--size must be at least 2", file=sys.stderr)
+        return 2
+    if args.trials < 1:
+        print("--trials must be at least 1", file=sys.stderr)
+        return 2
+    if args.topology not in TOPOLOGY_BUILDERS:
+        print(f"unknown topology {args.topology!r}; known: "
+              f"{', '.join(sorted(TOPOLOGY_BUILDERS))}", file=sys.stderr)
+        return 2
+    topology = TOPOLOGY_BUILDERS[args.topology](args.size, args.seed)
+    try:
+        rows = run_delay_sweep(
+            topology,
+            args.aggregate,
+            departures=args.departures,
+            delay_specs=args.delays or DEFAULT_DELAY_SPECS,
+            num_trials=args.trials,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(str(message), file=sys.stderr)
+        return 2
+    print(format_table(
+        [row.as_dict() for row in rows],
+        title=f"Validity under variable delay "
+              f"({args.aggregate} / {args.topology}-{args.size})"))
     return 0
 
 
@@ -268,6 +395,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "delay-sweep":
+            return _cmd_delay_sweep(args)
         if args.command == "cache":
             return _cmd_cache(args)
     except KeyboardInterrupt:

@@ -169,10 +169,51 @@ def scale_bench_runner(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]
         aggregate=str(params.get("aggregate", "count")),
         seed=seed,
         repetitions=int(params.get("repetitions", 8)),
+        stats=str(params.get("stats", "full")),
+        delay=str(params.get("delay", "fixed")),
     )
-    for timing_field in ("gen_seconds", "run_seconds", "messages_per_second"):
-        row.pop(timing_field, None)
+    # Wall-clock and machine-local memory fields are stripped: spec results
+    # are content-address cached and a replayed measurement would
+    # masquerade as a fresh one.
+    for machine_field in ("gen_seconds", "run_seconds", "messages_per_second",
+                          "peak_rss_mb", "accounting_bytes"):
+        row.pop(machine_field, None)
     return [row]
+
+
+@register_runner("delay-sweep")
+def delay_sweep_runner(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Run one variable-delay validity sweep cell (see ``repro delay-sweep``).
+
+    Axes: ``topology`` (a :data:`TOPOLOGY_BUILDERS` key), ``size``,
+    ``aggregate``, ``delay`` (a delay model spec string), and optional
+    ``departures`` / ``protocol`` / ``trials``.  This is the declarative
+    form of one point of the beyond-paper Figure 7-9 curves under
+    variable link delay.
+    """
+    from repro.experiments.delay_sweep import run_delay_sweep
+
+    topology_name = str(params.get("topology", "random"))
+    if topology_name not in TOPOLOGY_BUILDERS:
+        raise KeyError(
+            f"unknown topology {topology_name!r}; "
+            f"known: {sorted(TOPOLOGY_BUILDERS)}"
+        )
+    size = int(params.get("size", 64))
+    topology = TOPOLOGY_BUILDERS[topology_name](size, seed)
+    protocols = None
+    if "protocol" in params:
+        protocols = [_build_protocol(str(params["protocol"]))]
+    rows = run_delay_sweep(
+        topology,
+        str(params.get("aggregate", "count")),
+        departures=[int(params.get("departures", 0))],
+        delay_specs=[str(params.get("delay", "fixed"))],
+        protocols=protocols,
+        num_trials=int(params.get("trials", 3)),
+        seed=seed,
+    )
+    return [row.as_dict() for row in rows]
 
 
 @register_runner("validity-point")

@@ -9,10 +9,11 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.queries.query import AggregateQuery, QueryKind
 from repro.simulation.churn import ChurnSchedule
+from repro.simulation.delay import DelayModel, delay_model_from_spec
 from repro.simulation.engine import SimulationResult, Simulator
 from repro.simulation.host import ProtocolHost
 from repro.simulation.network import DynamicNetwork
-from repro.simulation.stats import CostAccounting
+from repro.simulation.stats import StatsSink
 from repro.sketches.combiners import Combiner, combiner_for_query
 from repro.topology.base import Topology
 
@@ -37,7 +38,7 @@ class ProtocolRunResult:
     protocol: str
     query: AggregateQuery
     value: Optional[float]
-    costs: CostAccounting
+    costs: StatsSink
     finished_at: float
     querying_host: int
     d_hat: int
@@ -118,6 +119,8 @@ def run_protocol(
     seed: int = 0,
     repetitions: int = 8,
     max_time: Optional[float] = None,
+    delay: "DelayModel | str | None" = None,
+    stats: "StatsSink | str | None" = None,
 ) -> ProtocolRunResult:
     """Run ``protocol`` once and return its declared answer and costs.
 
@@ -150,6 +153,15 @@ def run_protocol(
         max_time: override for the simulator's runaway backstop (defaults
             to four times the nominal termination time; tighten it to
             fail fast on non-terminating regressions in large-scale runs).
+        delay: realised link-delay model (a spec string such as
+            ``"uniform"`` / ``"heavy_tail:1.5"``, a ready-made
+            :class:`~repro.simulation.delay.DelayModel` with bound
+            ``delta``, or ``None``/``"fixed"`` for the paper's exact-
+            ``delta`` worst case).  ``delta`` stays the *bound* the
+            protocols' timer math uses regardless of the model.
+        stats: cost accounting mode -- ``"full"`` (default),
+            ``"streaming"`` for the bounded-memory sink used by
+            million-host runs, or a ready-made sink.
     """
     if isinstance(query, str):
         query = AggregateQuery.of(query)
@@ -159,6 +171,17 @@ def run_protocol(
         raise ValueError("querying_host is not part of the topology")
 
     rng = random.Random(seed)
+    # Resolve the delay model and reseed stochastic ones from a stream
+    # derived from the run seed but *separate* from ``rng``: consuming the
+    # shared RNG here would shift every host's sketch randomness, making
+    # fixed- and variable-delay columns of one sweep differ by coin noise
+    # rather than timing alone.  The fixed model resolves to None, and no
+    # model touches ``rng``, so seeded fixed-delay runs stay bit-identical
+    # to the historical kernel (the golden snapshots pin this).
+    delay_model = delay_model_from_spec(delay, float(delta), seed=seed)
+    if delay_model is not None and delay_model.stochastic:
+        delay_model.reseed(
+            random.Random(f"{seed}:delay-model").getrandbits(64))
     resolved_d_hat = resolve_d_hat(topology, d_hat, seed=seed)
     if combiner is None:
         combiner = protocol.default_combiner(query, repetitions=repetitions)
@@ -188,6 +211,8 @@ def run_protocol(
         churn=churn,
         wireless=wireless,
         max_time=termination * 4 + 16 if max_time is None else max_time,
+        delay_model=delay_model,
+        stats=stats,
     )
     sim_result: SimulationResult = simulator.run(until=termination)
     return ProtocolRunResult(

@@ -5,6 +5,11 @@ single parent failure no longer discards the whole subtree.  Because a
 host's partial aggregate now reaches the querying host along several paths,
 the protocol must use duplicate-insensitive combine functions for count and
 sum -- the paper's implementation (and ours) uses the FM sketch operators.
+
+Report deadlines are computed from the delay *bound* ``delta`` (see the
+spanning-tree module for the argument); extra parents are only adopted
+from strictly shallower hosts, which keeps the parent relation acyclic
+under any realised delay model bounded by ``delta``.
 """
 
 from __future__ import annotations

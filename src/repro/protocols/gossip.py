@@ -17,6 +17,11 @@ average of the initial ``s`` values, from which sum and count follow by
 multiplying with the (known or estimated) network size -- here we instead
 track the mass-conservation form where the querying host's estimate of
 ``sum = s / w`` directly, since total weight is 1.
+
+Rounds are paced by ``delta`` timers, i.e. by the delay *bound*: under a
+variable :class:`~repro.simulation.delay.DelayModel` a share sent in
+round ``r`` still arrives before the recipient's round ``r + 1`` timer
+fires, so mass conservation (and hence convergence) is unaffected.
 """
 
 from __future__ import annotations

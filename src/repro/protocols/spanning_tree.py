@@ -8,6 +8,14 @@ whatever its children reported in time -- to its parent at the deadline
 ``(2 * D_hat - l) * delta``.  A single interior host failing after Broadcast
 silently discards the contribution of its entire subtree, which is exactly
 the failure mode the paper's validity experiments expose.
+
+Deadlines use the delay *bound* ``delta``: a child at depth ``l + 1``
+reports at ``(2 * D_hat - l - 1) * delta`` and the report needs at most
+one more ``delta`` to arrive, exactly meeting the parent's deadline --
+for any realised delay model bounded by ``delta``.  (Under variable
+delays the first Broadcast heard may have travelled a many-hop fast
+path, so ``depth`` can exceed the hop distance; the report timer is
+clamped at "now" in that case and correctness is unaffected.)
 """
 
 from __future__ import annotations

@@ -22,6 +22,12 @@ Two optimisations from Section 5.3 are implemented and on by default:
   message it forwards, and
 * a host at hop distance ``l`` from the querying host only participates
   until time ``(2 * D_hat - l + 1) * delta``.
+
+All deadlines are computed from the delay *bound* ``delta``, never from
+observed message timings: under a variable
+:class:`~repro.simulation.delay.DelayModel` messages merely arrive
+earlier than the deadlines assume, so every guaranteed exchange still
+happens in time and Single-Site Validity is preserved.
 """
 
 from __future__ import annotations
@@ -71,11 +77,17 @@ class WildfireHost(ProtocolHost):
         self.distance: Optional[int] = None
         self.updates_observed = 0
 
-        # Per-instant batching state.
+        # Per-instant batching state.  ``_next_flush`` rate-limits outgoing
+        # Convergecast updates to one per ``delta`` (the paper's cost
+        # model): under the fixed-delay model every arrival instant is
+        # already a multiple of ``delta`` so the limit never delays a
+        # flush, but under variable delay models it is what keeps a host
+        # from flushing once per (now unique) arrival timestamp.
         self._dirty = False
         self._skip_neighbor: Optional[int] = None
         self._reply_to: Set[int] = set()
         self._flush_pending = False
+        self._next_flush = 0.0
 
         # Hot-path bindings: the combine/equality hooks are resolved once,
         # and the participation deadline is cached at activation time (it
@@ -148,10 +160,12 @@ class WildfireHost(ProtocolHost):
     def _schedule_flush(self, ctx: HostContext) -> None:
         if not self._flush_pending:
             self._flush_pending = True
-            # Zero-delay timer: timers are dispatched after all message
-            # deliveries of the same instant, so every aggregate received at
-            # this instant is folded in before the single outgoing update.
-            ctx.set_timer(0.0, FLUSH)
+            # Zero-delay timer (or the remainder of the one-per-delta rate
+            # limit): timers are dispatched after all message deliveries of
+            # the same instant, so every aggregate received by the flush
+            # instant is folded in before the single outgoing update.
+            wait = self._next_flush - ctx.now
+            ctx.set_timer(wait if wait > 0.0 else 0.0, FLUSH)
 
     # ------------------------------------------------------------------
     # Protocol hooks
@@ -258,6 +272,7 @@ class WildfireHost(ProtocolHost):
         if name != FLUSH:
             return
         self._flush_pending = False
+        self._next_flush = ctx.now + self.delta
         if not self.active or ctx.now > self._deadline:
             self._dirty = False
             self._reply_to.clear()

@@ -5,9 +5,29 @@ between alive neighbors are delivered reliably within a known maximum delay
 ``delta``, hosts may fail (churn) at arbitrary instants, and every message
 is accounted for so that communication, computation and time costs can be
 measured exactly as defined in Section 6.3 of the paper.
+
+Two cross-cutting policies are pluggable:
+
+* the *realised* per-message delay (always at most ``delta``) comes from a
+  :class:`~repro.simulation.delay.DelayModel` -- the default
+  :class:`~repro.simulation.delay.FixedDelay` reproduces the paper's
+  worst case of exactly ``delta`` per hop;
+* cost measurement goes through a :class:`~repro.simulation.stats.StatsSink`
+  -- the default full :class:`~repro.simulation.stats.CostAccounting`, or
+  the bounded-memory
+  :class:`~repro.simulation.stats.StreamingCostAccounting` for
+  million-host runs.
 """
 
-from repro.simulation.clock import SimulationClock
+from repro.simulation.clock import SimulationClock, tick_index, tick_time
+from repro.simulation.delay import (
+    DelayModel,
+    FixedDelay,
+    HeavyTailDelay,
+    PerEdgeDelay,
+    UniformDelay,
+    delay_model_from_spec,
+)
 from repro.simulation.engine import Simulator, SimulationResult
 from repro.simulation.events import (
     Event,
@@ -17,11 +37,18 @@ from repro.simulation.events import (
 from repro.simulation.host import HostContext, ProtocolHost
 from repro.simulation.messages import Message
 from repro.simulation.network import DynamicNetwork, NetworkEvent, NetworkEventKind
-from repro.simulation.stats import CostAccounting
+from repro.simulation.stats import (
+    CostAccounting,
+    StatsSink,
+    StreamingCostAccounting,
+    make_stats_sink,
+)
 from repro.simulation.churn import ChurnSchedule, uniform_failure_schedule
 
 __all__ = [
     "SimulationClock",
+    "tick_index",
+    "tick_time",
     "Simulator",
     "SimulationResult",
     "Event",
@@ -34,6 +61,15 @@ __all__ = [
     "NetworkEvent",
     "NetworkEventKind",
     "CostAccounting",
+    "StatsSink",
+    "StreamingCostAccounting",
+    "make_stats_sink",
+    "DelayModel",
+    "FixedDelay",
+    "UniformDelay",
+    "PerEdgeDelay",
+    "HeavyTailDelay",
+    "delay_model_from_spec",
     "ChurnSchedule",
     "uniform_failure_schedule",
 ]

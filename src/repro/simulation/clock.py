@@ -4,9 +4,37 @@ The paper's relaxed asynchronous model assumes known bounds on processing
 speed, transmission delay and clock drift, all folded into a single maximum
 per-hop delay ``delta``.  The simulator therefore keeps one global virtual
 clock; protocol code never reads wall-clock time.
+
+One ``delta`` is the natural *tick* of that clock: costs and histograms
+are bucketed per tick (:func:`tick_index` / :func:`tick_time`), which
+keeps per-instant measures well-defined when a variable
+:mod:`~repro.simulation.delay` model spreads events over arbitrary float
+timestamps.  Under the fixed-delay model every event already lands on a
+tick boundary, so bucketing is the identity there.
 """
 
 from __future__ import annotations
+
+#: Relative slack absorbed when mapping a float timestamp onto the tick
+#: grid, so accumulated floating-point drift just below a boundary (e.g.
+#: 2.9999999996 with width 1.0) still lands in the intended bucket.
+_TICK_EPSILON = 1e-9
+
+
+def tick_index(time: float, width: float) -> int:
+    """The zero-based clock tick containing ``time`` (bucket ``width``)."""
+    return int(time / width + _TICK_EPSILON)
+
+
+def tick_time(time: float, width: float) -> float:
+    """The start time of the tick containing ``time``.
+
+    This is the canonical histogram key for per-instant measures: under
+    the fixed-delay model it equals ``time`` exactly for every event the
+    simulator schedules, so tick-bucketed histograms are bit-identical
+    to the historical raw-float keying there.
+    """
+    return tick_index(time, width) * width
 
 
 class SimulationClock:

@@ -2,22 +2,27 @@
 
 The :class:`Simulator` drives a set of :class:`~repro.simulation.host.ProtocolHost`
 state machines over a :class:`~repro.simulation.network.DynamicNetwork`,
-delivering messages with a fixed per-hop delay ``delta``, executing a churn
-schedule, and accounting costs as defined in the paper's Section 6.3.
+delivering messages within the per-hop delay bound ``delta`` (realised
+delays come from a pluggable :class:`~repro.simulation.delay.DelayModel`;
+the default is the paper's worst case of exactly ``delta`` per hop),
+executing a churn schedule, and accounting costs through a pluggable
+:class:`~repro.simulation.stats.StatsSink` as defined in the paper's
+Section 6.3.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.simulation.churn import ChurnSchedule
 from repro.simulation.clock import SimulationClock
+from repro.simulation.delay import DelayModel, delay_model_from_spec
 from repro.simulation.events import Event, EventKind, EventQueue
 from repro.simulation.host import HostContext, ProtocolHost
 from repro.simulation.messages import Message
 from repro.simulation.network import DynamicNetwork
-from repro.simulation.stats import CostAccounting
+from repro.simulation.stats import CostAccounting, StatsSink, make_stats_sink
 
 
 @dataclass
@@ -34,7 +39,7 @@ class SimulationResult:
     """
 
     value: Any
-    costs: CostAccounting
+    costs: StatsSink
     finished_at: float
     querying_host: int
     extra: Dict[str, Any] = field(default_factory=dict)
@@ -48,14 +53,23 @@ class Simulator:
         hosts: one protocol state machine per host id; the list is indexed
             by host id and must cover every host in the network.
         querying_host: the host at which the query is issued at time 0.
-        delta: maximum per-hop message delay (the paper's ``delta``); the
-            simulator delivers every message after exactly this delay, which
-            is the adversarially slowest behaviour allowed by the model.
+        delta: maximum per-hop message delay (the paper's ``delta``).
+            This is the *bound* every protocol's timer math relies on;
+            realised delays are drawn from ``delay_model`` and never
+            exceed it.
         churn: schedule of host failures/joins to apply during the run.
         wireless: when True, a multicast to all neighbors of a host counts
             as one transmission (the sensor-network broadcast medium).
         max_time: hard stop for the simulation clock; runs longer than this
             raise, which catches protocols that fail to terminate.
+        delay_model: realised per-message delay policy (see
+            :mod:`repro.simulation.delay`); ``None`` or a spec string
+            resolving to ``fixed`` selects the historical exact-``delta``
+            fast path.  A model instance must carry ``bound == delta``.
+        stats: cost accounting sink -- ``"full"``, ``"streaming"`` for
+            the bounded-memory accumulator, a ready-made
+            :class:`~repro.simulation.stats.StatsSink`, or ``None`` for
+            the process-wide default mode (``"full"`` unless changed).
     """
 
     def __init__(
@@ -67,6 +81,8 @@ class Simulator:
         churn: Optional[ChurnSchedule] = None,
         wireless: bool = False,
         max_time: float = 1_000_000.0,
+        delay_model: Union[DelayModel, str, None] = None,
+        stats: Union[StatsSink, str, None] = None,
     ) -> None:
         if len(hosts) < network.num_hosts:
             raise ValueError(
@@ -83,8 +99,15 @@ class Simulator:
         self.wireless = wireless
         self.max_time = float(max_time)
         self.clock = SimulationClock()
-        self.costs = CostAccounting()
-        self._queue = EventQueue()
+        self.costs = make_stats_sink(stats, num_hosts=network.num_hosts,
+                                     tick_width=self.delta)
+        # ``None`` marks the fixed-delay fast path: deliveries land exactly
+        # ``delta`` after their send and multicasts share one ring slot.
+        self.delay_model = delay_model_from_spec(delay_model, self.delta)
+        self._sample_delay = (
+            None if self.delay_model is None else self.delay_model.sample
+        )
+        self._queue = EventQueue(width=self.delta)
         self._churn = churn or ChurnSchedule.empty()
         self._stopped = False
         self._fail_callbacks: List[Callable[[int, float], None]] = []
@@ -101,7 +124,7 @@ class Simulator:
         time: float,
         chain_depth: int,
     ) -> bool:
-        """Queue a unicast message for delivery after ``delta`` time."""
+        """Queue a unicast message for delivery within ``delta`` time."""
         network = self.network
         if not network.is_alive(sender):
             return False
@@ -116,7 +139,9 @@ class Simulator:
             chain_depth=chain_depth,
         )
         self.costs.record_send(kind, time)
-        self._queue.push_deliver(time + self.delta, message)
+        sample = self._sample_delay
+        delay = self.delta if sample is None else sample(sender, dest, time)
+        self._queue.push_deliver(time + delay, message)
         return True
 
     def submit_multicast(
@@ -159,7 +184,18 @@ class Simulator:
                     wireless)
             for dest in dests
         ]
-        self._queue.extend_delivers(time + self.delta, messages)
+        sample = self._sample_delay
+        if sample is None:
+            # Fixed delay: the whole multicast shares one delivery instant
+            # and lands in a single ring slot.
+            self._queue.extend_delivers(time + self.delta, messages)
+        else:
+            # Variable delay: each destination gets its own realised delay
+            # (still at most ``delta``), so messages are filed one by one.
+            push_deliver = self._queue.push_deliver
+            for message in messages:
+                push_deliver(time + sample(sender, message.dest, time),
+                             message)
         if wireless:
             # The whole batch is one over-the-air transmission; follow-on
             # group members are tracked separately for the summary.
@@ -224,7 +260,15 @@ class Simulator:
         alive_flags = network._alive  # stable list; grows in place on joins
         hosts = self.hosts
         costs = self.costs
-        processed = costs.messages_processed
+        # The default full accounting keeps its per-host Counter inlined in
+        # the loop (one dict bump per message); any other sink goes through
+        # its record_processed hook, which streaming sinks keep O(1).
+        if type(costs) is CostAccounting:
+            processed = costs.messages_processed
+            record_processed = None
+        else:
+            processed = None
+            record_processed = costs.record_processed
         timer = EventKind.TIMER
         ctx = HostContext(self, 0, 0.0, 0)
         gc_was_enabled = gc.isenabled()
@@ -243,9 +287,12 @@ class Simulator:
                         costs.dropped_messages += 1
                         continue
                     chain_depth = entry.chain_depth
-                    processed[dest] += 1
-                    if chain_depth > costs.max_chain_depth:
-                        costs.max_chain_depth = chain_depth
+                    if processed is not None:
+                        processed[dest] += 1
+                        if chain_depth > costs.max_chain_depth:
+                            costs.max_chain_depth = chain_depth
+                    else:
+                        record_processed(dest, chain_depth)
                     ctx.host_id = dest
                     ctx.now = time
                     ctx._chain_depth = chain_depth

@@ -4,24 +4,33 @@ Events are ordered by ``(time, kind priority, sequence number)`` so that
 ties are broken deterministically in insertion order, which keeps
 simulations reproducible for a fixed random seed.
 
-The queue is implemented as a *batched delivery ring* rather than a single
-binary heap of events.  The simulator's network model delivers every
-message after exactly ``delta`` time, so at any instant nearly all pending
-events share a handful of distinct timestamps (``t + delta`` for messages,
-a few timer deadlines, the churn schedule).  The ring exploits that:
+The queue is implemented as a *calendar queue* over batched delivery
+slots rather than a single binary heap of events:
 
 * each distinct timestamp owns one *slot* -- six FIFO lists, one per
   :data:`_KIND_PRIORITY` level -- and pushing an event is a dict lookup
   plus a list append (no per-event heap sift, no event comparisons);
-* a small heap of *bare floats* (one entry per distinct timestamp, not per
-  event) orders the slots; slots drain fully before the next timestamp is
-  considered;
+* slots are grouped into calendar *days* of configurable ``width``
+  (the engine uses the delay bound ``delta``): a small heap of day
+  indices orders the days, and a per-day heap of bare floats orders the
+  timestamps within one day.  Under the fixed-delay model nearly all
+  pending events share a handful of distinct timestamps (``t + delta``
+  for messages, a few timer deadlines, the churn schedule), so each day
+  holds one or two slots and the structure degenerates to the original
+  batched ring.  Under variable-delay models almost every delivery gets
+  a unique timestamp; the calendar keeps each heap bounded by one
+  bound-window of traffic instead of the whole simulation's future;
 * within a slot, events drain in priority order and, within a priority, in
   insertion order -- exactly the ``(time, priority, seq)`` total order the
   original heap implementation produced, including events appended to the
   slot *while it is draining* (a zero-delay timer scheduled at the current
   instant still runs after the instant's remaining deliveries, and a
   delivery appended mid-drain still precedes the instant's timers).
+
+Because day indices are a monotone function of time and timestamps heap
+within a day, the drain order is identical to a single global heap of
+timestamps for every ``width`` -- the calendar only changes how much
+heap work each push and pop performs.
 
 The public API (``push`` / ``pop`` / ``peek_time`` / ``cancel`` /
 ``drain``) is unchanged from the heap implementation.
@@ -106,15 +115,31 @@ class _Slot:
 
 
 class EventQueue:
-    """A batched ring of :class:`Event` objects ordered by (time, prio, seq).
+    """A calendar queue of :class:`Event` objects ordered by (time, prio, seq).
 
     Supports lazy cancellation: cancelled events stay in their slot but are
     skipped when popped.
+
+    Args:
+        width: calendar day width.  Purely a performance knob (drain order
+            is width-independent); the engine passes the delay bound
+            ``delta`` so one day covers one bound-window of traffic.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, width: float = 1.0) -> None:
+        if width <= 0:
+            raise ValueError("calendar day width must be positive")
+        self._width = float(width)
         self._slots: Dict[float, _Slot] = {}
-        self._times: List[float] = []          # heap of bare floats
+        self._days: Dict[int, List[float]] = {}  # day -> heap of timestamps
+        self._day_heap: List[int] = []           # heap of day indices
+        # Cache of the minimal non-empty day (index, timestamp heap): the
+        # drain revisits it once per event, so resolving it through the
+        # day heap every time would cost a peek plus a dict lookup on the
+        # hottest path.  Invalidated when a day earlier than the cached
+        # one appears or the cached day drains.
+        self._front_day = -1
+        self._front_times: Optional[List[float]] = None
         self._counter = itertools.count()
         self._cancelled: set[int] = set()
         self._size = 0
@@ -126,12 +151,19 @@ class EventQueue:
         return len(self) > 0
 
     def _slot_at(self, time: float) -> _Slot:
-        """The slot for ``time``, creating (and heap-registering) it once."""
+        """The slot for ``time``, creating (and calendar-filing) it once."""
         slot = self._slots.get(time)
         if slot is None:
             slot = _Slot()
             self._slots[time] = slot
-            heapq.heappush(self._times, time)
+            day = int(time / self._width)
+            bucket = self._days.get(day)
+            if bucket is None:
+                self._days[day] = bucket = []
+                heapq.heappush(self._day_heap, day)
+                if day < self._front_day:
+                    self._front_times = None  # new earlier day: re-resolve
+            heapq.heappush(bucket, time)
         return slot
 
     # ------------------------------------------------------------------
@@ -225,15 +257,31 @@ class EventQueue:
 
         Returns ``(time, slot, priority, index, entry)`` without consuming
         the entry, or ``None`` when the queue is empty.  Cancelled events
-        encountered on the way are discarded and exhausted slots are
-        released (their timestamp popped from the time heap), so the ring
-        never revisits them.  Both :meth:`pop_due` and :meth:`peek_time`
-        share this scan, keeping the cursor/``min_pri``/``_size``
-        bookkeeping in exactly one place.
+        encountered on the way are discarded, exhausted slots are released
+        (their timestamp popped from their day's heap), and exhausted days
+        are retired from the calendar, so the scan never revisits them.
+        Both :meth:`pop_due` and :meth:`peek_time` share this scan, keeping
+        the cursor/``min_pri``/``_size`` bookkeeping in exactly one place.
         """
-        times = self._times
+        day_heap = self._day_heap
+        days = self._days
         cancelled = self._cancelled
-        while times:
+        while True:
+            times = self._front_times
+            if not times:  # cached front day drained or invalidated
+                while day_heap:
+                    day = day_heap[0]
+                    times = days.get(day)
+                    if times:
+                        self._front_day = day
+                        self._front_times = times
+                        break
+                    # Day exhausted (or retired): leave the calendar.
+                    heapq.heappop(day_heap)
+                    days.pop(day, None)
+                else:
+                    self._front_times = None
+                    return None
             time = times[0]
             slot = self._slots.get(time)
             if slot is None:  # released slot whose timestamp lingered

@@ -5,7 +5,9 @@ stimuli -- the local query start (only at the querying host), the receipt of
 a message, and the expiry of a local timer -- and may respond by sending
 messages to neighbors or setting further timers.  The simulator mediates all
 interaction through a :class:`HostContext`, which also enforces the network
-model (messages only travel along alive edges, one hop per ``delta``).
+model (messages only travel along alive edges, each hop taking at most
+``delta`` -- the realised delay comes from the engine's
+:class:`~repro.simulation.delay.DelayModel`).
 """
 
 from __future__ import annotations
@@ -48,7 +50,15 @@ class HostContext:
 
     @property
     def delta(self) -> float:
-        """The per-hop message delay of the network model."""
+        """The per-hop message delay *bound* of the network model.
+
+        Protocol timer math (deadlines, participation windows,
+        termination times) must be computed from this bound, never from
+        observed message timings: the paper's Single-Site Validity
+        arguments hold for any realised delay in ``(0, delta]``, and the
+        engine may be running a variable
+        :class:`~repro.simulation.delay.DelayModel` underneath.
+        """
         return self._simulator.delta
 
     def neighbors(self) -> Set[int]:

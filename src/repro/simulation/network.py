@@ -6,6 +6,10 @@ the set of alive hosts are updated accordingly, and every change is recorded
 in an event log so that the :class:`~repro.semantics.oracle.Oracle` can
 reconstruct the exact host sets ``H_I``, ``H_U`` and ``H_C`` after a run.
 
+The graph carries *connectivity* only; link timing lives in the engine's
+:class:`~repro.simulation.delay.DelayModel` (the per-edge model derives
+each edge's latency from the endpoint pair, so it needs no storage here).
+
 The adjacency is tuned for the simulation hot path: the alive-neighbor view
 of each host -- queried once per message send -- is cached as a frozenset
 plus a sorted tuple and invalidated only for the hosts a failure or join

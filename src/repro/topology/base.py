@@ -56,6 +56,25 @@ class Topology:
         topology.metadata = metadata if metadata is not None else {}
         return topology
 
+    @classmethod
+    def from_generator(
+        cls,
+        adjacency: List[Set[int]],
+        name: str,
+        generator: str,
+        **parameters: object,
+    ) -> "Topology":
+        """The shared tail of every topology generator.
+
+        Wraps :meth:`trusted` (generator-built adjacencies are symmetric
+        by construction) and records the generator id plus its parameters
+        in ``metadata`` in one uniform shape, so the per-generator modules
+        do not each restate the construction boilerplate.
+        """
+        metadata: Dict[str, object] = {"generator": generator}
+        metadata.update(parameters)
+        return cls.trusted(adjacency, name=name, metadata=metadata)
+
     def __len__(self) -> int:
         return len(self.adjacency)
 

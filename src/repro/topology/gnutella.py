@@ -96,15 +96,13 @@ def gnutella_like_topology(
 
     ensure_connected(adjacency, rng)
 
-    return Topology.trusted(
+    return Topology.from_generator(
         adjacency,
-        name=name,
-        metadata={
-            "generator": "gnutella_like",
-            "num_hosts": num_hosts,
-            "core_fraction": core_fraction,
-            "core_degree": core_degree,
-            "seed": seed,
-            "substitutes_for": "DSS Clip2 Gnutella crawl (39,046 hosts)",
-        },
+        name,
+        "gnutella_like",
+        num_hosts=num_hosts,
+        core_fraction=core_fraction,
+        core_degree=core_degree,
+        seed=seed,
+        substitutes_for="DSS Clip2 Gnutella crawl (39,046 hosts)",
     )

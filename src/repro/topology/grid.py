@@ -56,15 +56,13 @@ def grid_topology(
                 if 0 <= nr < rows and 0 <= nc < cols:
                     adjacency[host].add(nr * cols + nc)
 
-    return Topology.trusted(
+    return Topology.from_generator(
         adjacency,
-        name=name,
-        metadata={
-            "generator": "grid",
-            "rows": rows,
-            "cols": cols,
-            "neighborhood": neighborhood,
-        },
+        name,
+        "grid",
+        rows=rows,
+        cols=cols,
+        neighborhood=neighborhood,
     )
 
 

@@ -78,14 +78,12 @@ def power_law_topology(
     if connected:
         ensure_connected(adjacency, rng)
 
-    return Topology.trusted(
+    return Topology.from_generator(
         adjacency,
-        name=name,
-        metadata={
-            "generator": "power_law",
-            "num_hosts": num_hosts,
-            "gamma": gamma,
-            "min_degree": min_degree,
-            "seed": seed,
-        },
+        name,
+        "power_law",
+        num_hosts=num_hosts,
+        gamma=gamma,
+        min_degree=min_degree,
+        seed=seed,
     )

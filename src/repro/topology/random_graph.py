@@ -65,13 +65,11 @@ def random_topology(
     if connected:
         ensure_connected(adjacency, rng)
 
-    return Topology.trusted(
+    return Topology.from_generator(
         adjacency,
-        name=name,
-        metadata={
-            "generator": "random",
-            "num_hosts": num_hosts,
-            "avg_degree": avg_degree,
-            "seed": seed,
-        },
+        name,
+        "random",
+        num_hosts=num_hosts,
+        avg_degree=avg_degree,
+        seed=seed,
     )

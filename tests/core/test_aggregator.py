@@ -160,3 +160,28 @@ class TestConfiguration:
                               protocol_config=ProtocolConfig(gossip_rounds=60))
         result = agg.count(protocol="gossip")
         assert result.value == pytest.approx(50, rel=0.3)
+
+    def test_delay_config_threads_through_and_keeps_min_exact(self):
+        topo = random_topology(50, avg_degree=6, seed=33)
+        values = constant_values(50, 1)
+        agg = ValidAggregator(
+            topo, values, seed=33,
+            simulation=SimulationConfig(delay="uniform:0.25,1.0"))
+        result = agg.minimum()
+        assert result.value == 1.0
+        # Variable delays can only arrive earlier than the fixed worst
+        # case, so the run finishes no later.
+        fixed = ValidAggregator(topo, values, seed=33).minimum()
+        assert result.run.finished_at <= fixed.run.finished_at + 1e-9
+
+    def test_streaming_stats_config_keeps_measures(self):
+        topo = random_topology(50, avg_degree=6, seed=34)
+        values = constant_values(50, 1)
+        full = ValidAggregator(topo, values, seed=34).count(
+            protocol="spanning-tree")
+        streaming = ValidAggregator(
+            topo, values, seed=34,
+            simulation=SimulationConfig(stats="streaming")).count(
+            protocol="spanning-tree")
+        assert streaming.value == full.value
+        assert streaming.run.costs.summary() == full.run.costs.summary()

@@ -11,12 +11,24 @@ class TestSimulationConfig:
         assert config.delta == 1.0
         assert not config.wireless
         assert config.seed == 0
+        assert config.delay == "fixed"
+        assert config.stats == "full"
 
     def test_validation(self):
         with pytest.raises(ValueError):
             SimulationConfig(delta=0.0)
         with pytest.raises(ValueError):
             SimulationConfig(max_time=-1.0)
+
+    def test_delay_and_stats_specs_validated_eagerly(self):
+        assert SimulationConfig(delay="uniform:0.5,1.0").delay == "uniform:0.5,1.0"
+        assert SimulationConfig(stats="streaming").stats == "streaming"
+        with pytest.raises(ValueError):
+            SimulationConfig(delay="warp")
+        with pytest.raises(ValueError):
+            SimulationConfig(delay="uniform:0.9,0.1")
+        with pytest.raises(ValueError):
+            SimulationConfig(stats="verbose")
 
     def test_frozen(self):
         config = SimulationConfig()

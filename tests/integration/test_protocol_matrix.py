@@ -135,6 +135,75 @@ def test_static_runs_answer_exactly(protocol_name, topology_name):
         assert result.value == float(topology.num_hosts)
 
 
+#: Variable-delay axis: realised per-hop delays in (0, delta] drawn from
+#: each family the delay layer implements.  Protocol deadlines are
+#: computed from the bound, so everything proven for the fixed worst case
+#: must keep holding here.
+DELAY_MODELS = ("uniform:0.25,1.0", "heavy_tail:1.2", "per_edge")
+
+
+@pytest.mark.parametrize("delay", DELAY_MODELS)
+@pytest.mark.parametrize("topology_name", ["grid", "random"])
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+def test_protocols_terminate_and_declare_under_variable_delay(
+        protocol_name, topology_name, delay):
+    """All protocols still terminate before their nominal horizon and
+    declare a value when message delays vary under the bound."""
+    topology = TOPOLOGIES[topology_name]()
+    values = uniform_values(topology.num_hosts, low=1, high=50, seed=SEED)
+    protocol = PROTOCOLS[protocol_name]()
+    query = "min" if protocol_name == "wildfire" else "count"
+
+    result = run_protocol(protocol, topology, values, query,
+                          querying_host=0, seed=SEED, delay=delay)
+
+    assert result.finished_at <= result.termination_time + 1e-9
+    assert result.value is not None
+    if protocol_name == "wildfire":
+        # Single-Site Validity on a static network: the exact minimum.
+        assert result.value == float(min(values))
+    elif protocol_name in EXACT_SUBSET_PROTOCOLS:
+        # On a static network every host has a stable path, so the
+        # best-effort exact protocols must still count everyone.
+        assert result.value == float(topology.num_hosts)
+
+
+@pytest.mark.parametrize("delay", DELAY_MODELS)
+@pytest.mark.parametrize("protocol_name", ["spanning-tree", "dag2"])
+def test_tree_and_dag_preserve_validity_under_variable_delay(
+        protocol_name, delay):
+    """Tree and DAG deadlines are computed from the delay *bound*, so on
+    static networks their duplicate-insensitive min answer keeps
+    Single-Site Validity under every realised delay model: each child's
+    report still arrives by its parent's deadline."""
+    for topology_name in ("random", "power-law"):
+        topology = TOPOLOGIES[topology_name]()
+        values = uniform_values(topology.num_hosts, low=1, high=50, seed=SEED)
+        result = run_protocol(PROTOCOLS[protocol_name](), topology, values,
+                              "min", querying_host=0, seed=SEED, delay=delay)
+        assert result.value == float(min(values)), (
+            f"{protocol_name} lost Single-Site Validity on "
+            f"{topology_name} under {delay} delay"
+        )
+
+
+@pytest.mark.parametrize("delay", ["uniform:0.25,1.0", "heavy_tail:1.2"])
+def test_wildfire_stays_oracle_valid_under_churn_and_variable_delay(delay):
+    """WILDFIRE's Single-Site Validity claim is stated for any delay at
+    most delta; the oracle must keep certifying it when churn and
+    variable delay interact."""
+    topology = TOPOLOGIES["random"]()
+    values = uniform_values(topology.num_hosts, low=1, high=50, seed=SEED)
+    churn = _make_churn(topology, True)
+    result = run_protocol(Wildfire(), topology, values, "min",
+                          querying_host=0, churn=churn, seed=SEED,
+                          delay=delay)
+    assert result.value is not None
+    oracle = Oracle(topology, values, 0)
+    assert oracle.is_valid(result.value, "min", churn,
+                           horizon=result.termination_time)
+
+
 @pytest.mark.parametrize("churned", [False, True], ids=["static", "churn"])
 def test_wildfire_fm_count_estimates_are_sane_at_scale(churned):
     """The sketch-based count declares a positive, finite estimate whose

@@ -74,3 +74,70 @@ def test_no_cache_leaves_no_records(cache_dir, tmp_path, capsys):
     assert main(["run", "fig6", *RUN_ARGS, "--no-cache", "-q",
                  "--cache-dir", cache_dir]) == 0
     assert not (tmp_path / "cache").exists()
+
+
+def test_bench_streaming_variable_delay_row(capsys):
+    assert main(["bench", "--hosts", "64", "--topology", "random",
+                 "--stats", "streaming", "--delay", "uniform:0.5,1.0"]) == 0
+    captured = capsys.readouterr()
+    assert "streaming" in captured.out
+    assert "uniform:0.5,1.0" in captured.out
+    assert "peak_rss_mb" in captured.out
+    assert "accounting_bytes" in captured.out
+
+
+def test_bench_unknown_delay_model_fails_cleanly(capsys):
+    assert main(["bench", "--hosts", "64", "--delay", "warp"]) == 2
+    assert "unknown delay model" in capsys.readouterr().err
+
+
+def test_bench_profile_prints_cumulative_top(capsys):
+    assert main(["bench", "--hosts", "64", "--topology", "random",
+                 "--profile"]) == 0
+    err = capsys.readouterr().err
+    assert "Ordered by: cumulative time" in err
+    assert "run_protocol" in err
+
+
+def test_delay_sweep_command_prints_rows(capsys):
+    assert main(["delay-sweep", "--size", "40", "--topology", "random",
+                 "--departures", "0", "-t", "1",
+                 "--delays", "fixed", "heavy_tail:1.2"]) == 0
+    out = capsys.readouterr().out
+    assert "valid_fraction" in out
+    assert "heavy_tail:1.2" in out
+    assert "wildfire" in out
+
+
+def test_delay_sweep_rejects_unknown_topology(capsys):
+    assert main(["delay-sweep", "--topology", "moebius"]) == 2
+    assert "unknown topology" in capsys.readouterr().err
+
+
+def test_run_accepts_streaming_stats(cache_dir, capsys):
+    """--stats streaming flips the process default for the run (and
+    restores it afterwards); figure results keep the same measures, so
+    the run succeeds and prints its table."""
+    from repro.simulation.stats import default_stats_mode
+
+    assert main(["run", "fig6", *RUN_ARGS, "--no-cache",
+                 "--stats", "streaming"]) == 0
+    assert "1 trials" in capsys.readouterr().out
+    assert default_stats_mode() == "full"
+
+
+def test_run_streaming_stats_requires_single_worker(capsys):
+    """Worker processes would not inherit the stats mode, so the
+    combination is rejected instead of silently using full accounting."""
+    assert main(["run", "fig6", *RUN_ARGS, "--no-cache",
+                 "--stats", "streaming", "--workers", "2"]) == 2
+    assert "--workers 1" in capsys.readouterr().err
+
+
+def test_bench_profile_refuses_trajectory_json(tmp_path, capsys):
+    """Profiled timings carry tracing overhead and must never land in a
+    trajectory file."""
+    out = str(tmp_path / "traj.json")
+    assert main(["bench", "--hosts", "64", "--topology", "random",
+                 "--profile", "--json", out]) == 2
+    assert "--profile" in capsys.readouterr().err

@@ -1,6 +1,17 @@
-"""Tests for cost accounting."""
+"""Tests for cost accounting (full and streaming sinks)."""
 
-from repro.simulation.stats import CostAccounting
+import random
+
+import pytest
+
+from repro.simulation.stats import (
+    CostAccounting,
+    StatsSink,
+    StreamingCostAccounting,
+    default_stats_mode,
+    make_stats_sink,
+    set_default_stats_mode,
+)
 
 
 class TestCostAccounting:
@@ -75,3 +86,134 @@ class TestCostAccounting:
         assert a.computation_cost == 1
         assert a.time_cost == 5
         assert a.messages_per_instant() == {0.0: 1, 1.0: 1}
+
+    def test_sends_are_bucketed_by_clock_tick(self):
+        """Raw float send times from a variable-delay run collapse onto
+        the tick grid, keyed by the tick's start time."""
+        costs = CostAccounting(tick_width=1.0)
+        costs.record_send("x", 0.4)
+        costs.record_send("x", 0.9)
+        costs.record_send("x", 1.0)
+        costs.record_send_batch("x", 1.6, 2)
+        assert costs.messages_per_instant() == {0.0: 2, 1.0: 3}
+        # Accumulated float drift just below a boundary still lands in
+        # the intended bucket.
+        drifty = CostAccounting(tick_width=1.0)
+        drifty.record_send("x", 2.9999999996)
+        assert drifty.messages_per_instant() == {3.0: 1}
+
+    def test_tick_bucketing_is_identity_under_fixed_delay_times(self):
+        """Fixed-delay runs only send at multiples of delta, so tick
+        bucketing must not change keys (the golden snapshots pin this)."""
+        costs = CostAccounting(tick_width=1.0)
+        for time in (0.0, 1.0, 7.0, 13.0):
+            costs.record_send("x", time)
+        assert sorted(costs.messages_per_instant()) == [0.0, 1.0, 7.0, 13.0]
+
+
+def _drive(sink: StatsSink, seed: int = 4, hosts: int = 50,
+           events: int = 400) -> StatsSink:
+    """Feed one synthetic event stream into a sink (same for any sink)."""
+    rng = random.Random(seed)
+    for _ in range(events):
+        roll = rng.random()
+        time = rng.random() * 12.0
+        if roll < 0.45:
+            sink.record_send(rng.choice("abc"), time)
+        elif roll < 0.6:
+            sink.record_send_batch(rng.choice("abc"), time, rng.randrange(5))
+        elif roll < 0.65:
+            sink.record_send(rng.choice("abc"), time, wireless_group=True)
+        elif roll < 0.7:
+            sink.record_wireless_group(rng.randrange(3))
+        elif roll < 0.95:
+            sink.record_processed(rng.randrange(hosts), rng.randrange(9))
+        else:
+            sink.record_dropped()
+    return sink
+
+
+class TestStreamingCostAccounting:
+    def test_matches_full_accounting_on_any_event_stream(self):
+        full = _drive(CostAccounting())
+        streaming = _drive(StreamingCostAccounting(num_hosts=50))
+        assert streaming.summary() == full.summary()
+        assert streaming.computation_histogram() == full.computation_histogram()
+        assert streaming.messages_per_instant() == full.messages_per_instant()
+        assert dict(full.messages_by_kind) == streaming.messages_by_kind
+
+    def test_footprint_is_much_smaller_than_full(self):
+        """In the regime that matters -- most hosts touched, as in any
+        protocol run -- the packed array is >5x below the Counter."""
+        full = _drive(CostAccounting(), hosts=5000, events=20_000)
+        streaming = _drive(StreamingCostAccounting(num_hosts=5000),
+                           hosts=5000, events=20_000)
+        assert streaming.footprint_bytes() * 5 < full.footprint_bytes()
+
+    def test_memory_is_bounded_by_hosts_and_ticks_not_traffic(self):
+        sink = StreamingCostAccounting(num_hosts=100, tick_width=1.0)
+        sink.record_processed(7, 1)
+        sink.record_send("x", 9.5)
+        before = sink.footprint_bytes()
+        for _ in range(10_000):
+            sink.record_processed(7, 1)
+            sink.record_send("x", 9.5)
+        assert sink.footprint_bytes() == before
+
+    def test_growth_allocates_elements_not_bytes(self):
+        """Regression: array growth must append zero *elements*, not one
+        element per zero byte (which would 4-8x the footprint)."""
+        sink = StreamingCostAccounting(num_hosts=0, tick_width=1.0)
+        sink.record_send("x", 9.5)
+        assert len(sink._by_tick) == 10
+        sink.record_processed(4, 0)
+        assert len(sink._processed) == 5
+
+    def test_joined_hosts_grow_the_processed_array(self):
+        sink = StreamingCostAccounting(num_hosts=3)
+        sink.record_processed(10, 2)  # a host joined after construction
+        sink.record_processed(10, 2)
+        assert sink.computation_cost == 2
+        assert sink.computation_histogram() == {2: 1}
+
+    def test_running_max_tracks_computation_cost(self):
+        sink = StreamingCostAccounting(num_hosts=4)
+        for _ in range(3):
+            sink.record_processed(1, 0)
+        sink.record_processed(2, 0)
+        assert sink.computation_cost == 3
+        assert sink.time_cost == 0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            StreamingCostAccounting(num_hosts=-1)
+        with pytest.raises(ValueError):
+            StreamingCostAccounting(tick_width=0.0)
+
+
+class TestMakeStatsSink:
+    def test_modes_and_passthrough(self):
+        assert isinstance(make_stats_sink("full"), CostAccounting)
+        streaming = make_stats_sink("streaming", num_hosts=7, tick_width=2.0)
+        assert isinstance(streaming, StreamingCostAccounting)
+        assert streaming.tick_width == 2.0
+        ready = CostAccounting()
+        assert make_stats_sink(ready) is ready
+        with pytest.raises(ValueError):
+            make_stats_sink("verbose")
+
+    def test_none_uses_the_process_default(self):
+        assert default_stats_mode() == "full"
+        previous = set_default_stats_mode("streaming")
+        try:
+            assert previous == "full"
+            assert isinstance(make_stats_sink(None), StreamingCostAccounting)
+            # An explicit mode still wins over the default.
+            assert isinstance(make_stats_sink("full"), CostAccounting)
+        finally:
+            set_default_stats_mode(previous)
+        assert isinstance(make_stats_sink(None), CostAccounting)
+
+    def test_default_mode_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_default_stats_mode("bogus")
