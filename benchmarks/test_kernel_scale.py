@@ -253,6 +253,35 @@ def test_100k_streaming_run_matches_full_and_stays_in_rss_budget():
             f"{STREAMING_100K_RSS_BUDGET_MB} MiB perf-smoke budget")
 
 
+def test_service_throughput_10k():
+    """Concurrent-query throughput: a mixed WILDFIRE/tree/DAG Poisson
+    load multiplexed over one shared 10k-host network.
+
+    The single-query rows above scale *hosts*; this row scales
+    *concurrent query load* -- the service multiplexes every query over
+    one calendar-queue event loop, so the whole mix costs one network
+    build and per-query state only while a query is in flight.
+    Completion plus full answer coverage is the assertion; queries/sec
+    lands in the trajectory for trend-watching.
+    """
+    from repro.experiments.scale_bench import run_service_benchmark
+
+    row = run_service_benchmark(10_000, qps=1.0, duration=10.0, seed=1,
+                                stats="streaming")
+    print(f"\n10k-host service: {row['answered']}/{row['queries']} queries "
+          f"in {row['run_seconds']}s ({row['queries_per_second']} q/s, "
+          f"{row['messages_per_second']} msg/s)")
+    assert row["hosts"] == 10_000
+    assert row["queries"] >= 5
+    assert row["answered"] == row["queries"] - row["failed"]
+    assert row["failed"] == 0          # static network: nothing can fail
+    assert row["messages"] > 0
+    _record_trajectory("pytest 10k service throughput", **{
+        k: row[k] for k in ("hosts", "queries", "answered", "run_seconds",
+                            "queries_per_second", "messages",
+                            "messages_per_second", "peak_rss_mb")})
+
+
 def test_million_host_run_completes_when_requested():
     """The headline streaming-accounting run: 1,000,000 hosts.
 

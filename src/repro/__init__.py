@@ -31,6 +31,7 @@ from repro import (
     protocols,
     queries,
     semantics,
+    service,
     simulation,
     sketches,
     topology,
@@ -55,6 +56,7 @@ __all__ = [
     "protocols",
     "queries",
     "semantics",
+    "service",
     "simulation",
     "sketches",
     "topology",

@@ -21,7 +21,12 @@ from repro.experiments.time_cost import (
 from repro.experiments.badcase import run_theorem_44_experiment
 from repro.experiments.capture_recapture import run_capture_recapture_experiment
 from repro.experiments.delay_sweep import DelaySweepRow, run_delay_sweep
-from repro.experiments.scale_bench import run_scale_benchmark, run_scale_sweep
+from repro.experiments.scale_bench import (
+    run_scale_benchmark,
+    run_scale_sweep,
+    run_service_benchmark,
+)
+from repro.experiments.query_mix import run_query_mix
 from repro.experiments.figures import (
     FIGURES,
     figure_spec,
@@ -48,6 +53,8 @@ __all__ = [
     "run_delay_sweep",
     "run_scale_benchmark",
     "run_scale_sweep",
+    "run_service_benchmark",
+    "run_query_mix",
     "FIGURES",
     "figure_spec",
     "run_figure",

@@ -1,0 +1,121 @@
+"""Concurrent query-mix experiment: drive the service with an open world.
+
+This is the driver behind ``repro serve`` and the service benchmarks: it
+builds one shared network, generates a Poisson query mix
+(:mod:`repro.workloads.query_mix`), multiplexes every query over the
+:class:`~repro.service.QueryService`, and reports per-query rows plus a
+service-level summary (queries answered, wall-clock throughput, message
+totals and a determinism digest over every per-query result).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.scale_bench import _build_topology
+from repro.service import QueryService
+from repro.simulation.churn import ChurnSchedule, uniform_failure_schedule
+from repro.topology.base import Topology
+from repro.workloads.query_mix import QueryMixConfig, generate_query_mix
+
+
+def run_query_mix(
+    num_hosts: int = 1000,
+    topology: str = "gnutella",
+    qps: float = 2.0,
+    duration: float = 60.0,
+    seed: int = 0,
+    stats: str = "full",
+    delay: Optional[str] = None,
+    departures: int = 0,
+    mix: Optional[QueryMixConfig] = None,
+    prebuilt_topology: Optional[Topology] = None,
+    **mix_overrides,
+) -> Dict[str, Any]:
+    """Run one open-world query mix over a shared service.
+
+    Args:
+        num_hosts: network size.
+        topology: a :data:`~repro.orchestration.runners.TOPOLOGY_BUILDERS`
+            key.
+        qps: mean Poisson arrival rate of query streams.
+        duration: arrival window; the service then runs to drain, so
+            every launched query declares.
+        seed: seeds topology generation, values, churn, the mix and the
+            per-query seed streams.
+        stats: per-query cost accounting mode (``full`` / ``streaming``).
+        delay: link-delay model spec shared by all queries (each session
+            samples its own stream).
+        departures: number of hosts failed uniformly over the arrival
+            window (0 = static network).
+        mix: explicit :class:`QueryMixConfig`; ``mix_overrides`` tweak
+            its fields (``continuous_fraction=...``, ``max_queries=...``).
+        prebuilt_topology: reuse an existing topology.
+
+    Returns:
+        ``{"rows": [per-query dict, ...], "summary": {...}}``.  The
+        summary's ``determinism_digest`` hashes every query's declared
+        value and cost fingerprint, so two identically seeded runs can be
+        compared with one string.
+    """
+    if prebuilt_topology is not None:
+        topo = prebuilt_topology
+    else:
+        topo = _build_topology(topology, num_hosts, seed)
+    rng = random.Random(seed)
+    values = [rng.random() * 100.0 for _ in range(topo.num_hosts)]
+
+    churn: Optional[ChurnSchedule] = None
+    if departures > 0:
+        churn = uniform_failure_schedule(
+            candidates=list(range(topo.num_hosts)),
+            num_failures=departures,
+            start=duration * 0.05,
+            end=duration * 0.95,
+            seed=seed,
+        )
+
+    mix_config = mix if mix is not None else QueryMixConfig(
+        qps=qps, duration=duration)
+    submissions = generate_query_mix(
+        topo.num_hosts, mix_config, seed=seed, **mix_overrides)
+
+    service = QueryService(
+        topo, values, churn=churn, seed=seed, stats=stats, delay=delay)
+    for submission in submissions:
+        service.submit(
+            submission.protocol,
+            submission.aggregate,
+            querying_host=submission.querying_host,
+            at=submission.time,
+            stream=submission.stream,
+            extra={"continuous": submission.continuous,
+                   "report_index": submission.report_index},
+        )
+    report = service.run()
+
+    rows: List[Dict[str, Any]] = []
+    digest = hashlib.sha256()
+    for outcome in report.outcomes:
+        row = outcome.as_row()
+        if outcome.costs is not None:
+            row["cost_fingerprint"] = outcome.costs.fingerprint()
+            digest.update(row["cost_fingerprint"].encode())
+        digest.update(repr((outcome.query_id, outcome.value)).encode())
+        rows.append(row)
+
+    summary = dict(report.summary())
+    summary.update({
+        "hosts": topo.num_hosts,
+        "topology": topo.name if prebuilt_topology is not None else topology,
+        "qps": qps,
+        "duration": duration,
+        "seed": seed,
+        "stats": stats,
+        "delay": delay or "fixed",
+        "departures": departures,
+        "determinism_digest": digest.hexdigest(),
+    })
+    return {"rows": rows, "summary": summary}

@@ -47,22 +47,9 @@ def _build_topology(name: str, num_hosts: int, seed: int) -> Topology:
 
 
 def _build_protocol(name: str):
-    from repro.protocols.dag import DirectedAcyclicGraph
-    from repro.protocols.spanning_tree import SpanningTree
-    from repro.protocols.wildfire import Wildfire
+    from repro.protocols.base import protocol_from_spec
 
-    if name == "wildfire":
-        return Wildfire()
-    if name == "spanning-tree":
-        return SpanningTree()
-    if name.startswith("dag"):
-        suffix = name[3:] or "2"
-        if suffix.isdigit() and int(suffix) >= 2:
-            return DirectedAcyclicGraph(num_parents=int(suffix))
-    raise KeyError(
-        f"unknown protocol {name!r}; known: wildfire, spanning-tree, dagK "
-        f"(K >= 2, e.g. dag2)"
-    )
+    return protocol_from_spec(name)
 
 
 def run_scale_benchmark(
@@ -151,6 +138,53 @@ def run_scale_benchmark(
         ),
         "peak_rss_mb": peak_rss_mb(),
         "accounting_bytes": result.costs.footprint_bytes(),
+    }
+
+
+def run_service_benchmark(
+    num_hosts: int,
+    qps: float = 1.0,
+    duration: float = 20.0,
+    topology: str = "gnutella",
+    seed: int = 0,
+    stats: str = "streaming",
+    delay: Optional[str] = None,
+    **mix_overrides,
+) -> Dict[str, Any]:
+    """Measure concurrent-query throughput of the multi-tenant service.
+
+    Runs one Poisson query mix (WILDFIRE/tree/DAG, see
+    :mod:`repro.workloads.query_mix`) over a shared ``num_hosts``-host
+    network and reports queries answered, wall-clock queries/sec and
+    message throughput alongside the determinism digest -- the service
+    counterpart of :func:`run_scale_benchmark`'s single-query row.
+    """
+    from repro.experiments.query_mix import run_query_mix
+
+    result = run_query_mix(
+        num_hosts=num_hosts, topology=topology, qps=qps,
+        duration=duration, seed=seed, stats=stats, delay=delay,
+        **mix_overrides)
+    summary = result["summary"]
+    elapsed = summary["elapsed_seconds"]
+    return {
+        "hosts": summary["hosts"],
+        "topology": summary["topology"],
+        "qps": qps,
+        "duration": duration,
+        "seed": seed,
+        "stats": stats,
+        "queries": summary["queries"],
+        "answered": summary["answered"],
+        "failed": summary["failed"],
+        "run_seconds": elapsed,
+        "queries_per_second": summary["queries_per_second"],
+        "messages": summary["messages_sent"],
+        "messages_per_second": (
+            round(summary["messages_sent"] / elapsed) if elapsed > 0 else 0
+        ),
+        "peak_rss_mb": peak_rss_mb(),
+        "determinism_digest": summary["determinism_digest"],
     }
 
 

@@ -11,6 +11,8 @@ Exposed both as ``python -m repro`` and as the ``repro`` console script:
     repro bench --hosts 1000000 --stats streaming   # million-host run
     repro bench --hosts 10000 --delay heavy_tail    # variable link delay
     repro bench --hosts 1000 --profile              # cProfile the kernel
+    repro serve --hosts 10000 --qps 5 --duration 200 --stats streaming
+                                       # multi-tenant query service
     repro delay-sweep --size 200 --departures 0 10  # validity vs delay
     repro cache ls                     # list cached results
     repro cache clear 3fa9c1           # evict one spec (cache-key prefix)
@@ -96,6 +98,50 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--label", default=None,
                        help="trajectory label for --json (default: "
                             "'cli' plus the cell parameters)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant query service: N concurrent aggregate queries "
+             "multiplexed over one shared simulated network")
+    serve.add_argument("--hosts", type=int, default=1000,
+                       help="network size (default 1000)")
+    serve.add_argument("--topology", default="gnutella",
+                       help="topology generator (default gnutella)")
+    serve.add_argument("--qps", type=float, default=2.0,
+                       help="mean Poisson arrival rate of query streams "
+                            "(default 2.0)")
+    serve.add_argument("--duration", type=float, default=60.0,
+                       help="arrival window in simulated time; the service "
+                            "then runs to drain so every launched query "
+                            "declares (default 60)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--stats", choices=("full", "streaming"),
+                       default="full",
+                       help="per-query cost accounting mode (streaming = "
+                            "bounded memory per session)")
+    serve.add_argument("--delay", default="fixed", metavar="MODEL",
+                       help="link-delay model spec shared by all queries; "
+                            "each session samples its own stream "
+                            "(default fixed)")
+    serve.add_argument("--departures", type=int, default=0,
+                       help="hosts failed uniformly over the arrival "
+                            "window (default 0 = static)")
+    serve.add_argument("--continuous-fraction", type=float, default=0.15,
+                       help="fraction of arrivals that are continuous "
+                            "(periodic) query streams (default 0.15)")
+    serve.add_argument("--wildfire-share", type=float, default=None,
+                       metavar="W",
+                       help="weight of WILDFIRE in the protocol mix "
+                            "(default 0.25; the rest splits 2:1 between "
+                            "spanning-tree and dag2)")
+    serve.add_argument("--max-queries", type=int, default=None,
+                       help="cap on total submissions (default: unbounded)")
+    serve.add_argument("--rows", type=int, default=20, metavar="N",
+                       help="print the first N per-query rows (default 20; "
+                            "0 = summary only)")
+    serve.add_argument("--json", default=None, metavar="PATH",
+                       help="write the full report (rows + summary) to "
+                            "PATH as JSON")
 
     sweep = sub.add_parser(
         "delay-sweep",
@@ -319,6 +365,76 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.query_mix import run_query_mix
+    from repro.experiments.tables import format_table
+    from repro.workloads.query_mix import DEFAULT_PROTOCOL_MIX, QueryMixConfig
+
+    if args.hosts < 2:
+        print("--hosts must be at least 2", file=sys.stderr)
+        return 2
+    if args.qps <= 0 or args.duration <= 0:
+        print("--qps and --duration must be positive", file=sys.stderr)
+        return 2
+    protocol_mix = dict(DEFAULT_PROTOCOL_MIX)
+    if args.wildfire_share is not None:
+        if not 0.0 <= args.wildfire_share <= 1.0:
+            print("--wildfire-share must be in [0, 1]", file=sys.stderr)
+            return 2
+        rest = 1.0 - args.wildfire_share
+        protocol_mix = {"wildfire": args.wildfire_share,
+                        "spanning-tree": rest * 2.0 / 3.0,
+                        "dag2": rest / 3.0}
+    try:
+        mix = QueryMixConfig(
+            qps=args.qps, duration=args.duration,
+            protocol_mix=protocol_mix,
+            continuous_fraction=args.continuous_fraction,
+            max_queries=args.max_queries,
+        )
+        result = run_query_mix(
+            num_hosts=args.hosts,
+            topology=args.topology,
+            qps=args.qps,
+            duration=args.duration,
+            seed=args.seed,
+            stats=args.stats,
+            delay=None if args.delay == "fixed" else args.delay,
+            departures=args.departures,
+            mix=mix,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(str(message), file=sys.stderr)
+        return 2
+    rows = result["rows"]
+    summary = result["summary"]
+    if args.rows > 0 and rows:
+        shown = [
+            {key: row[key] for key in (
+                "query_id", "protocol", "aggregate", "querying_host",
+                "status", "submitted_at", "declared_at", "value",
+                "communication_cost", "computation_cost", "time_cost")
+             if key in row}
+            for row in rows[:args.rows]
+        ]
+        print(format_table(
+            shown,
+            title=f"Query service ({summary['hosts']} hosts / "
+                  f"{summary['topology']} / qps {summary['qps']} / "
+                  f"{summary['stats']} stats) -- first {len(shown)} of "
+                  f"{len(rows)} queries"))
+    print(format_table([summary], title="Service summary"))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote full report to {args.json}")
+    return 0
+
+
 def _cmd_delay_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.delay_sweep import (
         DEFAULT_DELAY_SPECS,
@@ -395,6 +511,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "delay-sweep":
             return _cmd_delay_sweep(args)
         if args.command == "cache":

@@ -125,17 +125,9 @@ def _gnutella(size: int, seed: int):
 
 
 def _build_protocol(name: str):
-    from repro.protocols.dag import DirectedAcyclicGraph
-    from repro.protocols.spanning_tree import SpanningTree
-    from repro.protocols.wildfire import Wildfire
+    from repro.protocols.base import protocol_from_spec
 
-    if name == "wildfire":
-        return Wildfire()
-    if name == "spanning-tree":
-        return SpanningTree()
-    if name.startswith("dag"):
-        return DirectedAcyclicGraph(num_parents=max(2, int(name[3:] or 2)))
-    raise KeyError(f"unknown protocol {name!r}")
+    return protocol_from_spec(name)
 
 
 @register_runner("figure")

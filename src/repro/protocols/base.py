@@ -85,6 +85,53 @@ class Protocol(abc.ABC):
         return combiner_for_query(query.kind.value, exact=exact, repetitions=repetitions)
 
 
+def protocol_from_spec(spec: "Protocol | str") -> Protocol:
+    """Build a protocol from a compact spec string.
+
+    A ready-made :class:`Protocol` passes through unchanged.  Strings name
+    the registered protocols: ``wildfire``, ``spanning-tree``, ``dagK``
+    (K >= 2 parents, e.g. ``dag2``), ``allreport``, ``randomized-report``
+    and ``gossip``.  This is the single resolver behind ``repro bench``,
+    ``repro serve``, the orchestration runners and the query-mix workload
+    generator, so every surface accepts the same names.
+    """
+    if isinstance(spec, Protocol):
+        return spec
+    name = str(spec).strip().lower().replace("_", "-")
+    if name == "wildfire":
+        from repro.protocols.wildfire import Wildfire
+
+        return Wildfire()
+    if name == "spanning-tree":
+        from repro.protocols.spanning_tree import SpanningTree
+
+        return SpanningTree()
+    if name.startswith("dag"):
+        from repro.protocols.dag import DirectedAcyclicGraph
+
+        suffix = name[3:] or "2"
+        if suffix.startswith("-k"):  # the protocol's own name, "dag-kK"
+            suffix = suffix[2:]
+        if suffix.isdigit() and int(suffix) >= 2:
+            return DirectedAcyclicGraph(num_parents=int(suffix))
+    elif name == "allreport":
+        from repro.protocols.allreport import AllReport
+
+        return AllReport()
+    elif name == "randomized-report":
+        from repro.protocols.randomized_report import RandomizedReport
+
+        return RandomizedReport()
+    elif name in ("gossip", "push-sum-gossip"):
+        from repro.protocols.gossip import PushSumGossip
+
+        return PushSumGossip()
+    raise KeyError(
+        f"unknown protocol {spec!r}; known: wildfire, spanning-tree, dagK "
+        f"(K >= 2, e.g. dag2), allreport, randomized-report, gossip"
+    )
+
+
 def resolve_d_hat(
     topology: Topology,
     d_hat: Optional[int],
@@ -103,6 +150,101 @@ def resolve_d_hat(
         return int(d_hat)
     estimate = topology.diameter_estimate(seed=seed)
     return max(1, int(round(estimate * overestimate_factor)) + 1)
+
+
+@dataclass
+class PreparedRun:
+    """Everything one protocol execution derives from ``(query, seed)``.
+
+    This is the shared seed-derivation seam between :func:`run_protocol`
+    (one private simulator per query) and the multi-tenant
+    :class:`~repro.service.QueryService` (many queries multiplexed over
+    one shared simulator): both build their per-query state through
+    :func:`prepare_protocol_run`, so a query executed inside the service
+    with seed ``s`` is bit-identical to ``run_protocol(..., seed=s)``.
+
+    Attributes:
+        query: the parsed aggregate query.
+        combiner: the combine function the run will use.
+        d_hat: the resolved stable-diameter overestimate.
+        termination: the protocol's nominal termination time ``T``.
+        hosts: one freshly built protocol state machine per topology host.
+        rng: the run RNG (already consumed by host construction).
+        delay_model: resolved realised-delay model (``None`` = fixed).
+    """
+
+    query: AggregateQuery
+    combiner: Combiner
+    d_hat: int
+    termination: float
+    hosts: List[ProtocolHost]
+    rng: random.Random
+    delay_model: Optional[DelayModel]
+
+
+def prepare_protocol_run(
+    protocol: Protocol,
+    topology: Topology,
+    values: Sequence[float],
+    query: "AggregateQuery | str",
+    querying_host: int = 0,
+    combiner: Optional[Combiner] = None,
+    d_hat: Optional[int] = None,
+    delta: float = 1.0,
+    seed: int = 0,
+    repetitions: int = 8,
+    delay: "DelayModel | str | None" = None,
+) -> PreparedRun:
+    """Derive one protocol execution's state from its seed.
+
+    The derivation order is load-bearing: ``rng`` seeds both sketch
+    initialisation and protocol randomness, stochastic delay models are
+    reseeded from a *separate* stream (consuming the shared RNG there
+    would shift every host's sketch randomness, making fixed- and
+    variable-delay columns of one sweep differ by coin noise rather than
+    timing alone), and the golden snapshots pin the resulting fixed-delay
+    bitstream.  Any caller that goes through this function -- the solo
+    harness or the query service -- reproduces the same derivation.
+    """
+    if isinstance(query, str):
+        query = AggregateQuery.of(query)
+    if len(values) < topology.num_hosts:
+        raise ValueError("need one attribute value per host")
+    if not 0 <= querying_host < topology.num_hosts:
+        raise ValueError("querying_host is not part of the topology")
+
+    rng = random.Random(seed)
+    delay_model = delay_model_from_spec(delay, float(delta), seed=seed)
+    if delay_model is not None and delay_model.stochastic:
+        delay_model.reseed(
+            random.Random(f"{seed}:delay-model").getrandbits(64))
+    resolved_d_hat = resolve_d_hat(topology, d_hat, seed=seed)
+    if combiner is None:
+        combiner = protocol.default_combiner(query, repetitions=repetitions)
+    if protocol.requires_duplicate_insensitive and not combiner.duplicate_insensitive:
+        raise ValueError(
+            f"{protocol.name} floods partial aggregates along multiple paths and "
+            f"requires a duplicate-insensitive combiner; got {combiner.name!r}"
+        )
+    hosts = protocol.create_hosts(
+        topology=topology,
+        values=values,
+        querying_host=querying_host,
+        query=query,
+        combiner=combiner,
+        d_hat=resolved_d_hat,
+        delta=delta,
+        rng=rng,
+    )
+    return PreparedRun(
+        query=query,
+        combiner=combiner,
+        d_hat=resolved_d_hat,
+        termination=protocol.termination_time(resolved_d_hat, delta),
+        hosts=hosts,
+        rng=rng,
+        delay_model=delay_model,
+    )
 
 
 def run_protocol(
@@ -163,66 +305,33 @@ def run_protocol(
             ``"streaming"`` for the bounded-memory sink used by
             million-host runs, or a ready-made sink.
     """
-    if isinstance(query, str):
-        query = AggregateQuery.of(query)
-    if len(values) < topology.num_hosts:
-        raise ValueError("need one attribute value per host")
-    if not 0 <= querying_host < topology.num_hosts:
-        raise ValueError("querying_host is not part of the topology")
-
-    rng = random.Random(seed)
-    # Resolve the delay model and reseed stochastic ones from a stream
-    # derived from the run seed but *separate* from ``rng``: consuming the
-    # shared RNG here would shift every host's sketch randomness, making
-    # fixed- and variable-delay columns of one sweep differ by coin noise
-    # rather than timing alone.  The fixed model resolves to None, and no
-    # model touches ``rng``, so seeded fixed-delay runs stay bit-identical
-    # to the historical kernel (the golden snapshots pin this).
-    delay_model = delay_model_from_spec(delay, float(delta), seed=seed)
-    if delay_model is not None and delay_model.stochastic:
-        delay_model.reseed(
-            random.Random(f"{seed}:delay-model").getrandbits(64))
-    resolved_d_hat = resolve_d_hat(topology, d_hat, seed=seed)
-    if combiner is None:
-        combiner = protocol.default_combiner(query, repetitions=repetitions)
-    if protocol.requires_duplicate_insensitive and not combiner.duplicate_insensitive:
-        raise ValueError(
-            f"{protocol.name} floods partial aggregates along multiple paths and "
-            f"requires a duplicate-insensitive combiner; got {combiner.name!r}"
-        )
-
-    network = topology.to_network()
-    hosts = protocol.create_hosts(
-        topology=topology,
-        values=values,
-        querying_host=querying_host,
-        query=query,
-        combiner=combiner,
-        d_hat=resolved_d_hat,
-        delta=delta,
-        rng=rng,
+    prepared = prepare_protocol_run(
+        protocol, topology, values, query,
+        querying_host=querying_host, combiner=combiner, d_hat=d_hat,
+        delta=delta, seed=seed, repetitions=repetitions, delay=delay,
     )
-    termination = protocol.termination_time(resolved_d_hat, delta)
+    network = topology.to_network()
+    termination = prepared.termination
     simulator = Simulator(
         network=network,
-        hosts=hosts,
+        hosts=prepared.hosts,
         querying_host=querying_host,
         delta=delta,
         churn=churn,
         wireless=wireless,
         max_time=termination * 4 + 16 if max_time is None else max_time,
-        delay_model=delay_model,
+        delay_model=prepared.delay_model,
         stats=stats,
     )
     sim_result: SimulationResult = simulator.run(until=termination)
     return ProtocolRunResult(
         protocol=protocol.name,
-        query=query,
+        query=prepared.query,
         value=sim_result.value,
         costs=sim_result.costs,
         finished_at=sim_result.finished_at,
         querying_host=querying_host,
-        d_hat=resolved_d_hat,
+        d_hat=prepared.d_hat,
         termination_time=termination,
         extra=dict(sim_result.extra),
     )

@@ -7,9 +7,21 @@ host sets of a recent window ``[t - W, t]`` rather than the whole history,
 because the stable core over an unbounded interval quickly becomes empty in
 a dynamic network.
 
-The implementation here re-issues a one-time valid protocol run per
-reporting period; the window parameter controls which churn events count
-against the bounds of each report.
+Two execution paths exist:
+
+* the historical **compat path** (:meth:`ContinuousQuery.run`) re-issues
+  each report through a caller-supplied ``execute_once`` callback, which
+  every legacy driver implements by *rebuilding a pristine simulator* per
+  report -- churn before the report time never actually degraded the
+  protocol run, only the bounds.  Tests pin this behaviour where goldens
+  depend on it.
+* the **live path** (:meth:`ContinuousQuery.run_live` /
+  :meth:`ContinuousQuery.schedule_live`) registers each report as a
+  session of a multi-tenant :class:`~repro.service.QueryService`, so
+  every per-report protocol execution runs against the live network --
+  hosts that failed before the report launch are genuinely gone, and
+  churn during the report interval hits the in-flight protocol, exactly
+  as Section 4.2's semantics intend.
 """
 
 from __future__ import annotations
@@ -40,6 +52,54 @@ class WindowedResult:
     value: float
     bounds: ValidityBounds
     is_valid: bool
+
+
+def _windowed_bounds(
+    topology: Topology,
+    values: Sequence[float],
+    churn: ChurnSchedule,
+    querying_host: int,
+    kind: str,
+    window: float,
+    window_end: float,
+):
+    """Validity bounds for one report window ``[window_end - W, window_end]``.
+
+    The semantic core of Continuous Single-Site Validity, shared by the
+    compat and live paths: failures before the window started are "old
+    news" (the network the protocol sees already excludes those hosts, so
+    bounds are computed on the residual topology), failures inside the
+    window count against the report's bounds.
+
+    Returns ``(window_start, churn_in_window, bounds)``.
+    """
+    window_start = max(0.0, window_end - window)
+    churn_in_window = ChurnSchedule(
+        failures=[
+            (t, h) for t, h in churn.failures
+            if window_start <= t <= window_end
+        ],
+    )
+    pre_window_failures = {
+        h for t, h in churn.failures if t < window_start
+    }
+    residual_adjacency = [
+        set(n for n in neigh if n not in pre_window_failures)
+        if host not in pre_window_failures else set()
+        for host, neigh in enumerate(topology.adjacency)
+    ]
+    residual = Topology(adjacency=residual_adjacency,
+                        name=f"{topology.name}@{window_start:g}",
+                        metadata=dict(topology.metadata))
+    bounds = compute_bounds(
+        topology=residual,
+        values=values,
+        churn=churn_in_window,
+        querying_host=querying_host,
+        kind=kind,
+        horizon=window_end,
+    )
+    return window_start, churn_in_window, bounds
 
 
 @dataclass
@@ -77,6 +137,111 @@ class ContinuousQuery:
             t += self.period
         return times
 
+    # ------------------------------------------------------------------
+    # Live path: per-report sessions on a shared, churning network
+    # ------------------------------------------------------------------
+    def schedule_live(
+        self,
+        service,
+        protocol,
+        querying_host: int = 0,
+        repetitions: int = 8,
+    ) -> List[int]:
+        """Register one service session per reporting period.
+
+        Each report time ``r`` becomes a session launched at ``r`` on the
+        service's *live* network; it declares at ``r + T`` where ``T`` is
+        the protocol's nominal termination time.  Returns the session
+        ids, in report order; pass them to :meth:`collect_live` after the
+        service ran.
+        """
+        return [
+            service.submit(protocol, self.query,
+                           querying_host=querying_host, at=report_time,
+                           repetitions=repetitions,
+                           extra={"continuous_report": index})
+            for index, report_time in enumerate(self.report_times())
+        ]
+
+    def collect_live(
+        self,
+        service,
+        session_ids: Sequence[int],
+        querying_host: int = 0,
+    ) -> List[WindowedResult]:
+        """Assemble windowed results from completed live sessions.
+
+        The validity window of each report ends at its *declaration*
+        instant (launch + T): bounds are computed on the residual
+        topology (hosts failed before the window are old news, exactly as
+        in the compat path) against the service's churn schedule
+        restricted to the window.
+
+        Unlike the compat :meth:`run` (which always yields one result per
+        period), reports whose session failed -- the querying host was
+        dead at the launch instant -- declare nothing and are *omitted*:
+        a live network can genuinely lose the querying host between
+        reports.  Compare ``len(results)`` against ``len(session_ids)``
+        (or poll the ids) to detect dropped periods before computing
+        per-period aggregates such as a valid fraction.
+        """
+        from repro.semantics.validity import check_single_site_validity
+
+        topology = service.topology
+        values = service.values
+        churn = service.churn
+        results: List[WindowedResult] = []
+        for session_id in session_ids:
+            outcome = service.poll(session_id)
+            if outcome.value is None:
+                continue
+            # A declared value implies finalize() ran, which always sets
+            # the declaration instant alongside it.
+            declared_at = outcome.declared_at
+            window_start, _, bounds = _windowed_bounds(
+                topology, values, churn, querying_host,
+                self.query.kind.value, self.window, declared_at)
+            valid = check_single_site_validity(
+                outcome.value, bounds, self.query.kind.value, values
+            )
+            results.append(
+                WindowedResult(
+                    report_time=declared_at,
+                    window_start=window_start,
+                    value=outcome.value,
+                    bounds=bounds,
+                    is_valid=valid,
+                )
+            )
+        return results
+
+    def run_live(
+        self,
+        service,
+        protocol,
+        querying_host: int = 0,
+        repetitions: int = 8,
+    ) -> List[WindowedResult]:
+        """Drive the continuous query through a live query service.
+
+        Convenience wrapper: schedules every report as a session, drains
+        the service, and collects windowed results.  Unlike the compat
+        :meth:`run`, each report's protocol execution sees the *churned*
+        network as it exists at the report instant (and any churn during
+        the report interval), not a pristine rebuild.  The service may
+        carry other tenants' sessions at the same time; per-query seed
+        streams keep this query's reports bit-identical either way.
+        """
+        session_ids = self.schedule_live(
+            service, protocol, querying_host=querying_host,
+            repetitions=repetitions)
+        service.run()
+        return self.collect_live(service, session_ids,
+                                 querying_host=querying_host)
+
+    # ------------------------------------------------------------------
+    # Compat path: caller-supplied per-report executor
+    # ------------------------------------------------------------------
     def run(
         self,
         topology: Topology,
@@ -85,7 +250,14 @@ class ContinuousQuery:
         querying_host: int,
         execute_once: Callable[[ChurnSchedule, float], float],
     ) -> List[WindowedResult]:
-        """Drive the continuous query over a churn schedule.
+        """Drive the continuous query over a churn schedule (compat path).
+
+        Each report is produced by the caller's ``execute_once`` callback
+        on a schedule *restricted to the report's window* -- legacy
+        drivers rebuild a pristine simulator per report, so churn before
+        the window only tightens the bounds, never the execution.  Kept
+        (and pinned by regression tests) because golden experiment
+        outputs depend on it; new code should prefer :meth:`run_live`.
 
         Args:
             topology: initial topology.
@@ -103,35 +275,10 @@ class ContinuousQuery:
 
         results = []
         for report_time in self.report_times():
-            window_start = max(0.0, report_time - self.window)
-            # Failures before the window started are "old news": the network
-            # the protocol sees at this report already excludes those hosts,
-            # so the window bounds are computed on the residual topology.
-            churn_in_window = ChurnSchedule(
-                failures=[
-                    (t, h) for t, h in churn.failures if window_start <= t <= report_time
-                ],
-            )
-            pre_window_failures = {
-                h for t, h in churn.failures if t < window_start
-            }
-            residual_adjacency = [
-                set(n for n in neigh if n not in pre_window_failures)
-                if host not in pre_window_failures else set()
-                for host, neigh in enumerate(topology.adjacency)
-            ]
-            residual = Topology(adjacency=residual_adjacency,
-                                name=f"{topology.name}@{window_start:g}",
-                                metadata=dict(topology.metadata))
+            window_start, churn_in_window, bounds = _windowed_bounds(
+                topology, values, churn, querying_host,
+                self.query.kind.value, self.window, report_time)
             value = execute_once(churn_in_window, report_time)
-            bounds = compute_bounds(
-                topology=residual,
-                values=values,
-                churn=churn_in_window,
-                querying_host=querying_host,
-                kind=self.query.kind.value,
-                horizon=report_time,
-            )
             valid = check_single_site_validity(
                 value, bounds, self.query.kind.value, values
             )

@@ -1,0 +1,41 @@
+"""Multi-tenant query service: many concurrent aggregate queries, one
+shared simulated network.
+
+The paper's setting is a P2P network where *many* users continuously
+issue aggregate queries; every experiment driver elsewhere in this
+repository builds a private simulator per query, which scales hosts but
+not concurrent query load.  This subsystem is the missing layer:
+
+* :class:`~repro.service.service.QueryService` -- the session manager
+  (``submit`` / ``poll`` / ``retire``) over one live network;
+* :class:`~repro.service.engine.MuxEngine` -- one calendar-queue event
+  loop driving every session's protocol instances, demultiplexing on the
+  query id carried in every :class:`~repro.simulation.messages.Message`;
+* :class:`~repro.service.session.QuerySession` -- per-query protocol
+  state, seed stream, cost sink and virtual clock, which together make a
+  query's result bit-identical to a solo run regardless of interleaving.
+
+The open-world workload side (Poisson arrivals, mixed protocols, mixed
+one-shot/continuous queries) lives in
+:mod:`repro.workloads.query_mix`, the experiment driver in
+:mod:`repro.experiments.query_mix`, and the CLI in ``repro serve``.
+"""
+
+from repro.service.engine import MuxEngine
+from repro.service.service import QueryService, ServiceReport
+from repro.service.session import (
+    QueryOutcome,
+    QuerySession,
+    QueryStatus,
+    SessionContext,
+)
+
+__all__ = [
+    "MuxEngine",
+    "QueryService",
+    "ServiceReport",
+    "QueryOutcome",
+    "QuerySession",
+    "QueryStatus",
+    "SessionContext",
+]

@@ -1,0 +1,376 @@
+"""The multiplexing event loop: one calendar queue, many queries.
+
+:class:`MuxEngine` is the service counterpart of the solo
+:class:`~repro.simulation.engine.Simulator`: the same calendar
+:class:`~repro.simulation.events.EventQueue`, the same
+:class:`~repro.simulation.network.DynamicNetwork`, the same churn event
+handling -- but instead of one host table it demultiplexes every stimulus
+to the per-query protocol instances of the session it belongs to:
+
+* message deliveries route on ``Message.query_id`` (stamped at send time
+  by the session-scoped context);
+* timers route on the ``(session, name)`` tag the session context filed
+  them under;
+* churn events (FAIL / JOIN) are *shared*: they mutate the one network
+  every session runs on, and fan out to every live session's host table.
+
+Per-session state (seed stream, delay-model stream, cost sink, virtual
+clock) is fully private, so the stimulus sequence one query observes is
+independent of what other queries are doing on the same substrate --
+which is what makes per-query results bit-identical to solo runs and
+reproducible under any interleaving.
+
+Sessions retire from the demux table the moment simulation time passes
+their termination instant: their declared value and cost sink are kept,
+their per-host protocol state (the dominant memory cost at 10k+ hosts)
+is released, and any of their messages still in flight are counted as
+``late_messages`` and dropped without waking protocol code.  Resident
+state is therefore proportional to the number of *concurrently active*
+queries, not to the total number served.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Any
+
+from repro.service.session import QuerySession, QueryStatus, SessionContext
+from repro.simulation.churn import ChurnSchedule
+from repro.simulation.clock import SimulationClock
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.messages import Message
+from repro.simulation.network import DynamicNetwork
+
+
+class MuxEngine:
+    """Event-driven executor multiplexing query sessions on one network.
+
+    Args:
+        network: the shared dynamic network all sessions run on.
+        delta: the per-hop delay bound every session's timer math uses.
+        churn: service-wide schedule of host failures/joins.
+        wireless: broadcast-medium accounting (shared by all sessions).
+        max_time: hard stop for the engine clock (runaway backstop).
+    """
+
+    def __init__(
+        self,
+        network: DynamicNetwork,
+        delta: float = 1.0,
+        churn: Optional[ChurnSchedule] = None,
+        wireless: bool = False,
+        max_time: float = 1_000_000.0,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.network = network
+        self.delta = float(delta)
+        self.wireless = wireless
+        self.max_time = float(max_time)
+        self.clock = SimulationClock()
+        self._queue = EventQueue(width=self.delta)
+        self._churn = churn or ChurnSchedule.empty()
+        self._churn_scheduled = False
+        # qid -> live session (the demux table); retirement deadline heap.
+        self._active: Dict[int, QuerySession] = {}
+        self._ends_heap: List[Tuple[float, int]] = []
+        self._sctx = SessionContext(self)
+        # Service-wide tallies (per-query accounting lives on the sessions).
+        self.messages_sent = 0
+        self.dropped_messages = 0
+        self.late_messages = 0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Session scheduling
+    # ------------------------------------------------------------------
+    def schedule_session(self, session: QuerySession) -> None:
+        """File a session's launch into the calendar queue.
+
+        QUERY_START outranks every other event kind at the same instant,
+        so a query launching at ``t`` sees all of ``t``'s traffic -- the
+        same ordering a solo run gives its time-0 start event.
+        """
+        self._queue.push(session.launch_at, EventKind.QUERY_START,
+                         data=session)
+
+    def schedule_custom(self, time: float, handler) -> None:
+        """Schedule ``handler(engine)`` at an absolute engine time."""
+        self._queue.push(time, EventKind.CUSTOM, data=handler)
+
+    @property
+    def active_sessions(self) -> int:
+        """Number of sessions currently holding live protocol state."""
+        return len(self._active)
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Session-context API (the per-query analogue of Simulator.submit_*)
+    # ------------------------------------------------------------------
+    def session_send(
+        self,
+        session: QuerySession,
+        sender: int,
+        dest: int,
+        kind: str,
+        payload: Mapping[str, Any],
+        vnow: float,
+        chain_depth: int,
+    ) -> bool:
+        """Queue one unicast on behalf of ``session``.
+
+        ``vnow`` is the session's virtual time; the sink is keyed by it
+        (so per-tick histograms match a solo run) while the delivery is
+        filed at the corresponding absolute engine time.
+        """
+        network = self.network
+        if not network.is_alive(sender):
+            return False
+        if not network.has_alive_edge(sender, dest):
+            return False
+        sample = session.sample
+        delay = self.delta if sample is None else sample(sender, dest, vnow)
+        # The virtual delivery instant is computed with the exact same
+        # arithmetic a solo run performs (``vnow + delay``); the absolute
+        # instant only orders the shared calendar.  IEEE addition is
+        # monotone, so ``t0 + v`` never reorders a session's events.
+        vdeliver = vnow + delay
+        message = Message(sender, dest, kind, dict(payload),
+                          session.t0 + vnow, chain_depth, False,
+                          session.qid, vdeliver)
+        session.sink.record_send(kind, vnow)
+        self.messages_sent += 1
+        self._queue.push_deliver(session.t0 + vdeliver, message)
+        return True
+
+    def session_multicast(
+        self,
+        session: QuerySession,
+        sender: int,
+        dests: Sequence[int],
+        kind: str,
+        payload: Mapping[str, Any],
+        vnow: float,
+        chain_depth: int,
+        trusted_dests: bool = False,
+    ) -> None:
+        """Queue one multicast on behalf of ``session``.
+
+        Mirrors :meth:`Simulator.submit_multicast` exactly (shared payload
+        snapshot, one ring slot under fixed delay, per-destination
+        sampling under variable delay, wireless batch accounting) with
+        costs attributed to the session's private sink.
+        """
+        network = self.network
+        if not network.is_alive(sender):
+            return
+        if not trusted_dests:
+            neighbors = network.neighbors(sender)
+            dests = [dest for dest in dests if dest in neighbors]
+        if not dests:
+            return
+        abs_now = session.t0 + vnow
+        shared_payload = dict(payload)
+        wireless = self.wireless
+        qid = session.qid
+        t0 = session.t0
+        sample = session.sample
+        if sample is None:
+            vdeliver = vnow + self.delta
+            messages = [
+                Message(sender, dest, kind, shared_payload, abs_now,
+                        chain_depth, wireless, qid, vdeliver)
+                for dest in dests
+            ]
+            self._queue.extend_delivers(t0 + vdeliver, messages)
+        else:
+            messages = []
+            push_deliver = self._queue.push_deliver
+            for dest in dests:
+                vdeliver = vnow + sample(sender, dest, vnow)
+                message = Message(sender, dest, kind, shared_payload,
+                                  abs_now, chain_depth, wireless, qid,
+                                  vdeliver)
+                messages.append(message)
+                push_deliver(t0 + vdeliver, message)
+        sink = session.sink
+        if wireless:
+            sink.record_send(kind, vnow)
+            sink.record_wireless_group(len(messages) - 1)
+            self.messages_sent += 1
+        else:
+            sink.record_send_batch(kind, vnow, len(messages))
+            self.messages_sent += len(messages)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the shared event loop and return the final engine time.
+
+        With no ``until`` the loop runs until the calendar queue drains
+        (every submitted query has launched, run to its deadline, and
+        stopped producing traffic).  With ``until``, events beyond the
+        horizon stay queued and a later ``run`` call resumes them, which
+        lets drivers interleave simulation with submission.
+        """
+        horizon = min(until, self.max_time) if until is not None else self.max_time
+        if not self._churn_scheduled:
+            self._schedule_churn()
+            self._churn_scheduled = True
+
+        # Same loop discipline as the solo kernel: hot kinds inline, one
+        # reused context, direct clock assignment, GC paused (the object
+        # graph is acyclic; allocation-rate-triggered gen-0 scans are pure
+        # overhead).  The extra work per stimulus is exactly the demux:
+        # one dict lookup for messages, one tuple unpack for timers, and
+        # the deadline check that retires finished sessions.
+        import gc
+
+        queue = self._queue
+        pop_due = queue.pop_due
+        clock = self.clock
+        alive_flags = self.network._alive
+        active = self._active
+        ends_heap = self._ends_heap
+        timer = EventKind.TIMER
+        sctx = self._sctx
+        events = 0
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            while True:
+                front = pop_due(horizon)
+                if front is None:
+                    break
+                time, entry = front
+                clock._now = time
+                events += 1
+                # Retire sessions whose deadline has strictly passed.
+                # Safe: IEEE addition is monotone, so every event of a
+                # session with virtual time <= T sits at an absolute time
+                # <= fl(t0 + T) == the session's heap key, and has
+                # therefore already been popped.
+                while ends_heap and ends_heap[0][0] < time:
+                    self._retire_front()
+                if entry.__class__ is Message:
+                    session = active.get(entry.query_id)
+                    # The horizon check runs in *virtual* time (exact, the
+                    # same comparison a solo run's drain horizon makes).
+                    if session is None or entry.vtime > session.termination:
+                        # Sender's query already declared: a solo run
+                        # would have left this delivery unconsumed.
+                        self.late_messages += 1
+                        continue
+                    dest = entry.dest
+                    if not alive_flags[dest]:
+                        self.dropped_messages += 1
+                        session.sink.record_dropped()
+                        continue
+                    chain_depth = entry.chain_depth
+                    session.sink.record_processed(dest, chain_depth)
+                    sctx.session = session
+                    sctx.host_id = dest
+                    sctx.now = entry.vtime
+                    sctx._chain_depth = chain_depth
+                    session.hosts[dest].on_message(entry, sctx)
+                elif entry.kind is timer:
+                    host = entry.host
+                    if not alive_flags[host]:
+                        continue
+                    session, name, vfire = entry.timer_name
+                    if (session.status is not QueryStatus.RUNNING
+                            or vfire > session.termination):
+                        continue
+                    data, chain_depth = entry.data
+                    sctx.session = session
+                    sctx.host_id = host
+                    sctx.now = vfire
+                    sctx._chain_depth = chain_depth
+                    session.hosts[host].on_timer(name, data, sctx)
+                else:
+                    self._dispatch(time, entry)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        self.events_processed += events
+        # ``pop_due(horizon)`` consumed every event at time <= horizon, so
+        # any session whose deadline lies within the horizon is final --
+        # declare it even if no later event popped to trigger retirement
+        # (a horizon-bounded drive must leave poll() accurate).
+        while ends_heap and ends_heap[0][0] <= horizon:
+            self._retire_front()
+        if not queue:
+            # Queue drained: no stimulus can ever reach a session again,
+            # so every running query's state is final -- declare them all.
+            for qid in list(active):
+                session = active.pop(qid)
+                session.finalize()
+            ends_heap.clear()
+        return clock.now
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _retire_front(self) -> None:
+        _, qid = heapq.heappop(self._ends_heap)
+        session = self._active.pop(qid, None)
+        if session is not None:
+            session.finalize()
+
+    def _schedule_churn(self) -> None:
+        for time, host in self._churn.failures:
+            if time <= self.max_time:
+                self._queue.push(time, EventKind.FAIL, host=host)
+        for join in self._churn.joins:
+            if join.time <= self.max_time:
+                self._queue.push(
+                    join.time, EventKind.JOIN, data=tuple(join.neighbors))
+
+    def _dispatch(self, time: float, event: Event) -> None:
+        kind = event.kind
+        if kind is EventKind.QUERY_START:
+            session = event.data
+            try:
+                launched = session.launch(self, time)
+            except Exception as exc:
+                # A session that cannot materialise (bad combiner shape,
+                # protocol construction error) fails alone; aborting the
+                # shared loop would strand every other tenant.
+                session.status = QueryStatus.FAILED
+                session.hosts = None
+                session.extra["error"] = repr(exc)
+                return
+            if launched:
+                self._active[session.qid] = session
+                heapq.heappush(self._ends_heap,
+                               (session.ends_at, session.qid))
+                sctx = self._sctx
+                sctx.session = session
+                sctx.host_id = session.querying_host
+                sctx.now = 0.0
+                sctx._chain_depth = 0
+                session.hosts[session.querying_host].on_query_start(sctx)
+        elif kind is EventKind.FAIL:
+            host = event.host
+            if not self.network.is_alive(host):
+                return
+            self.network.fail_host(host, time)
+            for session in self._active.values():
+                if time <= session.ends_at:
+                    session.hosts[host].on_fail(time - session.t0)
+        elif kind is EventKind.JOIN:
+            neighbors = [
+                h for h in (event.data or ()) if self.network.is_alive(h)
+            ]
+            if not neighbors:
+                return
+            new_id = self.network.join_host(neighbors, time)
+            for session in self._active.values():
+                session.on_join(new_id)
+        elif kind is EventKind.CUSTOM:
+            handler = event.data
+            if callable(handler):
+                handler(self)

@@ -1,0 +1,285 @@
+"""The multi-tenant query service: submit / poll / retire over one network.
+
+:class:`QueryService` is the front door of the service subsystem.  One
+instance owns one live simulated network (topology + churn schedule +
+delay-bound ``delta``) and multiplexes any number of aggregate queries
+over it through the :class:`~repro.service.engine.MuxEngine`:
+
+>>> service = QueryService(topology, values, seed=0)
+>>> q1 = service.submit("wildfire", "count", at=0.0)
+>>> q2 = service.submit("spanning-tree", "sum", at=3.0, querying_host=7)
+>>> report = service.run()
+>>> service.poll(q1).value            # doctest: +SKIP
+
+Determinism contract: each session's seed is derived from the service
+seed and the session id (or passed explicitly), and every source of
+randomness a query touches -- sketch initialisation, protocol coin
+flips, stochastic link delays -- draws from session-private streams.
+Re-running the same submission sequence therefore reproduces every
+query's value and per-query cost accounting bit-for-bit, regardless of
+how the queries interleave on the shared substrate; and a query run solo
+(through :func:`~repro.protocols.base.run_protocol` with the session's
+seed and the service's ``d_hat``) declares the identical value with
+identical costs whenever no cross-query churn interferes.
+
+One float-arithmetic caveat on the solo comparison: two session events
+separated by a single ulp of virtual time (an artefact of addition
+order, e.g. ``(a + k) + d`` vs ``(a + d) + k`` under the fixed-latency
+``per_edge`` model) may collapse into one calendar slot on the shared
+clock, where the deliver-before-timer priority -- the model's actual
+simultaneity rule -- resolves them.  The solo kernel instead keeps the
+artificial ulp gap.  The paper's protocols are insensitive to this
+(their folds are idempotent and deadline math uses the bound); only
+order-sensitive float accumulation (push-sum gossip) can differ in the
+last digits on such knife-edge ties.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.protocols.base import Protocol, protocol_from_spec, resolve_d_hat
+from repro.queries.query import AggregateQuery
+from repro.service.engine import MuxEngine
+from repro.service.session import QueryOutcome, QuerySession, QueryStatus
+from repro.simulation.churn import ChurnSchedule
+from repro.simulation.host import ProtocolHost
+from repro.simulation.stats import validate_stats_mode
+from repro.sketches.combiners import Combiner
+from repro.topology.base import Topology
+
+
+@dataclass
+class ServiceReport:
+    """Summary of one :meth:`QueryService.run` drive.
+
+    Attributes:
+        outcomes: one :class:`QueryOutcome` per non-retired query, in
+            submission order (includes still-pending/running ones when the
+            run was horizon-bounded; queries the tenant already retired
+            are gone from the service's records).
+        finished_at: engine time when the loop stopped.
+        elapsed: cumulative wall-clock seconds spent inside the loop,
+            across every ``run`` call of this service -- the message and
+            query tallies are cumulative, so the throughput ratio must
+            be too.
+        messages_sent: total messages across all sessions.
+        late_messages: deliveries that arrived after their query declared.
+        dropped_messages: deliveries lost to host failures.
+    """
+
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+    finished_at: float = 0.0
+    elapsed: float = 0.0
+    messages_sent: int = 0
+    late_messages: int = 0
+    dropped_messages: int = 0
+
+    @property
+    def answered(self) -> int:
+        """Number of queries that declared a value."""
+        return sum(1 for o in self.outcomes if o.status is QueryStatus.DONE)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Answered queries per wall-clock second of simulation."""
+        return self.answered / self.elapsed if self.elapsed > 0 else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "queries": len(self.outcomes),
+            "answered": self.answered,
+            "failed": sum(1 for o in self.outcomes
+                          if o.status is QueryStatus.FAILED),
+            "finished_at": self.finished_at,
+            "elapsed_seconds": round(self.elapsed, 4),
+            "queries_per_second": round(self.queries_per_second, 2),
+            "messages_sent": self.messages_sent,
+            "late_messages": self.late_messages,
+            "dropped_messages": self.dropped_messages,
+        }
+
+
+class QueryService:
+    """Session manager multiplexing aggregate queries over one network.
+
+    Args:
+        topology: the shared network's initial topology.
+        values: one attribute value per topology host (shared by every
+            query, as in the paper's ad-hoc query model).
+        delta: per-hop delay bound for every session's timer math.
+        churn: service-wide failure/join schedule (applied once, seen by
+            every session that overlaps it).
+        seed: service seed; per-query seeds derive from it (see
+            :meth:`derive_seed`).
+        stats: per-query cost accounting mode (``"full"`` or
+            ``"streaming"``); every session gets its own private sink.
+        delay: realised link-delay model spec shared by all sessions
+            *as a spec* -- each session instantiates its own model with a
+            session-derived seed, so delay randomness never couples
+            queries.
+        wireless: broadcast-medium accounting.
+        d_hat: stable-diameter overestimate shared by sessions that do
+            not pass their own; resolved once from the topology (the
+            shared-substrate service resolves it with the *service* seed,
+            so concurrent queries agree on the horizon arithmetic).
+        max_time: engine runaway backstop.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        delta: float = 1.0,
+        churn: Optional[ChurnSchedule] = None,
+        seed: int = 0,
+        stats: str = "full",
+        delay: Any = None,
+        wireless: bool = False,
+        d_hat: Optional[int] = None,
+        max_time: float = 1_000_000.0,
+    ) -> None:
+        if len(values) < topology.num_hosts:
+            raise ValueError("need one attribute value per host")
+        self.topology = topology
+        self.values = list(values)
+        self.delta = float(delta)
+        self.churn = churn or ChurnSchedule.empty()
+        self.seed = seed
+        self.stats_mode = validate_stats_mode(stats)
+        self.delay_spec = delay
+        self.d_hat = resolve_d_hat(topology, d_hat, seed=seed)
+        self.engine = MuxEngine(
+            topology.to_network(), delta=self.delta, churn=self.churn,
+            wireless=wireless, max_time=max_time,
+        )
+        self._sessions: Dict[int, QuerySession] = {}
+        self._next_qid = 1
+        self._elapsed_total = 0.0
+
+    # ------------------------------------------------------------------
+    # Tenant API
+    # ------------------------------------------------------------------
+    def derive_seed(self, query_id: int) -> int:
+        """The session seed for ``query_id`` under the service seed.
+
+        String seeding hashes with SHA-512 under the hood, so the streams
+        of different sessions (and of the same session id under different
+        service seeds) are independent and version-stable.
+        """
+        return random.Random(
+            f"{self.seed}:query:{query_id}").getrandbits(64)
+
+    def submit(
+        self,
+        protocol: Union[Protocol, str],
+        query: Union[AggregateQuery, str],
+        querying_host: int = 0,
+        at: float = 0.0,
+        seed: Optional[int] = None,
+        combiner: Optional[Combiner] = None,
+        d_hat: Optional[int] = None,
+        repetitions: int = 8,
+        join_factory: Optional[Callable[[int], ProtocolHost]] = None,
+        stream: Optional[int] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Register one aggregate query and return its session id.
+
+        The query launches at engine time ``at`` (protocol state is built
+        lazily at that instant) and declares at ``at + T`` where ``T`` is
+        the protocol's nominal termination time.  ``seed`` defaults to
+        :meth:`derive_seed` of the assigned id; pass it explicitly to
+        replay a session solo.
+        """
+        if at < 0:
+            raise ValueError("queries cannot launch at negative times")
+        if at < self.engine.clock.now:
+            # After a horizon-bounded run() the network has already lived
+            # through churn past ``at``; launching in the past would run
+            # the query on a future network state, matching no schedule.
+            raise ValueError(
+                f"cannot launch at {at}: the service clock is already at "
+                f"{self.engine.clock.now}"
+            )
+        if not 0 <= querying_host < self.topology.num_hosts:
+            raise ValueError("querying_host is not part of the topology")
+        if isinstance(query, str):
+            query = AggregateQuery.of(query)
+        protocol = protocol_from_spec(protocol)
+        # Fail bad submissions at the front door, as run_protocol does --
+        # raising mid-run() would strand every other tenant's session.
+        if (combiner is not None
+                and protocol.requires_duplicate_insensitive
+                and not combiner.duplicate_insensitive):
+            raise ValueError(
+                f"{protocol.name} floods partial aggregates along multiple "
+                f"paths and requires a duplicate-insensitive combiner; got "
+                f"{combiner.name!r}"
+            )
+        qid = self._next_qid
+        self._next_qid += 1
+        session = QuerySession(
+            qid=qid,
+            protocol=protocol,
+            query=query,
+            querying_host=querying_host,
+            seed=self.derive_seed(qid) if seed is None else seed,
+            launch_at=float(at),
+            topology=self.topology,
+            values=self.values,
+            repetitions=repetitions,
+            combiner=combiner,
+            d_hat=self.d_hat if d_hat is None else d_hat,
+            stats=self.stats_mode,
+            delay=self.delay_spec,
+            join_factory=join_factory,
+            stream=stream,
+            extra=extra,
+        )
+        self._sessions[qid] = session
+        self.engine.schedule_session(session)
+        return qid
+
+    def poll(self, query_id: int) -> QueryOutcome:
+        """Snapshot one query's status/value/costs (raises on unknown id)."""
+        return self._sessions[query_id].outcome()
+
+    def retire(self, query_id: int) -> QueryOutcome:
+        """Remove a finished query's record from the service and return it.
+
+        The tenant has read its answer; after retirement the id no longer
+        polls and the session's cost sink is released with it.  Only
+        sessions that already declared (or failed) can retire -- dropping
+        the record of a pending/running session would leave the engine
+        driving a query nobody can ever read.
+        """
+        session = self._sessions[query_id]
+        if session.status not in (QueryStatus.DONE, QueryStatus.FAILED):
+            raise ValueError(
+                f"query {query_id} is {session.status.value}; only done or "
+                f"failed queries can be retired"
+            )
+        return self._sessions.pop(query_id).outcome()
+
+    def run(self, until: Optional[float] = None) -> ServiceReport:
+        """Drive the shared event loop (to drain, or to ``until``)."""
+        engine = self.engine
+        start = _time.perf_counter()
+        finished = engine.run(until=until)
+        self._elapsed_total += _time.perf_counter() - start
+        return ServiceReport(
+            outcomes=[s.outcome() for s in self._sessions.values()],
+            finished_at=finished,
+            elapsed=self._elapsed_total,
+            messages_sent=engine.messages_sent,
+            late_messages=engine.late_messages,
+            dropped_messages=engine.dropped_messages,
+        )
+
+    def outcomes(self) -> List[QueryOutcome]:
+        """Snapshots of every non-retired query, in submission order."""
+        return [s.outcome() for s in self._sessions.values()]

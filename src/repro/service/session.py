@@ -1,0 +1,319 @@
+"""Per-query sessions and the session-scoped host context.
+
+A :class:`QuerySession` is one tenant of the multi-tenant query service:
+one aggregate query, its per-query protocol state machines, its private
+seed stream, its private cost accounting, and its private *virtual clock*.
+
+The virtual clock is what makes multiplexing invisible to protocol code:
+every protocol in this repository computes its deadlines assuming the
+query starts at time 0 (``2 * D_hat * delta`` and friends), so the
+session translates between engine time and query-local time -- a session
+launched at engine time ``t0`` hands its hosts a context whose ``now`` is
+``engine_now - t0`` and schedules their timers at ``t0 + virtual_time``.
+Combined with per-session RNG, delay-model and accounting streams, a
+query's stimulus sequence inside the service is *bit-identical* to a solo
+:func:`~repro.protocols.base.run_protocol` execution with the same seed
+(the service test suite pins this).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.protocols.base import Protocol, prepare_protocol_run
+from repro.queries.query import AggregateQuery
+from repro.simulation.engine import InertHost
+from repro.simulation.host import HostContext, ProtocolHost
+from repro.simulation.stats import StatsSink, make_stats_sink
+from repro.sketches.combiners import Combiner
+from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.service.engine import MuxEngine
+
+
+class QueryStatus(enum.Enum):
+    """Lifecycle of one query session inside the service."""
+
+    PENDING = "pending"    # submitted; launch instant not reached yet
+    RUNNING = "running"    # protocol instances live on the shared network
+    DONE = "done"          # declared a value at its termination time
+    FAILED = "failed"      # querying host was dead at the launch instant
+
+
+@dataclass
+class QueryOutcome:
+    """The externally visible record of one query (returned by ``poll``).
+
+    Attributes:
+        query_id: the service-assigned session id.
+        protocol: short protocol name.
+        query: the aggregate query.
+        querying_host: host the query was issued at.
+        status: current :class:`QueryStatus`.
+        seed: the session's private seed (reusable for a solo replay).
+        submitted_at: engine time the query was scheduled to launch.
+        declared_at: engine time of the declaration (``None`` until done).
+        value: the declared aggregate (``None`` until done / if failed).
+        costs: the session's private cost accounting sink.
+        d_hat: the stable-diameter overestimate the session used.
+        termination: the protocol's nominal duration ``T`` (virtual time).
+        stream: caller-supplied user-stream tag (reports of one
+            continuous query share it); ``None`` when untagged.
+        extra: caller-supplied metadata attached at submit time.
+    """
+
+    query_id: int
+    protocol: str
+    query: AggregateQuery
+    querying_host: int
+    status: QueryStatus
+    seed: int
+    submitted_at: float
+    declared_at: Optional[float] = None
+    value: Optional[float] = None
+    costs: Optional[StatsSink] = None
+    d_hat: int = 0
+    termination: float = 0.0
+    stream: Optional[int] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flatten into a report-table row (submit-time metadata included,
+        so JSON report consumers can group continuous streams)."""
+        row: Dict[str, Any] = {
+            "query_id": self.query_id,
+            "protocol": self.protocol,
+            "aggregate": self.query.kind.value,
+            "querying_host": self.querying_host,
+            "status": self.status.value,
+            "submitted_at": self.submitted_at,
+            "declared_at": self.declared_at,
+            "value": self.value,
+            "seed": self.seed,
+        }
+        if self.stream is not None:
+            row["stream"] = self.stream
+        row.update(self.extra)
+        if self.costs is not None:
+            row.update(self.costs.summary())
+        return row
+
+
+class QuerySession:
+    """One query multiplexed onto the shared simulated network.
+
+    Constructed by :meth:`~repro.service.service.QueryService.submit`;
+    all protocol state is built lazily at the launch instant (so a session
+    scheduled far in the future costs nothing until then, and its host
+    table is sized to the network as of launch time).
+    """
+
+    __slots__ = (
+        "qid", "protocol", "query", "querying_host", "seed", "launch_at",
+        "repetitions", "combiner", "d_hat_hint", "stats_mode", "delay_spec",
+        "topology", "values", "join_factory", "stream", "extra",
+        # launch-time state
+        "status", "hosts", "sink", "sample", "delay_model", "d_hat",
+        "termination", "t0", "ends_at", "value", "declared_at",
+    )
+
+    def __init__(
+        self,
+        qid: int,
+        protocol: Protocol,
+        query: AggregateQuery,
+        querying_host: int,
+        seed: int,
+        launch_at: float,
+        topology: Topology,
+        values: Sequence[float],
+        repetitions: int = 8,
+        combiner: Optional[Combiner] = None,
+        d_hat: Optional[int] = None,
+        stats: "StatsSink | str | None" = None,
+        delay: Any = None,
+        join_factory: Optional[Callable[[int], ProtocolHost]] = None,
+        stream: Optional[int] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.qid = qid
+        self.protocol = protocol
+        self.query = query
+        self.querying_host = querying_host
+        self.seed = seed
+        self.launch_at = float(launch_at)
+        self.repetitions = repetitions
+        self.combiner = combiner
+        self.d_hat_hint = d_hat
+        self.stats_mode = stats
+        self.delay_spec = delay
+        self.topology = topology
+        self.values = values
+        self.join_factory = join_factory
+        self.stream = stream
+        self.extra = dict(extra or {})
+
+        self.status = QueryStatus.PENDING
+        self.hosts: Optional[list] = None
+        self.sink: Optional[StatsSink] = None
+        self.sample = None
+        self.delay_model = None
+        self.d_hat = 0
+        self.termination = 0.0
+        self.t0 = 0.0
+        self.ends_at = float("inf")
+        self.value: Optional[float] = None
+        self.declared_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle (driven by the engine)
+    # ------------------------------------------------------------------
+    def launch(self, engine: "MuxEngine", now: float) -> bool:
+        """Materialise protocol state at the launch instant.
+
+        Returns True when the session went live; False when the querying
+        host was dead at launch (status becomes ``FAILED``), mirroring the
+        solo engine's QUERY_START liveness check.
+        """
+        if not engine.network.is_alive(self.querying_host):
+            # Fail before building the O(N) per-host state table; the
+            # outcome still reports the horizon arithmetic, which is
+            # cheap (the diameter estimate is memoised on the topology).
+            from repro.protocols.base import resolve_d_hat
+
+            self.d_hat = resolve_d_hat(self.topology, self.d_hat_hint,
+                                       seed=self.seed)
+            self.termination = self.protocol.termination_time(
+                self.d_hat, engine.delta)
+            self.status = QueryStatus.FAILED
+            return False
+        prepared = prepare_protocol_run(
+            self.protocol, self.topology, self.values, self.query,
+            querying_host=self.querying_host, combiner=self.combiner,
+            d_hat=self.d_hat_hint, delta=engine.delta, seed=self.seed,
+            repetitions=self.repetitions, delay=self.delay_spec,
+        )
+        self.query = prepared.query
+        self.d_hat = prepared.d_hat
+        self.termination = prepared.termination
+        self.hosts = prepared.hosts
+        # The shared network may have grown past the pristine topology
+        # (joins before this launch); pad so the host table stays
+        # indexable by every live host id.
+        for host_id in range(len(self.hosts), engine.network.num_hosts):
+            self.hosts.append(self._joined_host(host_id))
+        self.delay_model = prepared.delay_model
+        self.sample = (None if prepared.delay_model is None
+                       else prepared.delay_model.sample)
+        self.sink = make_stats_sink(
+            self.stats_mode, num_hosts=engine.network.num_hosts,
+            tick_width=engine.delta)
+        self.t0 = now
+        self.ends_at = now + self.termination
+        self.status = QueryStatus.RUNNING
+        return True
+
+    def _joined_host(self, host_id: int) -> ProtocolHost:
+        if self.join_factory is not None:
+            return self.join_factory(host_id)
+        return InertHost(host_id)
+
+    def on_join(self, host_id: int) -> None:
+        """Extend the host table for a host that joined mid-session."""
+        if self.hosts is not None:
+            self.hosts.append(self._joined_host(host_id))
+
+    def finalize(self) -> None:
+        """Declare the query's value and release its protocol state."""
+        if self.status is not QueryStatus.RUNNING:
+            return
+        assert self.hosts is not None
+        self.value = self.hosts[self.querying_host].local_result()
+        self.declared_at = self.ends_at
+        self.status = QueryStatus.DONE
+        # Per-host protocol state dominates a session's footprint (one
+        # state machine per network host); the result and the cost sink
+        # are all that outlives the declaration.
+        self.hosts = None
+        self.sample = None
+        self.delay_model = None
+
+    def outcome(self) -> QueryOutcome:
+        """Snapshot the session as an externally visible record."""
+        return QueryOutcome(
+            query_id=self.qid,
+            protocol=self.protocol.name,
+            query=self.query,
+            querying_host=self.querying_host,
+            status=self.status,
+            seed=self.seed,
+            submitted_at=self.launch_at,
+            declared_at=self.declared_at,
+            value=self.value,
+            costs=self.sink,
+            d_hat=self.d_hat,
+            termination=self.termination,
+            stream=self.stream,
+            extra=dict(self.extra),
+        )
+
+
+class SessionContext(HostContext):
+    """A :class:`HostContext` bound to one session's virtual clock.
+
+    ``now`` is query-local time (engine time minus the session's launch
+    instant), sends stamp the session's query id onto every message and
+    account against the session's private sink, and timers are filed back
+    into the shared calendar queue at ``t0 + virtual_time`` with a
+    ``(session, name)`` demux tag.  The engine reuses one instance across
+    stimuli, rebinding it per handler call exactly like the solo kernel's
+    context; protocol code cannot tell the difference.
+    """
+
+    __slots__ = ("session",)
+
+    def __init__(self, engine: "MuxEngine") -> None:
+        super().__init__(engine, 0, 0.0, 0)
+        self.session: Optional[QuerySession] = None
+
+    def send(self, dest: int, kind: str, payload: Mapping[str, Any]) -> bool:
+        return self._simulator.session_send(
+            self.session, self.host_id, dest, kind, payload,
+            self.now, self._chain_depth + 1,
+        )
+
+    def send_to_neighbors(
+        self,
+        kind: str,
+        payload: Mapping[str, Any],
+        exclude: Optional[Iterable[int]] = None,
+    ) -> int:
+        engine = self._simulator
+        targets = engine.network.alive_neighbors_sorted(self.host_id)
+        if exclude is not None:
+            excluded = set(exclude)
+            if excluded:
+                targets = [t for t in targets if t not in excluded]
+        if not targets:
+            return 0
+        engine.session_multicast(
+            self.session, self.host_id, targets, kind, payload,
+            self.now, self._chain_depth + 1, True,
+        )
+        return len(targets)
+
+    def set_timer(self, delay: float, name: str, data: Any = None) -> None:
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        session = self.session
+        # The virtual fire time rides in the demux tag: re-deriving it
+        # from the absolute instant (``abs - t0``) would lose float
+        # precision and perturb deadline comparisons vs a solo run.
+        vfire = self.now + delay
+        self._simulator._queue.push_timer(
+            session.t0 + vfire, self.host_id,
+            (session, name, vfire), (data, self._chain_depth),
+        )

@@ -415,11 +415,17 @@ class Simulator:
         if factory is not None:
             self.hosts.append(factory(new_id))
         else:
-            self.hosts.append(_InertHost(new_id))
+            self.hosts.append(InertHost(new_id))
 
 
-class _InertHost(ProtocolHost):
-    """A host that ignores every stimulus (placeholder for joined hosts)."""
+class InertHost(ProtocolHost):
+    """A host that ignores every stimulus.
+
+    Used as the placeholder state machine for hosts that join mid-run
+    without a ``join_host_factory``, and by the query service to pad a
+    session's host table for network hosts that exist but do not
+    participate in that query (e.g. hosts that joined before the query
+    launched)."""
 
     def __init__(self, host_id: int) -> None:
         super().__init__(host_id, value=0.0)
@@ -429,3 +435,8 @@ class _InertHost(ProtocolHost):
 
     def on_message(self, message: Message, ctx: HostContext) -> None:
         return
+
+
+#: Backwards-compatible alias (the class was module-private before the
+#: service layer started sharing it).
+_InertHost = InertHost

@@ -21,7 +21,11 @@ class Message:
     on the kernel's per-message hot path); simulation code never mutates a
     message after construction.  A consequence of losing ``frozen=True``
     is that messages are no longer hashable -- use ``id(message)`` or a
-    derived key for dedup structures.
+    derived key for dedup structures.  The convention extends to payloads:
+    a multicast shares ONE payload snapshot between all of its deliveries,
+    so a receiver mutating a payload would corrupt its siblings'
+    still-undelivered copies (``tests/simulation/test_messages.py`` pins
+    this with read-only payload proxies across every protocol).
 
     Attributes:
         sender: host id of the sending host.
@@ -33,6 +37,20 @@ class Message:
             this one to be sent; used for the time-cost metric.
         wireless: True when the message was sent over a broadcast medium to
             all neighbors at once (counted once for communication cost).
+        query_id: identifier of the query session this message belongs to.
+            Single-query simulations leave it at 0; the multi-tenant
+            :mod:`repro.service` layer stamps every message with its
+            session id so one shared event loop can demultiplex traffic
+            from many concurrent queries back to the right per-query
+            protocol instances.
+        vtime: the *query-local* (virtual) delivery time, used only by
+            the service demux.  A session launched at engine time ``t0``
+            runs its protocol on a clock where the query starts at 0;
+            carrying the virtual delivery instant explicitly (computed
+            with the same arithmetic a solo run uses, rather than
+            re-derived as ``engine_time - t0``) keeps per-query event
+            timing exact in floating point, which the bit-identical
+            solo-equivalence guarantee relies on.  Solo runs leave it 0.
     """
 
     sender: int
@@ -42,6 +60,8 @@ class Message:
     sent_at: float = 0.0
     chain_depth: int = 1
     wireless: bool = False
+    query_id: int = 0
+    vtime: float = 0.0
 
     def with_dest(self, dest: int) -> "Message":
         """Return a copy of this message addressed to a different host."""
@@ -53,6 +73,8 @@ class Message:
             sent_at=self.sent_at,
             chain_depth=self.chain_depth,
             wireless=self.wireless,
+            query_id=self.query_id,
+            vtime=self.vtime,
         )
 
     def describe(self) -> str:

@@ -129,6 +129,32 @@ class StatsSink(abc.ABC):
             "dropped_messages": self.dropped_messages,
         }
 
+    def fingerprint(self) -> str:
+        """A stable hex digest of every measure this sink reports.
+
+        Two sinks fingerprint identically iff they agree on the summary
+        measures, the per-kind send counts, the computation histogram and
+        the per-tick send histogram -- regardless of representation, so a
+        full and a streaming sink that accounted the same run match.  The
+        multi-tenant query service uses this to assert that a query's cost
+        attribution is bit-identical across re-runs and to a solo run.
+        """
+        import hashlib
+        import json
+
+        by_kind = getattr(self, "messages_by_kind", {})
+        payload = json.dumps(
+            {
+                "summary": dict(self.summary()),
+                "by_kind": {k: by_kind[k] for k in sorted(by_kind)},
+                "computation_histogram": sorted(
+                    self.computation_histogram().items()),
+                "per_instant": sorted(self.messages_per_instant().items()),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
 
 @dataclass
 class CostAccounting(StatsSink):

@@ -10,6 +10,11 @@ from repro.workloads.churn_models import (
     departures_sweep,
     session_lifetimes,
 )
+from repro.workloads.query_mix import (
+    QueryMixConfig,
+    QuerySubmission,
+    generate_query_mix,
+)
 
 __all__ = [
     "zipf_values",
@@ -18,4 +23,7 @@ __all__ = [
     "churn_for_fraction",
     "departures_sweep",
     "session_lifetimes",
+    "QueryMixConfig",
+    "QuerySubmission",
+    "generate_query_mix",
 ]

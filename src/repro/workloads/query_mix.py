@@ -1,0 +1,205 @@
+"""Open-world query workloads for the multi-tenant service.
+
+The paper's motivating scenario is a network where many users issue
+aggregate queries concurrently and continuously.  This module generates
+that load as an explicit, reproducible submission schedule:
+
+* **arrivals** follow a Poisson process of configurable rate (``qps``)
+  over the service interval ``[0, duration)``;
+* each arrival draws a **protocol** (WILDFIRE / tree / DAG mix) and an
+  **aggregate kind** from configurable weight tables, and a querying
+  host uniformly at random (tenants query from wherever they sit);
+* a configurable fraction of arrivals are **continuous** streams: one
+  user registering a periodic query, expanded into a chain of report
+  submissions separated by the period plus a configurable **think
+  time** (the closed-loop pause between reading one report and asking
+  for the next);
+* the whole schedule is a pure function of ``(config, seed)`` -- the
+  generator returns plain data, so two runs of the same mix submit the
+  identical sequence and the service's determinism contract makes the
+  results bit-identical too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "QuerySubmission",
+    "QueryMixConfig",
+    "generate_query_mix",
+    "DEFAULT_PROTOCOL_MIX",
+    "DEFAULT_AGGREGATE_MIX",
+]
+
+#: Default protocol weights: the valid protocol shares the substrate with
+#: the cheaper best-effort tree/DAG baselines, mirroring a population
+#: where most tenants accept best-effort answers and some pay the price
+#: of validity.
+DEFAULT_PROTOCOL_MIX: Dict[str, float] = {
+    "wildfire": 0.25,
+    "spanning-tree": 0.5,
+    "dag2": 0.25,
+}
+
+#: Default aggregate weights over the paper's query kinds.
+DEFAULT_AGGREGATE_MIX: Dict[str, float] = {
+    "count": 0.4,
+    "sum": 0.2,
+    "min": 0.2,
+    "max": 0.2,
+}
+
+
+@dataclass(frozen=True)
+class QuerySubmission:
+    """One scheduled query submission.
+
+    Attributes:
+        time: engine time at which the query launches.
+        protocol: protocol spec string (``wildfire`` / ``spanning-tree``
+            / ``dagK``).
+        aggregate: query kind (``count`` / ``sum`` / ``min`` / ``max``).
+        querying_host: host the query is issued at.
+        stream: user-stream id; reports of one continuous query share it.
+        report_index: 0 for one-shot queries and the first report of a
+            stream; consecutive for follow-on reports.
+        continuous: whether this submission belongs to a periodic stream.
+    """
+
+    time: float
+    protocol: str
+    aggregate: str
+    querying_host: int
+    stream: int
+    report_index: int = 0
+    continuous: bool = False
+
+
+@dataclass(frozen=True)
+class QueryMixConfig:
+    """Parameters of one open-world query mix.
+
+    Attributes:
+        qps: mean arrival rate of user streams (Poisson).
+        duration: arrival window ``[0, duration)``; the service keeps
+            running until the last launched query declares.
+        protocol_mix: ``protocol spec -> weight`` (need not sum to 1).
+        aggregate_mix: ``query kind -> weight``.
+        continuous_fraction: probability that an arrival is a continuous
+            stream rather than a one-shot query.
+        period: gap between consecutive report launches of a continuous
+            stream.
+        reports: number of reports per continuous stream.
+        think_time: extra closed-loop pause added between consecutive
+            reports of one stream (0 = strictly periodic).
+        max_queries: hard cap on the number of submissions (earliest
+            kept); ``None`` = unbounded.
+    """
+
+    qps: float = 1.0
+    duration: float = 60.0
+    protocol_mix: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_PROTOCOL_MIX))
+    aggregate_mix: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_AGGREGATE_MIX))
+    continuous_fraction: float = 0.15
+    period: float = 10.0
+    reports: int = 3
+    think_time: float = 0.0
+    max_queries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not self.protocol_mix:
+            raise ValueError("protocol_mix cannot be empty")
+        if not self.aggregate_mix:
+            raise ValueError("aggregate_mix cannot be empty")
+        if not 0.0 <= self.continuous_fraction <= 1.0:
+            raise ValueError("continuous_fraction must be in [0, 1]")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.reports < 1:
+            raise ValueError("continuous streams need at least one report")
+        if self.think_time < 0:
+            raise ValueError("think_time cannot be negative")
+        if self.max_queries is not None and self.max_queries < 1:
+            raise ValueError("max_queries must be at least 1")
+
+
+def _weighted_choice(rng: random.Random,
+                     table: Dict[str, float]) -> str:
+    # Sorted iteration keeps the draw independent of dict construction
+    # order, so two configs with equal weights generate equal mixes.
+    keys = sorted(table)
+    total = float(sum(table[k] for k in keys))
+    if total <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+    pick = rng.random() * total
+    acc = 0.0
+    for key in keys:
+        acc += table[key]
+        if pick < acc:
+            return key
+    return keys[-1]
+
+
+def generate_query_mix(
+    num_hosts: int,
+    config: Optional[QueryMixConfig] = None,
+    seed: int = 0,
+    **overrides,
+) -> List[QuerySubmission]:
+    """Generate the submission schedule of one open-world query mix.
+
+    Args:
+        num_hosts: number of hosts querying hosts are drawn from.
+        config: mix parameters; keyword ``overrides`` build/replace one
+            (``generate_query_mix(n, qps=5.0, duration=200.0)``).
+        seed: RNG seed; the schedule is a pure function of
+            ``(num_hosts, config, seed)``.
+
+    Returns:
+        Submissions sorted by launch time (ties keep arrival order).
+    """
+    if num_hosts < 1:
+        raise ValueError("need at least one host to query from")
+    if config is None:
+        config = QueryMixConfig(**overrides)
+    elif overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    rng = random.Random(f"{seed}:query-mix")
+    submissions: List[QuerySubmission] = []
+    stream = 0
+    now = rng.expovariate(config.qps)
+    while now < config.duration:
+        protocol = _weighted_choice(rng, config.protocol_mix)
+        aggregate = _weighted_choice(rng, config.aggregate_mix)
+        host = rng.randrange(num_hosts)
+        continuous = rng.random() < config.continuous_fraction
+        reports = config.reports if continuous else 1
+        launch = now
+        for index in range(reports):
+            submissions.append(QuerySubmission(
+                time=round(launch, 9),
+                protocol=protocol,
+                aggregate=aggregate,
+                querying_host=host,
+                stream=stream,
+                report_index=index,
+                continuous=continuous,
+            ))
+            launch += config.period + config.think_time
+        stream += 1
+        now += rng.expovariate(config.qps)
+    submissions.sort(key=lambda s: (s.time, s.stream, s.report_index))
+    if config.max_queries is not None:
+        submissions = submissions[:config.max_queries]
+    return submissions

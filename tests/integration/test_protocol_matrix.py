@@ -21,7 +21,7 @@ fails this matrix before it can corrupt an experiment.
 import pytest
 
 from repro.protocols.allreport import AllReport
-from repro.protocols.base import run_protocol
+from repro.protocols.base import prepare_protocol_run, run_protocol
 from repro.protocols.dag import DirectedAcyclicGraph
 from repro.protocols.gossip import PushSumGossip
 from repro.protocols.randomized_report import RandomizedReport
@@ -29,7 +29,13 @@ from repro.protocols.spanning_tree import SpanningTree
 from repro.protocols.wildfire import Wildfire
 from repro.semantics.oracle import Oracle
 from repro.semantics.validity import aggregate_over, union_set
-from repro.simulation.churn import ChurnSchedule, uniform_failure_schedule
+from repro.simulation.churn import (
+    ChurnSchedule,
+    JoinSpec,
+    uniform_failure_schedule,
+)
+from repro.simulation.engine import Simulator
+from repro.simulation.network import NetworkEventKind
 from repro.topology.grid import grid_topology
 from repro.topology.power_law import power_law_topology
 from repro.topology.random_graph import random_topology
@@ -185,6 +191,83 @@ def test_tree_and_dag_preserve_validity_under_variable_delay(
             f"{protocol_name} lost Single-Site Validity on "
             f"{topology_name} under {delay} delay"
         )
+
+
+#: Join axis: ``ChurnSchedule.joins`` routed through the calendar queue,
+#: with and without variable realised delays.  ``None`` is the fixed-delay
+#: fast path (joins must interleave correctly with batched ring slots);
+#: the model specs exercise joins landing between arbitrary float-time
+#: deliveries.  Long-lived service runs make joins first-class: a tenant
+#: can submit a query at any time, including after the network grew.
+_JOIN_DELAYS = [None, "uniform:0.25,1.0", "heavy_tail:1.2", "per_edge"]
+
+
+def _run_with_joins(delay, join_factory):
+    """One WILDFIRE min run over a schedule mixing failures and joins."""
+    from repro.protocols.wildfire import WildfireHost
+
+    topology = TOPOLOGIES["random"]()
+    values = uniform_values(topology.num_hosts, low=1, high=50, seed=SEED)
+    prepared = prepare_protocol_run(
+        Wildfire(), topology, values, "min", querying_host=0, seed=SEED,
+        delay=delay)
+    churn = ChurnSchedule(
+        failures=[(2.5, 7), (4.0, 19)],
+        joins=[JoinSpec(time=1.0, neighbors=(0, 3)),
+               JoinSpec(time=2.0, neighbors=(5, 11, 20))],
+    )
+    network = topology.to_network()
+    simulator = Simulator(
+        network=network, hosts=prepared.hosts, querying_host=0,
+        churn=churn, delay_model=prepared.delay_model,
+        max_time=prepared.termination * 4 + 16,
+    )
+    if join_factory:
+        simulator.join_host_factory = lambda host_id: WildfireHost(
+            host_id=host_id, value=0.5, querying_host=0,
+            combiner=prepared.combiner, d_hat=prepared.d_hat, delta=1.0,
+            rng=prepared.rng)
+    result = simulator.run(until=prepared.termination)
+    return network, simulator, result, values
+
+
+@pytest.mark.parametrize("delay", _JOIN_DELAYS,
+                         ids=["fixed" if d is None else d.split(":")[0]
+                              for d in _JOIN_DELAYS])
+class TestJoinsThroughCalendarQueue:
+    def test_joins_are_applied_and_logged(self, delay):
+        network, simulator, result, values = _run_with_joins(
+            delay, join_factory=False)
+        # Both joins landed: the network grew by two host slots and the
+        # event log records them at their scheduled instants.
+        assert network.num_hosts == len(values) + 2
+        join_events = [e for e in network.events
+                       if e.kind is NetworkEventKind.JOIN]
+        assert [e.time for e in join_events] == [1.0, 2.0]
+        assert join_events[0].neighbors == (0, 3)
+        # Joined hosts are wired symmetrically and alive.
+        for event in join_events:
+            assert network.is_alive(event.host)
+            for neighbor in event.neighbors:
+                if network.is_alive(neighbor):
+                    assert network.has_edge(event.host, neighbor)
+        # Without a factory the joined hosts are inert placeholders; the
+        # protocol still terminates and declares the stable-core minimum.
+        assert result.value == float(min(values))
+        assert len(simulator.hosts) == network.num_hosts
+
+    def test_joined_hosts_participate_when_a_factory_is_attached(
+            self, delay):
+        network, simulator, result, values = _run_with_joins(
+            delay, join_factory=True)
+        # The factory-built joined hosts carry value 0.5, below every
+        # initial value; WILDFIRE's flooding must fold them in (they are
+        # alive members of the network for almost the whole interval),
+        # so the declared minimum is the joined hosts' value.
+        assert result.value == 0.5
+        joined = simulator.hosts[len(values):]
+        assert len(joined) == 2
+        assert all(host.active for host in joined)
 
 
 @pytest.mark.parametrize("delay", ["uniform:0.25,1.0", "heavy_tail:1.2"])

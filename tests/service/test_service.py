@@ -1,0 +1,340 @@
+"""Tests for the multi-tenant query service.
+
+The contract under test (the reason the subsystem exists):
+
+* one shared calendar-queue event loop drives N concurrent queries;
+* per-query results and cost attribution are bit-identical across
+  re-runs with the same seed, regardless of interleaving;
+* a query multiplexed with other tenants is bit-identical to a solo
+  :func:`~repro.protocols.base.run_protocol` execution with the same
+  session seed (on the same schedule, where no cross-query churn
+  interferes);
+* sessions retire after declaring, so resident state tracks the number
+  of *concurrently active* queries, not the total served.
+"""
+
+import pytest
+
+from repro.protocols.base import protocol_from_spec, run_protocol
+from repro.queries.query import AggregateQuery
+from repro.service import QueryService, QueryStatus
+from repro.simulation.churn import ChurnSchedule, JoinSpec, uniform_failure_schedule
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import uniform_values
+
+SEED = 13
+
+
+@pytest.fixture
+def topology():
+    return random_topology(60, avg_degree=4, seed=7)
+
+
+@pytest.fixture
+def values(topology):
+    return uniform_values(topology.num_hosts, low=1, high=50, seed=7)
+
+
+#: A small heterogeneous tenant mix covering every protocol family.
+MIX = [
+    ("wildfire", "count", 0.0, 0),
+    ("spanning-tree", "sum", 1.5, 5),
+    ("wildfire", "min", 2.0, 9),
+    ("dag2", "count", 2.0, 17),
+    ("allreport", "count", 3.25, 3),
+    ("gossip", "count", 4.0, 11),
+]
+
+
+def _submit_mix(service):
+    return [
+        service.submit(protocol, query, at=at, querying_host=host)
+        for protocol, query, at, host in MIX
+    ]
+
+
+class TestLifecycle:
+    def test_submit_poll_retire(self, topology, values):
+        service = QueryService(topology, values, seed=SEED)
+        qid = service.submit("wildfire", "count")
+        assert service.poll(qid).status is QueryStatus.PENDING
+        report = service.run()
+        outcome = service.poll(qid)
+        assert outcome.status is QueryStatus.DONE
+        assert outcome.value is not None
+        assert outcome.declared_at == outcome.termination
+        assert report.answered == 1
+        retired = service.retire(qid)
+        assert retired.query_id == qid
+        with pytest.raises(KeyError):
+            service.poll(qid)
+
+    def test_query_accepts_aggregate_query_objects(self, topology, values):
+        service = QueryService(topology, values, seed=SEED)
+        qid = service.submit("spanning-tree", AggregateQuery.of("max"))
+        service.run()
+        assert service.poll(qid).value == float(max(values))
+
+    def test_rejects_bad_submissions(self, topology, values):
+        service = QueryService(topology, values, seed=SEED)
+        with pytest.raises(ValueError):
+            service.submit("wildfire", "count", at=-1.0)
+        with pytest.raises(ValueError):
+            service.submit("wildfire", "count", querying_host=10_000)
+        with pytest.raises(KeyError):
+            service.submit("no-such-protocol", "count")
+
+    def test_rejects_launches_behind_the_service_clock(
+            self, topology, values):
+        # After a horizon-bounded drive the network has already lived
+        # through [0, horizon]; a query "launched" earlier would run on
+        # a future network state, matching no consistent schedule.
+        service = QueryService(topology, values, seed=SEED)
+        service.submit("spanning-tree", "count", at=0.0)
+        service.run(until=10.0)
+        with pytest.raises(ValueError):
+            service.submit("wildfire", "count", at=2.0)
+        late = service.submit("wildfire", "min",
+                              at=service.engine.clock.now + 1.0)
+        service.run()
+        assert service.poll(late).status is QueryStatus.DONE
+
+    def test_retire_refuses_unfinished_queries(self, topology, values):
+        service = QueryService(topology, values, seed=SEED)
+        qid = service.submit("wildfire", "count")
+        with pytest.raises(ValueError):
+            service.retire(qid)      # still pending: nobody could ever
+        service.run()                # read the answer after retirement
+        assert service.retire(qid).status is QueryStatus.DONE
+
+    def test_querying_host_dead_at_launch_fails_the_query(
+            self, topology, values):
+        churn = ChurnSchedule(failures=[(1.0, 9)])
+        service = QueryService(topology, values, churn=churn, seed=SEED)
+        qid = service.submit("wildfire", "min", at=5.0, querying_host=9)
+        other = service.submit("wildfire", "min", at=5.0, querying_host=0)
+        report = service.run()
+        outcome = service.poll(qid)
+        assert outcome.status is QueryStatus.FAILED
+        assert outcome.value is None
+        # The fast-fail path still reports the horizon arithmetic.
+        assert outcome.d_hat == service.d_hat
+        assert outcome.termination > 0
+        assert service.poll(other).status is QueryStatus.DONE
+        assert report.answered == 1
+
+    def test_sessions_retire_after_declaring(self, topology, values):
+        service = QueryService(topology, values, seed=SEED)
+        _submit_mix(service)
+        service.run()
+        # After the drain every session declared and released its per-host
+        # protocol state; the demux table is empty.
+        assert service.engine.active_sessions == 0
+        for outcome in service.outcomes():
+            assert outcome.status is QueryStatus.DONE
+
+
+class TestDeterminismAndIsolation:
+    def test_rerun_is_bit_identical(self, topology, values):
+        def run_once():
+            service = QueryService(topology, values, seed=SEED)
+            ids = _submit_mix(service)
+            service.run()
+            return [(service.poll(i).value,
+                     service.poll(i).costs.fingerprint()) for i in ids]
+
+        assert run_once() == run_once()
+
+    def test_solo_service_run_matches_multiplexed_run(
+            self, topology, values):
+        multi = QueryService(topology, values, seed=SEED)
+        ids = _submit_mix(multi)
+        multi.run()
+        for (protocol, query, at, host), qid in zip(MIX, ids):
+            outcome = multi.poll(qid)
+            solo = QueryService(topology, values, seed=SEED)
+            solo_qid = solo.submit(protocol, query, at=at,
+                                   querying_host=host, seed=outcome.seed)
+            solo.run()
+            solo_outcome = solo.poll(solo_qid)
+            assert solo_outcome.value == outcome.value, protocol
+            assert (solo_outcome.costs.fingerprint()
+                    == outcome.costs.fingerprint()), protocol
+
+    @pytest.mark.parametrize("delay", [None, "uniform:0.25,1.0",
+                                       "heavy_tail:1.2", "per_edge"])
+    def test_multiplexed_query_matches_run_protocol(
+            self, topology, values, delay):
+        """The acceptance contract: a service session is bit-identical to
+        a solo run_protocol execution with the session's seed and the
+        service's d_hat, for every delay model.
+
+        One carve-out: push-sum gossip under ``per_edge``.  A share sent
+        at a round instant over an edge with fixed latency ``d`` arrives
+        as ``(a + k) + d`` while the receiver's round timer fires at
+        ``(a + d) + k`` -- the same real number, one ulp apart in float
+        arithmetic.  The solo kernel keeps the artificial ulp gap; the
+        service's absolute mapping collapses it into one slot where the
+        deliver-before-timer priority (the model's actual simultaneity
+        rule) applies.  Gossip's order-sensitive float sums then differ
+        in the last digits, so that single structurally tie-prone cell is
+        excluded; every other protocol/model cell must match exactly.
+        """
+        service = QueryService(topology, values, seed=SEED, delay=delay)
+        ids = _submit_mix(service)
+        service.run()
+        for (protocol, _, _, _), qid in zip(MIX, ids):
+            if delay == "per_edge" and protocol == "gossip":
+                continue
+            outcome = service.poll(qid)
+            solo = run_protocol(
+                protocol_from_spec(outcome.protocol), topology, values,
+                outcome.query.kind.value,
+                querying_host=outcome.querying_host,
+                seed=outcome.seed, d_hat=service.d_hat, delay=delay)
+            assert solo.value == outcome.value, outcome.protocol
+            assert (solo.costs.fingerprint()
+                    == outcome.costs.fingerprint()), outcome.protocol
+
+    def test_adding_a_tenant_does_not_perturb_existing_ones(
+            self, topology, values):
+        """Per-query streams mean more load never changes other answers:
+        explicit seeds keep sessions comparable across services with
+        different tenant counts."""
+        base = QueryService(topology, values, seed=SEED)
+        base_qid = base.submit("wildfire", "count", at=1.0, seed=12345)
+        base.run()
+        loaded = QueryService(topology, values, seed=SEED)
+        loaded_qid = loaded.submit("wildfire", "count", at=1.0, seed=12345)
+        for extra_seed in range(4):
+            loaded.submit("wildfire", "count", at=0.5 * extra_seed,
+                          querying_host=extra_seed + 1)
+        loaded.run()
+        assert (loaded.poll(loaded_qid).value
+                == base.poll(base_qid).value)
+        assert (loaded.poll(loaded_qid).costs.fingerprint()
+                == base.poll(base_qid).costs.fingerprint())
+
+    def test_streaming_and_full_attribution_agree(self, topology, values):
+        outcomes = {}
+        for mode in ("full", "streaming"):
+            service = QueryService(topology, values, seed=SEED, stats=mode)
+            ids = _submit_mix(service)
+            service.run()
+            outcomes[mode] = [
+                (service.poll(i).value, service.poll(i).costs.fingerprint())
+                for i in ids
+            ]
+        assert outcomes["full"] == outcomes["streaming"]
+
+
+class TestSharedSubstrate:
+    def test_churn_hits_every_overlapping_session(self, topology, values):
+        churn = uniform_failure_schedule(
+            candidates=list(range(topology.num_hosts)), num_failures=10,
+            start=0.5, end=10.0, seed=SEED, protect=[0, 5])
+        service = QueryService(topology, values, churn=churn, seed=SEED)
+        wf = service.submit("wildfire", "min", at=0.0, querying_host=0)
+        tree = service.submit("spanning-tree", "count", at=2.0,
+                              querying_host=5)
+        report = service.run()
+        assert report.answered == 2
+        # The tree count can only miss hosts (best-effort under churn).
+        assert 1.0 <= service.poll(tree).value <= float(topology.num_hosts)
+        # WILDFIRE min stays Single-Site Valid on the shared substrate.
+        from repro.semantics.oracle import Oracle
+
+        oracle = Oracle(topology, values, 0)
+        outcome = service.poll(wf)
+        assert oracle.is_valid(outcome.value, "min", churn,
+                               horizon=outcome.termination)
+
+    def test_joins_extend_active_sessions(self, topology, values):
+        churn = ChurnSchedule(joins=[JoinSpec(time=1.0, neighbors=(0, 3))])
+        service = QueryService(topology, values, churn=churn, seed=SEED)
+        early = service.submit("wildfire", "min", at=0.0)
+        late = service.submit("wildfire", "min", at=5.0)
+        service.run()
+        # Both sessions completed on the grown network: the early one was
+        # extended mid-flight, the late one padded its table at launch.
+        assert service.poll(early).value == float(min(values))
+        assert service.poll(late).value == float(min(values))
+        assert service.engine.network.num_hosts == topology.num_hosts + 1
+
+    def test_late_messages_are_counted_not_delivered(self, topology, values):
+        # A query's convergecast traffic can still be in flight at its
+        # declaration instant; those deliveries must never wake retired
+        # protocol state.
+        service = QueryService(topology, values, seed=SEED)
+        _submit_mix(service)
+        report = service.run()
+        assert report.answered == len(MIX)
+        assert report.late_messages >= 0
+        assert report.messages_sent > 0
+
+    def test_horizon_past_deadline_finalizes_without_later_events(
+            self, topology, values):
+        """A horizon-bounded drive must leave poll() accurate: a query
+        whose deadline lies inside the horizon declares even when the
+        only remaining queued events belong to a far-future tenant."""
+        service = QueryService(topology, values, seed=SEED)
+        near = service.submit("spanning-tree", "count", at=0.0)
+        far = service.submit("spanning-tree", "count", at=500.0)
+        service.run(until=100.0)
+        outcome = service.poll(near)
+        assert outcome.status is QueryStatus.DONE
+        assert outcome.value == float(topology.num_hosts)
+        assert service.poll(far).status is QueryStatus.PENDING
+        # The finished session released its protocol state too.
+        assert service.engine.active_sessions == 0
+        service.run()
+        assert service.poll(far).status is QueryStatus.DONE
+
+    def test_incompatible_combiner_is_rejected_at_submit(
+            self, topology, values):
+        from repro.sketches.combiners import combiner_for_query
+
+        service = QueryService(topology, values, seed=SEED)
+        healthy = service.submit("wildfire", "count", at=0.0)
+        with pytest.raises(ValueError):
+            service.submit("wildfire", "count",
+                           combiner=combiner_for_query("count", exact=True))
+        service.run()
+        assert service.poll(healthy).status is QueryStatus.DONE
+
+    def test_a_session_that_cannot_launch_fails_alone(
+            self, topology, values):
+        """A launch-time blow-up (broken protocol object) must strand
+        only its own tenant, never abort the shared drain."""
+        from repro.protocols.wildfire import Wildfire
+
+        class BrokenProtocol(Wildfire):
+            name = "broken"
+
+            def create_hosts(self, *args, **kwargs):
+                raise RuntimeError("exploding host factory")
+
+        service = QueryService(topology, values, seed=SEED)
+        broken = service.submit(BrokenProtocol(), "count", at=1.0)
+        healthy = service.submit("wildfire", "count", at=0.0)
+        report = service.run()
+        assert service.poll(broken).status is QueryStatus.FAILED
+        assert "exploding" in service.poll(broken).extra["error"]
+        assert service.poll(healthy).status is QueryStatus.DONE
+        assert report.answered == 1
+
+    def test_horizon_bounded_run_resumes(self, topology, values):
+        service = QueryService(topology, values, seed=SEED)
+        qid = service.submit("wildfire", "count", at=0.0)
+        service.run(until=1.0)
+        assert service.poll(qid).status is QueryStatus.RUNNING
+        service.run()
+        assert service.poll(qid).status is QueryStatus.DONE
+        # A later run() continues where the bounded one stopped; the
+        # result matches an unbounded single drive.
+        reference = QueryService(topology, values, seed=SEED)
+        ref_qid = reference.submit("wildfire", "count", at=0.0)
+        reference.run()
+        assert service.poll(qid).value == reference.poll(ref_qid).value
+        assert (service.poll(qid).costs.fingerprint()
+                == reference.poll(ref_qid).costs.fingerprint())

@@ -1,5 +1,9 @@
 """Tests for the message model."""
 
+import types
+
+import pytest
+
 from repro.simulation.messages import Message
 
 
@@ -44,3 +48,115 @@ class TestMessage:
         text = message.describe()
         assert "broadcast" in text
         assert "1" in text and "2" in text
+
+    def test_query_id_and_vtime_default_to_zero_and_round_trip(self):
+        # Single-query simulations never set the session fields; the
+        # service layer stamps them and with_dest must preserve both.
+        message = Message(sender=1, dest=2, kind="k")
+        assert message.query_id == 0 and message.vtime == 0.0
+        tagged = Message(sender=1, dest=2, kind="k", query_id=7, vtime=3.5)
+        copy = tagged.with_dest(3)
+        assert copy.query_id == 7
+        assert copy.vtime == 3.5
+
+
+#: Protocol x query cells for the shared-payload mutation check: every
+#: registered protocol that multicasts, on its natural query kind.
+_MULTICAST_CELLS = [
+    ("wildfire", "min"),
+    ("wildfire", "count"),
+    ("spanning-tree", "count"),
+    ("dag2", "count"),
+    ("allreport", "count"),
+    ("randomized-report", "count"),
+    ("gossip", "count"),
+]
+
+
+@pytest.fixture
+def frozen_payloads(monkeypatch):
+    """Freeze every delivered payload with a read-only mapping proxy.
+
+    Patched at the event-queue seam so the *exact* mapping objects handed
+    to receivers are frozen (the engine's submit paths re-snapshot
+    payloads internally, so patching those would freeze the wrong dict).
+    A multicast's deliveries share one snapshot, so all of its proxies
+    wrap the same underlying dict -- any receiver mutation raises
+    TypeError instead of silently corrupting sibling deliveries.
+    """
+    from repro.simulation.events import EventQueue
+
+    original_push = EventQueue.push_deliver
+    original_extend = EventQueue.extend_delivers
+
+    def freezing_push(self, time, message):
+        message.payload = types.MappingProxyType(message.payload)
+        original_push(self, time, message)
+
+    def freezing_extend(self, time, messages):
+        if messages:
+            shared = types.MappingProxyType(messages[0].payload)
+            for message in messages:
+                message.payload = shared
+        original_extend(self, time, messages)
+
+    monkeypatch.setattr(EventQueue, "push_deliver", freezing_push)
+    monkeypatch.setattr(EventQueue, "extend_delivers", freezing_extend)
+
+
+class TestSharedMulticastPayloadsAreNeverMutated:
+    """Defensive lock on the multicast fast path.
+
+    ``Message`` lost ``frozen=True`` for hot-path speed, and a multicast
+    shares ONE payload snapshot between all of its deliveries -- so a
+    receiver mutating a payload would silently corrupt the copies its
+    siblings have not received yet.  This became load-bearing once the
+    query service multiplexes many tenants over one substrate: a single
+    misbehaving protocol could corrupt another query's in-flight state.
+    """
+
+    @pytest.mark.parametrize("protocol_name,query", _MULTICAST_CELLS)
+    def test_protocols_never_mutate_shared_payloads(
+            self, protocol_name, query, frozen_payloads,
+            small_random_topology, zipf_values_60):
+        from repro.protocols.base import protocol_from_spec, run_protocol
+
+        result = run_protocol(
+            protocol_from_spec(protocol_name), small_random_topology,
+            zipf_values_60, query, querying_host=0, seed=11)
+        assert result.value is not None
+        assert result.costs.messages_sent > 0
+
+    def test_frozen_payloads_also_hold_inside_the_query_service(
+            self, frozen_payloads, small_random_topology, zipf_values_60):
+        # The service's session multicast shares payload snapshots the
+        # same way; a mutating receiver would corrupt another tenant.
+        from repro.service import QueryService, QueryStatus
+
+        service = QueryService(small_random_topology, zipf_values_60, seed=4)
+        ids = [service.submit("wildfire", "count", at=0.0),
+               service.submit("spanning-tree", "sum", at=1.0,
+                              querying_host=7)]
+        service.run()
+        for query_id in ids:
+            assert service.poll(query_id).status is QueryStatus.DONE
+
+    def test_a_mutating_receiver_would_be_caught(self, frozen_payloads):
+        # Sanity-check the harness itself: a deliberately misbehaving
+        # receiver must raise, proving mutations cannot slip through.
+        from repro.simulation.engine import Simulator
+        from repro.simulation.host import HostContext, ProtocolHost
+        from repro.simulation.network import DynamicNetwork
+
+        class Mutator(ProtocolHost):
+            def on_query_start(self, ctx: HostContext) -> None:
+                ctx.send_to_neighbors("evil", {"x": 1})
+
+            def on_message(self, message, ctx: HostContext) -> None:
+                message.payload["x"] = 999  # must raise
+
+        network = DynamicNetwork([{1}, {0, 2}, {1}])
+        simulator = Simulator(network, [Mutator(i, 0.0) for i in range(3)],
+                              querying_host=1)
+        with pytest.raises(TypeError):
+            simulator.run()

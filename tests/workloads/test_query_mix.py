@@ -1,0 +1,91 @@
+"""Tests for the open-world query-mix workload generator."""
+
+import pytest
+
+from repro.workloads.query_mix import (
+    DEFAULT_AGGREGATE_MIX,
+    DEFAULT_PROTOCOL_MIX,
+    QueryMixConfig,
+    QuerySubmission,
+    generate_query_mix,
+)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_parameters(self):
+        for kwargs in (dict(qps=0.0), dict(duration=0.0),
+                       dict(protocol_mix={}), dict(aggregate_mix={}),
+                       dict(continuous_fraction=1.5), dict(period=0.0),
+                       dict(reports=0), dict(think_time=-1.0),
+                       dict(max_queries=0)):
+            with pytest.raises(ValueError):
+                QueryMixConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_schedule_is_a_pure_function_of_inputs(self):
+        a = generate_query_mix(100, qps=2.0, duration=30.0, seed=5)
+        b = generate_query_mix(100, qps=2.0, duration=30.0, seed=5)
+        assert a == b
+        c = generate_query_mix(100, qps=2.0, duration=30.0, seed=6)
+        assert a != c
+
+    def test_submissions_are_sorted_and_within_bounds(self):
+        submissions = generate_query_mix(50, qps=3.0, duration=40.0, seed=1)
+        assert submissions == sorted(
+            submissions, key=lambda s: (s.time, s.stream, s.report_index))
+        assert all(0 <= s.querying_host < 50 for s in submissions)
+        one_shots = [s for s in submissions if not s.continuous]
+        assert all(s.time < 40.0 for s in one_shots)
+        assert all(s.protocol in DEFAULT_PROTOCOL_MIX for s in submissions)
+        assert all(s.aggregate in DEFAULT_AGGREGATE_MIX for s in submissions)
+
+    def test_poisson_rate_is_roughly_respected(self):
+        streams = {s.stream for s in generate_query_mix(
+            1000, qps=5.0, duration=200.0, seed=2,
+            continuous_fraction=0.0)}
+        # E[streams] = 1000; a 4-sigma band keeps this deterministic test
+        # meaningful without being brittle.
+        assert 800 <= len(streams) <= 1200
+
+    def test_continuous_streams_expand_into_report_chains(self):
+        submissions = generate_query_mix(
+            50, qps=1.0, duration=30.0, seed=3,
+            continuous_fraction=1.0, period=5.0, reports=4,
+            think_time=2.0)
+        by_stream = {}
+        for s in submissions:
+            by_stream.setdefault(s.stream, []).append(s)
+        for stream, chain in by_stream.items():
+            chain.sort(key=lambda s: s.report_index)
+            assert len(chain) == 4
+            assert all(s.continuous for s in chain)
+            # One user stream keeps one protocol/aggregate/host.
+            assert len({(s.protocol, s.aggregate, s.querying_host)
+                        for s in chain}) == 1
+            # Reports are spaced by period + think time.
+            gaps = [round(b.time - a.time, 6)
+                    for a, b in zip(chain, chain[1:])]
+            assert gaps == [7.0] * 3
+
+    def test_max_queries_truncates_earliest_first(self):
+        full = generate_query_mix(50, qps=2.0, duration=30.0, seed=4)
+        capped = generate_query_mix(50, qps=2.0, duration=30.0, seed=4,
+                                    max_queries=5)
+        assert capped == full[:5]
+
+    def test_weighted_mix_is_order_independent(self):
+        mix_a = {"wildfire": 1.0, "spanning-tree": 2.0}
+        mix_b = {"spanning-tree": 2.0, "wildfire": 1.0}
+        a = generate_query_mix(50, qps=2.0, duration=50.0, seed=7,
+                               protocol_mix=mix_a)
+        b = generate_query_mix(50, qps=2.0, duration=50.0, seed=7,
+                               protocol_mix=mix_b)
+        assert a == b
+
+    def test_explicit_config_with_overrides(self):
+        config = QueryMixConfig(qps=1.0, duration=10.0)
+        submissions = generate_query_mix(20, config, seed=0,
+                                         max_queries=3)
+        assert len(submissions) <= 3
+        assert all(isinstance(s, QuerySubmission) for s in submissions)
