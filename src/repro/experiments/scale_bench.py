@@ -23,7 +23,22 @@ from repro.topology.base import Topology
 
 
 def peak_rss_mb() -> Optional[float]:
-    """The process's peak resident set size in MiB (None if unavailable)."""
+    """The process's peak resident set size in MiB (None if unavailable).
+
+    On Linux this reads ``VmHWM`` from ``/proc/self/status`` rather than
+    ``getrusage``'s ``ru_maxrss``: the kernel does *not* reset
+    ``ru_maxrss`` across ``execve``, so a benchmark subprocess spawned
+    from a large parent (e.g. the perf-smoke pytest session) would
+    inherit the parent's high-water mark and report it as its own.
+    ``VmHWM`` lives on the fresh ``mm`` and measures only this process.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return round(int(line.split()[1]) / 1024.0, 1)
+    except OSError:  # pragma: no cover - non-Linux platform
+        pass
     try:
         import resource
     except ImportError:  # pragma: no cover - non-unix platform

@@ -27,7 +27,13 @@ REPORT = "ar-report"
 
 
 class AllReportHost(ProtocolHost):
-    """Per-host ALLREPORT state machine."""
+    """Per-host ALLREPORT state machine (slotted: one per network host)."""
+
+    __slots__ = (
+        "querying_host", "query", "d_hat", "delta", "rng",
+        "report_probability", "active", "upstream", "collected",
+        "forward_targets",
+    )
 
     def __init__(
         self,

@@ -29,7 +29,13 @@ REPORT = "dag-report"
 
 
 class DagHost(ProtocolHost):
-    """Per-host DIRECTEDACYCLICGRAPH state machine."""
+    """Per-host DIRECTEDACYCLICGRAPH state machine (slotted)."""
+
+    __slots__ = (
+        "querying_host", "combiner", "d_hat", "delta", "rng", "num_parents",
+        "active", "parents", "depth", "partial", "reports_received",
+        "reported",
+    )
 
     def __init__(
         self,
@@ -107,11 +113,12 @@ class DagHost(ProtocolHost):
         if name != "report" or self.reported or not self.parents:
             return
         self.reported = True
-        alive = ctx.neighbors()
         payload = {"agg": self.partial}
         for parent in self.parents:
-            if parent in alive:
-                ctx.send(parent, REPORT, payload)
+            # ``ctx.send`` performs the alive-edge check itself and
+            # records nothing when it fails, so the guarded send needs no
+            # materialised neighbor view.
+            ctx.send(parent, REPORT, payload)
 
     def local_result(self) -> Optional[float]:
         if self.partial is None:

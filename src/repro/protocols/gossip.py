@@ -41,7 +41,12 @@ SHARE = "gs-share"
 
 
 class PushSumHost(ProtocolHost):
-    """Per-host push-sum state machine driven by per-round timers."""
+    """Per-host push-sum state machine driven by per-round timers (slotted)."""
+
+    __slots__ = (
+        "querying_host", "query", "num_rounds", "delta", "rng",
+        "mass", "weight", "extremum", "rounds_done", "started",
+    )
 
     def __init__(
         self,
@@ -109,7 +114,10 @@ class PushSumHost(ProtocolHost):
         if name != "round" or self.rounds_done >= self.num_rounds:
             return
         self.rounds_done += 1
-        neighbors = sorted(ctx.neighbors())
+        # The packed sorted view is element-for-element what
+        # ``sorted(ctx.neighbors())`` produced, so the rng draw -- and the
+        # golden bitstream -- is unchanged.
+        neighbors = ctx.neighbors_sorted()
         if neighbors:
             target = self.rng.choice(neighbors)
             half_mass = self.mass / 2.0

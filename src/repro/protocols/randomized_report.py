@@ -45,6 +45,8 @@ def report_probability_for(epsilon: float, zeta: float, network_size: int) -> fl
 class RandomizedReportHost(AllReportHost):
     """Identical to :class:`AllReportHost` with ``report_probability < 1``."""
 
+    __slots__ = ()
+
 
 class RandomizedReport(Protocol):
     """Protocol object for RANDOMIZEDREPORT runs.

@@ -35,7 +35,13 @@ REPORT = "st-report"
 
 
 class SpanningTreeHost(ProtocolHost):
-    """Per-host SPANNINGTREE state machine."""
+    """Per-host SPANNINGTREE state machine (slotted: one per network host)."""
+
+    __slots__ = (
+        "querying_host", "combiner", "d_hat", "delta", "rng",
+        "active", "parent", "depth", "partial", "reports_received",
+        "reported",
+    )
 
     def __init__(
         self,

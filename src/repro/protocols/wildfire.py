@@ -52,7 +52,16 @@ FLUSH = "wf-flush"
 
 
 class WildfireHost(ProtocolHost):
-    """Per-host WILDFIRE state machine."""
+    """Per-host WILDFIRE state machine (slotted: one per network host)."""
+
+    __slots__ = (
+        "querying_host", "combiner", "d_hat", "delta", "rng",
+        "early_termination", "active", "distance", "updates_observed",
+        "_dirty", "_skip_neighbor", "_reply_to", "_flush_pending",
+        "_next_flush", "_combine", "_states_equal", "_absorbs", "_deadline",
+        "_packed_mode", "_packed", "_packed_stale", "_reps", "_nbits",
+        "_partial_obj",
+    )
 
     def __init__(
         self,
@@ -83,18 +92,29 @@ class WildfireHost(ProtocolHost):
         # already a multiple of ``delta`` so the limit never delays a
         # flush, but under variable delay models it is what keeps a host
         # from flushing once per (now unique) arrival timestamp.
+        # ``_reply_to`` stays None until this host actually owes a
+        # neighbor a catch-up reply; most hosts in a large flood never do,
+        # and one set per host is real memory at 1M hosts.
         self._dirty = False
         self._skip_neighbor: Optional[int] = None
-        self._reply_to: Set[int] = set()
+        self._reply_to: Optional[Set[int]] = None
         self._flush_pending = False
         self._next_flush = 0.0
 
         # Hot-path bindings: the combine/equality hooks are resolved once,
         # and the participation deadline is cached at activation time (it
         # only depends on the hop distance, which never changes afterwards).
-        self._combine = combiner.combine
-        self._states_equal = combiner.states_equal
-        self._absorbs = combiner.absorbs
+        # The bound-method triple is memoised on the combiner so the whole
+        # host table shares three method objects instead of allocating
+        # three per host.
+        hot = getattr(combiner, "_hot_bindings", None)
+        if hot is None:
+            hot = (combiner.combine, combiner.states_equal, combiner.absorbs)
+            try:
+                combiner._hot_bindings = hot
+            except AttributeError:  # a slotted third-party combiner
+                pass
+        self._combine, self._states_equal, self._absorbs = hot
         self._deadline = 2.0 * d_hat * delta
 
         # FM fast path: when the combiner's state is a packed bitmask
@@ -157,6 +177,14 @@ class WildfireHost(ProtocolHost):
             "agg": self.partial,
         }
 
+    def _note_reply(self, sender: int) -> None:
+        """Mark ``sender`` as owed a catch-up reply (lazy set creation)."""
+        reply_to = self._reply_to
+        if reply_to is None:
+            self._reply_to = {sender}
+        else:
+            reply_to.add(sender)
+
     def _schedule_flush(self, ctx: HostContext) -> None:
         if not self._flush_pending:
             self._flush_pending = True
@@ -195,7 +223,7 @@ class WildfireHost(ProtocolHost):
                                   exclude=(message.sender,))
             # The sender still needs our aggregate if it knows less than us.
             if incoming is None or not self.combiner.states_equal(self.partial, incoming):
-                self._reply_to.add(message.sender)
+                self._note_reply(message.sender)
                 self._schedule_flush(ctx)
             self._dirty = False  # neighbors just heard our aggregate
             return
@@ -213,7 +241,7 @@ class WildfireHost(ProtocolHost):
             merged = packed | inc
             if merged == packed:
                 if packed != inc:
-                    self._reply_to.add(message.sender)
+                    self._note_reply(message.sender)
                     self._schedule_flush(ctx)
                 return
             self._packed = merged
@@ -223,7 +251,8 @@ class WildfireHost(ProtocolHost):
             # If the merge result equals what the sender already has, there
             # is no point echoing it straight back (Example 5.1).
             self._skip_neighbor = message.sender if merged == inc else None
-            self._reply_to.discard(message.sender)
+            if self._reply_to is not None:
+                self._reply_to.discard(message.sender)
             self._schedule_flush(ctx)
             return
         # Generic combiners: ``absorbs`` tests containment without
@@ -234,7 +263,7 @@ class WildfireHost(ProtocolHost):
                 # Our aggregate did not change but the sender's is stale:
                 # send ours back so the sender (and eventually the querying
                 # host on the other side of it) catches up.
-                self._reply_to.add(message.sender)
+                self._note_reply(message.sender)
                 self._schedule_flush(ctx)
             return
         self.partial = new_partial = self._combine(partial, incoming)
@@ -246,7 +275,8 @@ class WildfireHost(ProtocolHost):
             self._skip_neighbor = message.sender
         else:
             self._skip_neighbor = None
-        self._reply_to.discard(message.sender)
+        if self._reply_to is not None:
+            self._reply_to.discard(message.sender)
         self._schedule_flush(ctx)
 
     def _fold(self, incoming: Any, sender: int, ctx: HostContext) -> None:
@@ -262,10 +292,11 @@ class WildfireHost(ProtocolHost):
                 self._skip_neighbor = sender
             else:
                 self._skip_neighbor = None
-            self._reply_to.discard(sender)
+            if self._reply_to is not None:
+                self._reply_to.discard(sender)
             self._schedule_flush(ctx)
         elif not self._states_equal(self.partial, incoming):
-            self._reply_to.add(sender)
+            self._note_reply(sender)
             self._schedule_flush(ctx)
 
     def on_timer(self, name: str, data: Any, ctx: HostContext) -> None:
@@ -275,19 +306,20 @@ class WildfireHost(ProtocolHost):
         self._next_flush = ctx.now + self.delta
         if not self.active or ctx.now > self._deadline:
             self._dirty = False
-            self._reply_to.clear()
+            self._reply_to = None
             return
         if self._dirty:
             exclude = (self._skip_neighbor,) if self._skip_neighbor is not None else ()
             ctx.send_to_neighbors(CONVERGECAST, self._payload(), exclude=exclude)
-            self._reply_to.clear()
+            self._reply_to = None
         elif self._reply_to:
-            alive = ctx.neighbors()
             payload = self._payload()
             for neighbor in sorted(self._reply_to):
-                if neighbor in alive:
-                    ctx.send(neighbor, CONVERGECAST, payload)
-            self._reply_to.clear()
+                # ``ctx.send`` performs the alive-edge check itself (and
+                # records nothing when it fails), so no neighbor-view
+                # needs materialising here.
+                ctx.send(neighbor, CONVERGECAST, payload)
+            self._reply_to = None
         self._dirty = False
         self._skip_neighbor = None
 

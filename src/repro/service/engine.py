@@ -178,31 +178,28 @@ class MuxEngine:
         t0 = session.t0
         sample = session.sample
         if sample is None:
+            # Fixed delay: one lazily expanded batch in the shared ring
+            # (same memory layout as the solo kernel's multicast path).
             vdeliver = vnow + self.delta
-            messages = [
-                Message(sender, dest, kind, shared_payload, abs_now,
-                        chain_depth, wireless, qid, vdeliver)
-                for dest in dests
-            ]
-            self._queue.extend_delivers(t0 + vdeliver, messages)
+            self._queue.push_multicast(t0 + vdeliver, sender, dests, kind,
+                                       shared_payload, abs_now, chain_depth,
+                                       wireless, qid, vdeliver)
         else:
-            messages = []
             push_deliver = self._queue.push_deliver
             for dest in dests:
                 vdeliver = vnow + sample(sender, dest, vnow)
                 message = Message(sender, dest, kind, shared_payload,
                                   abs_now, chain_depth, wireless, qid,
                                   vdeliver)
-                messages.append(message)
                 push_deliver(t0 + vdeliver, message)
         sink = session.sink
         if wireless:
             sink.record_send(kind, vnow)
-            sink.record_wireless_group(len(messages) - 1)
+            sink.record_wireless_group(len(dests) - 1)
             self.messages_sent += 1
         else:
-            sink.record_send_batch(kind, vnow, len(messages))
-            self.messages_sent += len(messages)
+            sink.record_send_batch(kind, vnow, len(dests))
+            self.messages_sent += len(dests)
 
     # ------------------------------------------------------------------
     # Run loop
@@ -232,6 +229,8 @@ class MuxEngine:
         queue = self._queue
         pop_due = queue.pop_due
         clock = self.clock
+        # Same packed alive bitmap the solo kernel binds (bytearray; grows
+        # in place on joins): one memory layout for both paths.
         alive_flags = self.network._alive
         active = self._active
         ends_heap = self._ends_heap

@@ -179,30 +179,30 @@ class Simulator:
             return
         shared_payload = dict(payload)
         wireless = self.wireless
-        messages = [
-            Message(sender, dest, kind, shared_payload, time, chain_depth,
-                    wireless)
-            for dest in dests
-        ]
         sample = self._sample_delay
         if sample is None:
             # Fixed delay: the whole multicast shares one delivery instant
-            # and lands in a single ring slot.
-            self._queue.extend_delivers(time + self.delta, messages)
+            # and lands in the ring as a single lazily expanded batch (no
+            # per-destination Message exists until its delivery pops).
+            self._queue.push_multicast(time + self.delta, sender, dests,
+                                       kind, shared_payload, time,
+                                       chain_depth, wireless)
         else:
             # Variable delay: each destination gets its own realised delay
             # (still at most ``delta``), so messages are filed one by one.
             push_deliver = self._queue.push_deliver
-            for message in messages:
-                push_deliver(time + sample(sender, message.dest, time),
-                             message)
+            for dest in dests:
+                push_deliver(
+                    time + sample(sender, dest, time),
+                    Message(sender, dest, kind, shared_payload, time,
+                            chain_depth, wireless))
         if wireless:
             # The whole batch is one over-the-air transmission; follow-on
             # group members are tracked separately for the summary.
             self.costs.record_send(kind, time)
-            self.costs.record_wireless_group(len(messages) - 1)
+            self.costs.record_wireless_group(len(dests) - 1)
         else:
-            self.costs.record_send_batch(kind, time, len(messages))
+            self.costs.record_send_batch(kind, time, len(dests))
 
     def schedule_timer(
         self,
@@ -257,7 +257,9 @@ class Simulator:
         pop_due = queue.pop_due
         clock = self.clock
         network = self.network
-        alive_flags = network._alive  # stable list; grows in place on joins
+        # The network's packed alive bitmap (a bytearray: one byte per
+        # host, appended in place on joins, so the binding stays valid).
+        alive_flags = network._alive
         hosts = self.hosts
         costs = self.costs
         # The default full accounting keeps its per-host Counter inlined in
@@ -426,6 +428,8 @@ class InertHost(ProtocolHost):
     session's host table for network hosts that exist but do not
     participate in that query (e.g. hosts that joined before the query
     launched)."""
+
+    __slots__ = ()
 
     def __init__(self, host_id: int) -> None:
         super().__init__(host_id, value=0.0)

@@ -42,7 +42,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.simulation.messages import Message
 
@@ -93,6 +93,38 @@ class Event:
     message: Optional[Message] = field(compare=False, default=None)
     timer_name: Optional[str] = field(compare=False, default=None)
     data: Any = field(compare=False, default=None)
+
+
+class _DeliverBatch:
+    """One multicast's deliveries, expanded lazily at pop time.
+
+    A multicast to ``d`` neighbors used to materialise ``d`` Message
+    objects up front; at 100k+ hosts one flood wave keeps hundreds of
+    thousands of them alive in the ring at once, dominating peak RSS.
+    The batch stores the shared fields once (the destination tuple is the
+    network's cached packed view, so it is not even copied) and the pop
+    path mints each per-destination :class:`Message` only at its delivery
+    instant, so at most one exists at a time.  FIFO position in the slot
+    bucket encodes the exact (time, priority, seq) order the materialised
+    list produced, so drain order -- and therefore every golden snapshot
+    -- is unchanged.  Batches cannot be cancelled (deliveries never are).
+    """
+
+    __slots__ = ("sender", "dests", "kind", "payload", "sent_at",
+                 "chain_depth", "wireless", "query_id", "vtime", "pos")
+
+    def __init__(self, sender, dests, kind, payload, sent_at, chain_depth,
+                 wireless, query_id, vtime):
+        self.sender = sender
+        self.dests = dests
+        self.kind = kind
+        self.payload = payload
+        self.sent_at = sent_at
+        self.chain_depth = chain_depth
+        self.wireless = wireless
+        self.query_id = query_id
+        self.vtime = vtime
+        self.pos = 0
 
 
 class _Slot:
@@ -245,6 +277,38 @@ class EventQueue:
             slot.min_pri = _DELIVER_PRIORITY
         self._size += len(messages)
 
+    def push_multicast(
+        self,
+        time: float,
+        sender: int,
+        dests: Sequence[int],
+        kind: str,
+        payload: Any,
+        sent_at: float,
+        chain_depth: int,
+        wireless: bool = False,
+        query_id: int = 0,
+        vtime: float = 0.0,
+    ) -> None:
+        """Schedule one multicast's deliveries without materialising them.
+
+        Drain-order-equivalent to building the per-destination
+        :class:`Message` list and calling :meth:`extend_delivers`, but the
+        ring holds one compact :class:`_DeliverBatch` record instead of
+        ``len(dests)`` message objects; :meth:`pop_due` mints each message
+        at its delivery instant.  This is the fixed-delay multicast fast
+        path of both the solo and the multi-tenant engine.
+        """
+        if not dests:
+            return  # same no-op contract as extend_delivers([])
+        slot = self._slot_at(time)
+        slot.buckets[_DELIVER_PRIORITY].append(
+            _DeliverBatch(sender, dests, kind, payload, sent_at,
+                          chain_depth, wireless, query_id, vtime))
+        if _DELIVER_PRIORITY < slot.min_pri:
+            slot.min_pri = _DELIVER_PRIORITY
+        self._size += len(dests)
+
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (lazy removal)."""
         self._cancelled.add(event.seq)
@@ -296,7 +360,9 @@ class EventQueue:
                 length = len(bucket)
                 while index < length:
                     entry = bucket[index]
-                    if (entry.__class__ is not Message
+                    # Only Event wrappers carry a seq and can be cancelled
+                    # (bare messages and multicast batches never are).
+                    if (entry.__class__ is Event
                             and entry.seq in cancelled):
                         cancelled.discard(entry.seq)
                         self._size -= 1
@@ -331,8 +397,25 @@ class EventQueue:
         time, slot, priority, index, entry = front
         if horizon is not None and time > horizon:
             return None
-        slot.cursors[priority] = index + 1
         self._size -= 1
+        if entry.__class__ is _DeliverBatch:
+            # Mint this pop's Message from the batch record; the batch
+            # stays at the bucket cursor until its last destination pops,
+            # preserving the contiguous FIFO order of the materialised
+            # equivalent.
+            pos = entry.pos
+            message = Message(entry.sender, entry.dests[pos], entry.kind,
+                              entry.payload, entry.sent_at,
+                              entry.chain_depth, entry.wireless,
+                              entry.query_id, entry.vtime)
+            pos += 1
+            if pos == len(entry.dests):
+                slot.cursors[priority] = index + 1
+                slot.buckets[priority][index] = None  # type: ignore[call-overload]
+            else:
+                entry.pos = pos
+            return time, message
+        slot.cursors[priority] = index + 1
         slot.buckets[priority][index] = None  # type: ignore[call-overload]
         return time, entry
 

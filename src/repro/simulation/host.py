@@ -70,6 +70,16 @@ class HostContext:
         """
         return self._simulator.network.neighbors(self.host_id)
 
+    def neighbors_sorted(self) -> Sequence[int]:
+        """Alive neighbors in ascending id order (the packed cached view).
+
+        Equal, element for element, to ``sorted(ctx.neighbors())`` --
+        prefer it when iterating or sampling deterministically: it is
+        served straight off the network's packed adjacency without
+        materialising a set.  Treat the returned tuple as read-only.
+        """
+        return self._simulator.network.alive_neighbors_sorted(self.host_id)
+
     def send(self, dest: int, kind: str, payload: Mapping[str, Any]) -> bool:
         """Send one message to neighbor ``dest``.
 
@@ -134,7 +144,17 @@ class ProtocolHost(abc.ABC):
     Subclasses hold all per-host protocol state (activity flag, partial
     aggregate, parent pointers, ...) as instance attributes and implement
     the three reaction hooks.
+
+    One state machine exists per network host, so at million-host scale
+    the per-instance footprint is a first-order memory cost: the base
+    class and every in-tree protocol host declare ``__slots__``, which
+    drops the per-instance ``__dict__``.  New protocols should follow the
+    convention (declare every attribute the ``__init__`` assigns in
+    ``__slots__``); a subclass that skips it merely reintroduces a dict
+    for its own attributes -- nothing breaks, it just costs memory.
     """
+
+    __slots__ = ("host_id", "value")
 
     def __init__(self, host_id: int, value: float) -> None:
         self.host_id = host_id

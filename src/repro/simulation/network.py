@@ -1,4 +1,4 @@
-"""Dynamic network graph.
+"""Dynamic network graph on a packed-memory (CSR) core.
 
 The network is the undirected graph ``G = (H, E)`` of the paper.  Hosts may
 fail (leave) or join at any simulated instant; the adjacency structure and
@@ -10,20 +10,56 @@ The graph carries *connectivity* only; link timing lives in the engine's
 :class:`~repro.simulation.delay.DelayModel` (the per-edge model derives
 each edge's latency from the endpoint pair, so it needs no storage here).
 
-The adjacency is tuned for the simulation hot path: the alive-neighbor view
-of each host -- queried once per message send -- is cached as a frozenset
-plus a sorted tuple and invalidated only for the hosts a failure or join
-actually touches, and the pristine *initial* adjacency is materialised
-lazily on the first topology change instead of being deep-copied up front
-(which matters when constructing 100k-host networks).
+Memory layout
+-------------
+
+Million-host runs made the previous per-host ``set`` adjacency the dominant
+RSS cost (hundreds of bytes of hash-table overhead per 3-4 neighbor row),
+so the storage is a compact CSR-style core:
+
+* the *base* topology -- immutable after construction -- lives in two
+  ``array('I')`` buffers: ``_base_offsets[h] : _base_offsets[h+1]`` spans
+  host ``h``'s neighbor ids in ``_base_targets``, each row sorted
+  ascending (4 bytes per directed edge instead of a boxed int in a set);
+* alive-ness is a ``bytearray`` bitmap (``_alive``) plus a maintained
+  ``_alive_count``, so ``is_alive``/``num_alive`` are O(1) and the
+  engines' hot loops index the bitmap directly;
+* churn-induced edge *additions* (host joins) go to a small per-host
+  overflow table ``_overflow: {host: [new ids...]}``.  Join ids are
+  assigned in increasing order and each overflow list starts sorted, so
+  every ``base row + overflow row`` concatenation is already ascending;
+* failures remove nothing: an edge is *current* iff both endpoints are
+  alive, so the alive-filter applied at view time reproduces the eager
+  edge-removal semantics of the old mutable-set implementation exactly.
+
+The protocol-facing views -- the alive-neighbor frozenset queried per
+unicast and the ascending tuple driving every multicast -- are lazily
+materialised straight off the packed arrays and cached per host,
+invalidated only for the hosts a failure or join actually touches.  The
+ascending order is the same order the old implementation served (and the
+golden snapshots pin); the set-based executable specification is retained
+in :mod:`repro.simulation.network_reference` and the differential suite
+``tests/simulation/test_network_packed.py`` holds this class to it.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 
 class NetworkEventKind(enum.Enum):
@@ -55,11 +91,22 @@ class DynamicNetwork:
             the neighbors of host ``h``.  The relation must be symmetric.
         validate: when True (default) the adjacency is checked for symmetry
             and self-loops; disable only for very large trusted inputs.
-        copy: when True (default) the adjacency is deep-copied; pass False
-            when handing over freshly built neighbor sets that no other
-            code aliases (the :meth:`~repro.topology.base.Topology.
-            to_network` fast path for very large graphs).
+        copy: kept for API compatibility.  The CSR build reads the input
+            exactly once and never aliases it, so construction is always
+            safe regardless of who else holds the neighbor collections.
     """
+
+    __slots__ = (
+        "_base_n",
+        "_base_offsets",
+        "_base_targets",
+        "_alive",
+        "_alive_count",
+        "_overflow",
+        "_events",
+        "_alive_neighbors",
+        "_alive_sorted",
+    )
 
     def __init__(
         self,
@@ -67,29 +114,49 @@ class DynamicNetwork:
         validate: bool = True,
         copy: bool = True,
     ) -> None:
-        if copy:
-            self._adjacency: List[Set[int]] = [set(neigh) for neigh in adjacency]
-        else:
-            self._adjacency = [
-                neigh if isinstance(neigh, set) else set(neigh)
+        if validate:
+            sets = [
+                neigh if isinstance(neigh, (set, frozenset)) else set(neigh)
                 for neigh in adjacency
             ]
-        n = len(self._adjacency)
-        if validate:
-            self._validate(self._adjacency, n)
-        # The pristine time-0 adjacency, materialised on the first topology
-        # change (before that, the current adjacency *is* the initial one).
-        self._pristine: Optional[List[Set[int]]] = None
-        self._alive: List[bool] = [True] * n
+            self._validate(sets, len(sets))
+            rows: List[List[int]] = [sorted(s) for s in sets]
+        else:
+            # Match the old implementation's normalisation exactly: every
+            # row passes through set() unless it already is one, so a
+            # duplicated neighbor entry in a trusted input cannot reach
+            # the CSR buffers (it would double-count degree/num_edges and
+            # double-deliver multicasts).  The set is transient; packed
+            # Topology rows pay one C-speed copy during the build only.
+            rows = [
+                sorted(neigh) if isinstance(neigh, (set, frozenset))
+                else sorted(set(neigh))
+                for neigh in adjacency
+            ]
+        n = len(rows)
+        offsets = array("I", [0])
+        targets = array("I")
+        push_offset = offsets.append
+        extend_targets = targets.extend
+        for row in rows:
+            extend_targets(row)
+            push_offset(len(targets))
+        # Base CSR core: immutable once built (joins go to the overflow
+        # table, failures only flip the alive bitmap).
+        self._base_n = n
+        self._base_offsets = offsets
+        self._base_targets = targets
+        self._alive = bytearray(b"\x01") * n
+        self._alive_count = n
+        self._overflow: Dict[int, List[int]] = {}
         self._events: List[NetworkEvent] = []
-        self._ever_alive: Set[int] = set(range(n))
-        # Per-host caches of the alive-neighbor view; invalidated only for
+        # Per-host caches of the alive-neighbor views; invalidated only for
         # the hosts an individual failure or join touches.
         self._alive_neighbors: List[Optional[FrozenSet[int]]] = [None] * n
         self._alive_sorted: List[Optional[Tuple[int, ...]]] = [None] * n
 
     @staticmethod
-    def _validate(adjacency: List[Set[int]], n: int) -> None:
+    def _validate(adjacency: Sequence[Set[int]], n: int) -> None:
         for host, neighbors in enumerate(adjacency):
             for other in neighbors:
                 if other == host:
@@ -103,38 +170,70 @@ class DynamicNetwork:
                         f"asymmetric edge: {host} lists {other} but not vice versa"
                     )
 
-    def _ensure_pristine(self) -> List[Set[int]]:
-        """Materialise the initial adjacency before the first mutation."""
-        if self._pristine is None:
-            self._pristine = [set(neigh) for neigh in self._adjacency]
-        return self._pristine
+    # ------------------------------------------------------------------
+    # Packed-core helpers
+    # ------------------------------------------------------------------
+    def _structural_neighbors(self, host: int) -> Iterator[int]:
+        """All base + overflow neighbor ids of ``host``, alive or not."""
+        if host < self._base_n:
+            offsets = self._base_offsets
+            yield from self._base_targets[offsets[host]:offsets[host + 1]]
+        extra = self._overflow.get(host)
+        if extra:
+            yield from extra
 
-    @property
-    def _initial_adjacency(self) -> List[Set[int]]:
-        """The time-0 adjacency (kept for compatibility and the oracle)."""
-        if self._pristine is None:
-            return self._adjacency
-        return self._pristine
+    def _alive_row(self, host: int) -> List[int]:
+        """Current alive neighbors of ``host``, ascending (uncached)."""
+        alive = self._alive
+        if not alive[host]:
+            return []
+        if host < self._base_n:
+            offsets = self._base_offsets
+            row = [
+                t
+                for t in self._base_targets[offsets[host]:offsets[host + 1]]
+                if alive[t]
+            ]
+        else:
+            row = []
+        extra = self._overflow.get(host)
+        if extra:
+            # Overflow ids are assigned in increasing order and start above
+            # every base id, so the concatenation stays ascending.
+            row.extend(t for t in extra if alive[t])
+        return row
+
+    def _has_structural_edge(self, a: int, b: int) -> bool:
+        if a < self._base_n:
+            offsets = self._base_offsets
+            targets = self._base_targets
+            lo, hi = offsets[a], offsets[a + 1]
+            i = bisect_left(targets, b, lo, hi)
+            if i < hi and targets[i] == b:
+                return True
+        extra = self._overflow.get(a)
+        return extra is not None and b in extra
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._adjacency)
+        return len(self._alive)
 
     @property
     def num_hosts(self) -> int:
         """Total number of host slots ever allocated (alive or failed)."""
-        return len(self._adjacency)
+        return len(self._alive)
 
     @property
     def alive_hosts(self) -> List[int]:
-        """Host ids that are currently alive."""
+        """Host ids that are currently alive (one pass over the bitmap)."""
         return [h for h, alive in enumerate(self._alive) if alive]
 
     @property
     def num_alive(self) -> int:
-        return sum(self._alive)
+        """Number of alive hosts, served O(1) from the maintained count."""
+        return self._alive_count
 
     @property
     def events(self) -> List[NetworkEvent]:
@@ -143,20 +242,24 @@ class DynamicNetwork:
 
     @property
     def ever_alive(self) -> Set[int]:
-        """Hosts that were alive at some instant (the upper bound set H_U)."""
-        return set(self._ever_alive)
+        """Hosts that were alive at some instant (the upper bound set H_U).
+
+        Every host slot ever allocated was alive when it was created (the
+        initial hosts at time 0, joined hosts at their join instant), so
+        this is exactly ``range(num_hosts)`` -- no per-host set is stored.
+        """
+        return set(range(len(self._alive)))
 
     def is_alive(self, host: int) -> bool:
-        return self._alive[host]
+        return bool(self._alive[host])
 
     def neighbors(self, host: int) -> FrozenSet[int]:
         """Current *alive* neighbors of ``host`` (cached; do not mutate)."""
         cached = self._alive_neighbors[host]
         if cached is None:
-            alive = self._alive
-            cached = frozenset(
-                h for h in self._adjacency[host] if alive[h]
-            )
+            # Built from the sorted view so the two caches share their id
+            # objects (one boxed int per (host, neighbor) pair, not two).
+            cached = frozenset(self.alive_neighbors_sorted(host))
             self._alive_neighbors[host] = cached
         return cached
 
@@ -164,37 +267,73 @@ class DynamicNetwork:
         """Current alive neighbors of ``host`` in ascending id order (cached)."""
         cached = self._alive_sorted[host]
         if cached is None:
-            cached = tuple(sorted(self.neighbors(host)))
+            cached = tuple(self._alive_row(host))
             self._alive_sorted[host] = cached
         return cached
 
     def has_alive_edge(self, sender: int, dest: int) -> bool:
         """Whether ``dest`` is an alive current neighbor of ``sender``."""
-        return dest in self._adjacency[sender] and self._alive[dest]
+        alive = self._alive
+        if not alive[sender]:
+            return False
+        if not 0 <= dest < len(alive) or not alive[dest]:
+            return False
+        return self._has_structural_edge(sender, dest)
 
     def all_neighbors(self, host: int) -> Set[int]:
-        """Current neighbors of ``host`` regardless of liveness."""
-        return set(self._adjacency[host])
+        """Current neighbors of ``host`` regardless of liveness.
+
+        Failed hosts shed their edges the instant they fail (the old
+        implementation removed them eagerly; the packed core filters them
+        at view time), so the current adjacency only ever contains alive
+        endpoints and this equals ``set(neighbors(host))``.
+        """
+        return set(self._alive_row(host))
 
     def initial_neighbors(self, host: int) -> Set[int]:
         """Neighbors of ``host`` in the initial topology."""
-        return set(self._initial_adjacency[host])
+        if host < self._base_n:
+            offsets = self._base_offsets
+            return set(self._base_targets[offsets[host]:offsets[host + 1]])
+        if not 0 <= host < len(self._alive):
+            raise IndexError(f"unknown host {host}")
+        return set()  # joined mid-run: not part of the initial topology
 
     def has_edge(self, a: int, b: int) -> bool:
-        return b in self._adjacency[a]
+        alive = self._alive
+        if not alive[a] or not 0 <= b < len(alive) or not alive[b]:
+            return False
+        return self._has_structural_edge(a, b)
 
     def degree(self, host: int) -> int:
-        return len(self._adjacency[host])
+        return len(self.alive_neighbors_sorted(host))
 
     def num_edges(self) -> int:
         """Number of undirected edges in the current graph."""
-        return sum(len(neigh) for neigh in self._adjacency) // 2
+        alive = self._alive
+        total = 0
+        offsets = self._base_offsets
+        targets = self._base_targets
+        for host in range(self._base_n):
+            if alive[host]:
+                for t in targets[offsets[host]:offsets[host + 1]]:
+                    if alive[t]:
+                        total += 1
+        for host, extra in self._overflow.items():
+            if alive[host]:
+                for t in extra:
+                    if alive[t]:
+                        total += 1
+        return total // 2
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate over undirected edges (a < b) of the current graph."""
-        for a, neighbors in enumerate(self._adjacency):
-            for b in neighbors:
-                if a < b:
+        alive = self._alive
+        for a in range(len(alive)):
+            if not alive[a]:
+                continue
+            for b in self._structural_neighbors(a):
+                if a < b and alive[b]:
                     yield a, b
 
     # ------------------------------------------------------------------
@@ -207,20 +346,25 @@ class DynamicNetwork:
     def fail_host(self, host: int, time: float) -> None:
         """Remove ``host`` from the network at simulation time ``time``.
 
-        A failed host stops participating in any protocol; its edges are
-        removed from the current adjacency.  Failing an already failed host
-        is an error (it indicates a buggy churn schedule).
+        A failed host stops participating in any protocol; its edges drop
+        out of every current view (edges require both endpoints alive).
+        Failing an already failed host is an error (it indicates a buggy
+        churn schedule).
         """
         if not self._alive[host]:
             raise ValueError(f"host {host} is already failed")
-        self._ensure_pristine()
-        self._alive[host] = False
-        neighbors = tuple(sorted(self._adjacency[host]))
-        for other in self._adjacency[host]:
-            self._adjacency[other].discard(host)
-            self._invalidate(other)
-        self._adjacency[host].clear()
-        self._invalidate(host)
+        # Snapshot the alive neighbors for the event log *before* flipping
+        # the bitmap (the view is already ascending, as the log requires).
+        neighbors = self.alive_neighbors_sorted(host)
+        self._alive[host] = 0
+        self._alive_count -= 1
+        alive_neighbors = self._alive_neighbors
+        alive_sorted = self._alive_sorted
+        for other in self._structural_neighbors(host):
+            alive_neighbors[other] = None
+            alive_sorted[other] = None
+        alive_neighbors[host] = None
+        alive_sorted[host] = None
         self._events.append(
             NetworkEvent(time=time, kind=NetworkEventKind.FAIL, host=host,
                          neighbors=neighbors)
@@ -228,26 +372,36 @@ class DynamicNetwork:
 
     def join_host(self, neighbors: Iterable[int], time: float) -> int:
         """Add a new host connected to ``neighbors`` and return its id."""
-        new_id = len(self._adjacency)
+        alive = self._alive
+        new_id = len(alive)
         neighbor_set = set(neighbors)
         for other in neighbor_set:
             if not 0 <= other < new_id:
                 raise ValueError(f"unknown neighbor {other}")
-            if not self._alive[other]:
+            if not alive[other]:
                 raise ValueError(f"cannot join at failed host {other}")
-        self._ensure_pristine()
-        self._adjacency.append(set(neighbor_set))
-        self._pristine.append(set())
-        self._alive.append(True)
-        self._ever_alive.add(new_id)
+        ordered = sorted(neighbor_set)
+        alive.append(1)
+        self._alive_count += 1
         self._alive_neighbors.append(None)
         self._alive_sorted.append(None)
-        for other in neighbor_set:
-            self._adjacency[other].add(new_id)
-            self._invalidate(other)
+        overflow = self._overflow
+        overflow[new_id] = list(ordered)
+        alive_neighbors = self._alive_neighbors
+        alive_sorted = self._alive_sorted
+        for other in ordered:
+            row = overflow.get(other)
+            if row is None:
+                overflow[other] = [new_id]
+            else:
+                # ``new_id`` exceeds every existing id, so appending keeps
+                # the overflow row sorted.
+                row.append(new_id)
+            alive_neighbors[other] = None
+            alive_sorted[other] = None
         self._events.append(
             NetworkEvent(time=time, kind=NetworkEventKind.JOIN, host=new_id,
-                         neighbors=tuple(sorted(neighbor_set)))
+                         neighbors=tuple(ordered))
         )
         return new_id
 
@@ -260,17 +414,31 @@ class DynamicNetwork:
         Args:
             source: starting host.
             alive_only: when True, only traverse hosts that are currently
-                alive (the usual case).
+                alive (the usual case).  A failed host's current adjacency
+                is empty either way, so the only difference is whether a
+                failed *source* maps to ``{}`` or ``{source: 0}``.
         """
-        if alive_only and not self._alive[source]:
-            return {}
+        alive = self._alive
+        if not alive[source]:
+            return {} if alive_only else {source: 0}
         distances = {source: 0}
         frontier = deque([source])
+        offsets = self._base_offsets
+        targets = self._base_targets
+        overflow = self._overflow
+        base_n = self._base_n
         while frontier:
             host = frontier.popleft()
             next_dist = distances[host] + 1
-            for other in self._adjacency[host]:
-                if alive_only and not self._alive[other]:
+            if host < base_n:
+                row: Iterable[int] = targets[offsets[host]:offsets[host + 1]]
+            else:
+                row = ()
+            extra = overflow.get(host)
+            if extra:
+                row = list(row) + extra
+            for other in row:
+                if not alive[other]:
                     continue
                 if other not in distances:
                     distances[other] = next_dist
@@ -317,21 +485,26 @@ class DynamicNetwork:
 
     def snapshot_adjacency(self) -> List[Set[int]]:
         """A deep copy of the current adjacency (for oracles and tests)."""
-        return [set(neigh) for neigh in self._adjacency]
+        return [set(self._alive_row(host)) for host in range(len(self._alive))]
 
     def copy(self) -> "DynamicNetwork":
-        """An independent copy of the current network state."""
+        """An independent copy of the current network state.
+
+        The base CSR buffers are immutable after construction, so clones
+        share them; only the alive bitmap, overflow table, event log and
+        view caches are private.
+        """
         clone = DynamicNetwork.__new__(DynamicNetwork)
-        clone._adjacency = [set(s) for s in self._adjacency]
-        clone._pristine = (
-            None if self._pristine is None
-            else [set(s) for s in self._pristine]
-        )
-        clone._alive = list(self._alive)
+        clone._base_n = self._base_n
+        clone._base_offsets = self._base_offsets
+        clone._base_targets = self._base_targets
+        clone._alive = bytearray(self._alive)
+        clone._alive_count = self._alive_count
+        clone._overflow = {h: list(row) for h, row in self._overflow.items()}
         clone._events = list(self._events)
-        clone._ever_alive = set(self._ever_alive)
-        clone._alive_neighbors = [None] * len(clone._adjacency)
-        clone._alive_sorted = [None] * len(clone._adjacency)
+        n = len(clone._alive)
+        clone._alive_neighbors = [None] * n
+        clone._alive_sorted = [None] * n
         return clone
 
     @classmethod

@@ -49,9 +49,20 @@ class Topology:
         For generator-built adjacencies that are symmetric by construction;
         the O(E) validation in ``__post_init__`` is pure overhead at
         100k-node scale.  Takes ownership of ``adjacency``.
+
+        The set rows are packed into tuples, *preserving each set's own
+        iteration order*: a 3-4 neighbor ``set`` costs ~200 bytes of hash
+        table against ~30 of tuple, which at 100k+ hosts makes the
+        topology a first-order RSS cost, while keeping the original order
+        leaves every BFS discovery sequence -- and therefore the
+        diameter-estimate tie-breaks behind ``d_hat`` that the golden
+        snapshots pin -- exactly as it was.  All downstream consumers
+        iterate rows or test membership; none mutate them.
         """
         topology = object.__new__(cls)
-        topology.adjacency = adjacency
+        topology.adjacency = [
+            row if type(row) is tuple else tuple(row) for row in adjacency
+        ]
         topology.name = name
         topology.metadata = metadata if metadata is not None else {}
         return topology
@@ -176,10 +187,10 @@ class Topology:
     # ------------------------------------------------------------------
     def to_network(self) -> DynamicNetwork:
         """Instantiate a fresh :class:`DynamicNetwork` with this topology."""
-        # The list of sets is freshly built and unaliased, so the network
-        # can take ownership instead of deep-copying it again.
-        return DynamicNetwork([set(neigh) for neigh in self.adjacency],
-                              validate=False, copy=False)
+        # The network packs the rows into its CSR buffers without aliasing
+        # them, so the topology's own sets can be handed over directly --
+        # no per-host set copy even at million-host scale.
+        return DynamicNetwork(self.adjacency, validate=False, copy=False)
 
     def to_networkx(self):  # pragma: no cover - convenience only
         """Return a ``networkx.Graph`` view (requires networkx)."""

@@ -153,6 +153,51 @@ class TestTieBreakingRegression:
         dests = [queue.pop().message.dest for _ in range(3)]
         assert dests == [1, 2, 3]
 
+    def test_push_multicast_is_drain_identical_to_extend_delivers(self):
+        """The lazily expanded batch must interleave exactly like the
+        materialised bulk append it replaced, including deliveries and
+        timers pushed before, between and after the batch."""
+        from repro.simulation.messages import Message
+
+        def fill(queue, use_batch):
+            queue.push_deliver(1.0, make_message(9, 100))
+            if use_batch:
+                queue.push_multicast(1.0, 7, (1, 2, 3), "kind", {"x": 1},
+                                     0.0, 2)
+            else:
+                queue.extend_delivers(1.0, [
+                    Message(7, dest, "kind", {"x": 1}, 0.0, 2)
+                    for dest in (1, 2, 3)
+                ])
+            queue.push_timer(1.0, 5, "t", None)
+            queue.push_deliver(1.0, make_message(9, 200))
+
+        batched, materialised = EventQueue(), EventQueue()
+        fill(batched, True)
+        fill(materialised, False)
+        assert len(batched) == len(materialised) == 6
+        while materialised:
+            expected = materialised.pop_due(None)
+            got = batched.pop_due(None)
+            assert got is not None and expected is not None
+            assert got[0] == expected[0]
+            if expected[1].__class__ is Message:
+                for field in ("sender", "dest", "kind", "payload",
+                              "sent_at", "chain_depth", "wireless",
+                              "query_id", "vtime"):
+                    assert (getattr(got[1], field)
+                            == getattr(expected[1], field)), field
+            else:
+                assert got[1].kind is expected[1].kind
+        assert not batched
+        assert len(batched) == 0
+
+    def test_push_multicast_with_no_destinations_is_a_noop(self):
+        queue = EventQueue()
+        queue.push_multicast(1.0, 7, (), "kind", {}, 0.0, 1)
+        assert len(queue) == 0
+        assert queue.pop_due(None) is None
+
     def test_fuzz_matches_reference_heap_order(self):
         """Randomized differential test against the original heap
         semantics: order by (time, kind priority, global insertion seq)."""

@@ -88,6 +88,7 @@ def frozen_payloads(monkeypatch):
 
     original_push = EventQueue.push_deliver
     original_extend = EventQueue.extend_delivers
+    original_multicast = EventQueue.push_multicast
 
     def freezing_push(self, time, message):
         message.payload = types.MappingProxyType(message.payload)
@@ -100,8 +101,16 @@ def frozen_payloads(monkeypatch):
                 message.payload = shared
         original_extend(self, time, messages)
 
+    def freezing_multicast(self, time, sender, dests, kind, payload,
+                           *args, **kwargs):
+        # The batch's one snapshot becomes every minted delivery's payload,
+        # so freezing it here freezes the whole multicast.
+        original_multicast(self, time, sender, dests, kind,
+                           types.MappingProxyType(payload), *args, **kwargs)
+
     monkeypatch.setattr(EventQueue, "push_deliver", freezing_push)
     monkeypatch.setattr(EventQueue, "extend_delivers", freezing_extend)
+    monkeypatch.setattr(EventQueue, "push_multicast", freezing_multicast)
 
 
 class TestSharedMulticastPayloadsAreNeverMutated:
