@@ -12,8 +12,9 @@ surviving arc of the cycle carries every remaining host's contribution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.obs.provenance import EstimateProvenance, ProvenanceTracer
 from repro.protocols.base import run_protocol
 from repro.protocols.spanning_tree import SpanningTree
 from repro.protocols.wildfire import Wildfire
@@ -33,21 +34,31 @@ class BadCaseResult:
     stable_core_size: int
     error_factor: float
     is_valid: bool
+    #: Contribution-set attribution, only populated when the experiment
+    #: ran with ``provenance=True``.  The Theorem 4.4 story in set form:
+    #: SPANNINGTREE's ``lost_alive`` holds the severed chain's survivors
+    #: while WILDFIRE's contributors cover the stable core.
+    provenance: Optional[EstimateProvenance] = None
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        row: Dict[str, object] = {
             "protocol": self.protocol,
             "declared": round(self.declared, 2),
             "|H_C|": self.stable_core_size,
             "error_factor": round(self.error_factor, 2),
             "valid": self.is_valid,
         }
+        if self.provenance is not None:
+            row["lost_alive"] = len(self.provenance.lost_alive)
+            row["lost_to_churn"] = len(self.provenance.lost_to_churn)
+        return row
 
 
 def run_theorem_44_experiment(
     cycle_size: int = 42,
     fm_repetitions: int = 16,
     seed: int = 0,
+    provenance: bool = False,
 ) -> List[BadCaseResult]:
     """Run the Theorem 4.4 construction for SPANNINGTREE and WILDFIRE.
 
@@ -55,6 +66,9 @@ def run_theorem_44_experiment(
         cycle_size: number of hosts on the cycle (2n + 2 in the paper).
         fm_repetitions: FM repetitions for WILDFIRE's count sketch.
         seed: RNG seed.
+        provenance: attach each protocol's contribution-set attribution
+            (see :mod:`repro.obs.provenance`) to its result; the declared
+            values are unaffected (tracers only observe).
     """
     topology = cycle_with_pendant_topology(cycle_size)
     values = constant_values(topology.num_hosts, 1)
@@ -70,6 +84,7 @@ def run_theorem_44_experiment(
         (SpanningTree(), ExactCountCombiner()),
         (Wildfire(), FMCountCombiner(repetitions=fm_repetitions)),
     ):
+        tracer = ProvenanceTracer() if provenance else None
         run = run_protocol(
             protocol=protocol,
             topology=topology,
@@ -80,6 +95,12 @@ def run_theorem_44_experiment(
             d_hat=d_hat,
             churn=churn,
             seed=seed,
+            tracer=tracer,
+        )
+        attribution = (
+            tracer.provenance(querying_host, run.termination_time,
+                              topology.num_hosts)
+            if tracer is not None else None
         )
         declared = run.value if run.value is not None else 0.0
         bounds = oracle.bounds("count", churn, horizon=run.termination_time)
@@ -95,6 +116,7 @@ def run_theorem_44_experiment(
                 stable_core_size=core_size,
                 error_factor=error_factor,
                 is_valid=valid,
+                provenance=attribution,
             )
         )
     return results

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import TrialStats, aggregate_trials
+from repro.obs.provenance import ProvenanceTracer
 from repro.protocols.base import Protocol, resolve_d_hat, run_protocol
 from repro.queries.query import AggregateQuery
 from repro.semantics.oracle import Oracle
@@ -47,9 +48,14 @@ class DelaySweepRow:
     oracle_upper: TrialStats
     fraction_valid: float
     finished_at: TrialStats
+    #: Mean per-trial provenance tallies (only populated when the sweep
+    #: ran with ``provenance=True``; columns are added to ``as_dict``
+    #: only then, so default output shape is unchanged).
+    lost_alive: Optional[TrialStats] = None
+    lost_to_churn: Optional[TrialStats] = None
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        row: Dict[str, object] = {
             "delay": self.delay,
             "protocol": self.protocol,
             "R": self.departures,
@@ -60,6 +66,11 @@ class DelaySweepRow:
             "valid_fraction": round(self.fraction_valid, 2),
             "finished_at": round(self.finished_at.mean, 2),
         }
+        if self.lost_alive is not None:
+            row["lost_alive_mean"] = round(self.lost_alive.mean, 2)
+        if self.lost_to_churn is not None:
+            row["lost_churn_mean"] = round(self.lost_to_churn.mean, 2)
+        return row
 
 
 def run_delay_sweep(
@@ -76,6 +87,7 @@ def run_delay_sweep(
     delta: float = 1.0,
     seed: int = 0,
     sketch_epsilon: float = 0.5,
+    provenance: bool = False,
 ) -> List[DelaySweepRow]:
     """Run the delay x churn sweep and return one row per point.
 
@@ -99,6 +111,12 @@ def run_delay_sweep(
         sketch_epsilon: multiplicative slack for judging FM-estimate
             answers (Approximate Single-Site Validity); exact combiners
             are judged with zero slack.
+        provenance: record each trial's contribution set with a
+            :class:`~repro.obs.provenance.ProvenanceTracer` and add
+            ``lost_alive_mean`` / ``lost_churn_mean`` columns.  Opt-in:
+            provenance traces every delivery unsampled, so it is meant
+            for experiment-scale sweeps, and it never perturbs the
+            declared values (tracers only observe).
     """
     from repro.experiments.validity_sweep import default_protocols
 
@@ -145,9 +163,12 @@ def run_delay_sweep(
                 finished_samples: List[float] = []
                 lower_samples: List[float] = []
                 upper_samples: List[float] = []
+                lost_alive_samples: List[float] = []
+                lost_churn_samples: List[float] = []
                 num_valid = 0
                 for (trial_seed, churn), bounds in zip(schedules,
                                                        bounds_per_trial):
+                    tracer = ProvenanceTracer() if provenance else None
                     result = run_protocol(
                         protocol=protocol,
                         topology=topology,
@@ -160,7 +181,18 @@ def run_delay_sweep(
                         seed=trial_seed,
                         repetitions=fm_repetitions,
                         delay=delay_spec,
+                        tracer=tracer,
                     )
+                    if tracer is not None:
+                        attribution = tracer.provenance(
+                            result.querying_host,
+                            result.termination_time,
+                            topology.num_hosts,
+                        )
+                        lost_alive_samples.append(
+                            float(len(attribution.lost_alive)))
+                        lost_churn_samples.append(
+                            float(len(attribution.lost_to_churn)))
                     declared = result.value if result.value is not None else 0.0
                     declared_samples.append(declared)
                     finished_samples.append(result.finished_at)
@@ -179,5 +211,9 @@ def run_delay_sweep(
                     oracle_upper=aggregate_trials(upper_samples),
                     fraction_valid=num_valid / max(1, num_trials),
                     finished_at=aggregate_trials(finished_samples),
+                    lost_alive=(aggregate_trials(lost_alive_samples)
+                                if provenance else None),
+                    lost_to_churn=(aggregate_trials(lost_churn_samples)
+                                   if provenance else None),
                 ))
     return rows

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.experiments.scale_bench import _build_topology
+from repro.obs.metrics import collect_service_metrics
 from repro.service import QueryService
 from repro.simulation.churn import ChurnSchedule, uniform_failure_schedule
 from repro.topology.base import Topology
@@ -32,6 +33,9 @@ def run_query_mix(
     departures: int = 0,
     mix: Optional[QueryMixConfig] = None,
     prebuilt_topology: Optional[Topology] = None,
+    tracer=None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    progress_interval: Optional[float] = None,
     **mix_overrides,
 ) -> Dict[str, Any]:
     """Run one open-world query mix over a shared service.
@@ -53,12 +57,21 @@ def run_query_mix(
         mix: explicit :class:`QueryMixConfig`; ``mix_overrides`` tweak
             its fields (``continuous_fraction=...``, ``max_queries=...``).
         prebuilt_topology: reuse an existing topology.
+        tracer: structured trace sink handed to the service's engine.
+        progress: when given, the drive is sliced into simulated-time
+            windows of ``progress_interval`` (default: a tenth of the
+            arrival window) and ``progress(snapshot)`` is called after
+            each slice with live engine tallies.  Horizon-bounded drives
+            pop the exact same event sequence as one drain, so results
+            are bit-identical with or without progress reporting.
+        progress_interval: simulated seconds per progress slice.
 
     Returns:
-        ``{"rows": [per-query dict, ...], "summary": {...}}``.  The
+        ``{"rows": [...], "summary": {...}, "metrics": {...}}``.  The
         summary's ``determinism_digest`` hashes every query's declared
         value and cost fingerprint, so two identically seeded runs can be
-        compared with one string.
+        compared with one string; ``metrics`` is the service metrics
+        snapshot (engine tallies, queue occupancy, per-tenant breakdown).
     """
     if prebuilt_topology is not None:
         topo = prebuilt_topology
@@ -83,7 +96,8 @@ def run_query_mix(
         topo.num_hosts, mix_config, seed=seed, **mix_overrides)
 
     service = QueryService(
-        topo, values, churn=churn, seed=seed, stats=stats, delay=delay)
+        topo, values, churn=churn, seed=seed, stats=stats, delay=delay,
+        tracer=tracer)
     for submission in submissions:
         service.submit(
             submission.protocol,
@@ -94,12 +108,32 @@ def run_query_mix(
             extra={"continuous": submission.continuous,
                    "report_index": submission.report_index},
         )
-    report = service.run()
+    if progress is None:
+        report = service.run()
+    else:
+        engine = service.engine
+        interval = (progress_interval if progress_interval
+                    else max(duration / 10.0, 1.0))
+        horizon = 0.0
+        while engine.pending_events():
+            horizon += interval
+            service.run(until=horizon)
+            progress({
+                "time": min(horizon, engine.clock.now),
+                "active_sessions": engine.active_sessions,
+                "pending_events": engine.pending_events(),
+                "messages_sent": engine.messages_sent,
+                "late_messages": engine.late_messages,
+                "retired": len(engine.retired_order),
+            })
+        report = service.run()
 
+    late_by_query = service.engine.late_by_query
     rows: List[Dict[str, Any]] = []
     digest = hashlib.sha256()
     for outcome in report.outcomes:
         row = outcome.as_row()
+        row["late_messages"] = late_by_query.get(outcome.query_id, 0)
         if outcome.costs is not None:
             row["cost_fingerprint"] = outcome.costs.fingerprint()
             digest.update(row["cost_fingerprint"].encode())
@@ -118,4 +152,5 @@ def run_query_mix(
         "departures": departures,
         "determinism_digest": digest.hexdigest(),
     })
-    return {"rows": rows, "summary": summary}
+    return {"rows": rows, "summary": summary,
+            "metrics": collect_service_metrics(service)}

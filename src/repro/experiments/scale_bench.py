@@ -15,9 +15,9 @@ route through here.
 from __future__ import annotations
 
 import random
-import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs.profiling import PhaseTimer
 from repro.protocols.base import run_protocol
 from repro.topology.base import Topology
 
@@ -78,6 +78,7 @@ def run_scale_benchmark(
     prebuilt_topology: Optional[Topology] = None,
     stats: str = "full",
     delay: str = "fixed",
+    tracer=None,
 ) -> Dict[str, Any]:
     """Run one protocol once at ``num_hosts`` scale and measure it.
 
@@ -103,34 +104,39 @@ def run_scale_benchmark(
         delay: link-delay model spec (``"fixed"``, ``"uniform"``,
             ``"per_edge"``, ``"heavy_tail"``, with optional ``:``
             arguments).
+        tracer: structured trace sink threaded into the simulation; the
+            benchmark's own phases (topology generation, simulation)
+            land in the same trace as wall-clock ``phase`` spans.
     """
     if num_hosts < 2:
         raise ValueError("scale benchmarks need at least 2 hosts")
 
-    gen_start = time.perf_counter()
-    if prebuilt_topology is not None:
-        topo = prebuilt_topology
-    else:
-        topo = _build_topology(topology, num_hosts, seed)
-    gen_seconds = time.perf_counter() - gen_start
+    timer = PhaseTimer(tracer=tracer)
+    with timer.section("generate_topology", detail=num_hosts):
+        if prebuilt_topology is not None:
+            topo = prebuilt_topology
+        else:
+            topo = _build_topology(topology, num_hosts, seed)
 
     if values is None:
         rng = random.Random(seed)
         values = [rng.random() * 100.0 for _ in range(topo.num_hosts)]
 
-    run_start = time.perf_counter()
-    result = run_protocol(
-        _build_protocol(protocol),
-        topo,
-        values,
-        aggregate,
-        querying_host=0,
-        seed=seed,
-        repetitions=repetitions,
-        stats=stats,
-        delay=delay,
-    )
-    run_seconds = time.perf_counter() - run_start
+    with timer.section("simulate", detail=num_hosts):
+        result = run_protocol(
+            _build_protocol(protocol),
+            topo,
+            values,
+            aggregate,
+            querying_host=0,
+            seed=seed,
+            repetitions=repetitions,
+            stats=stats,
+            delay=delay,
+            tracer=tracer,
+        )
+    gen_seconds = timer.seconds("generate_topology")
+    run_seconds = timer.seconds("simulate")
 
     messages = result.costs.messages_sent
     return {
@@ -164,6 +170,7 @@ def run_service_benchmark(
     seed: int = 0,
     stats: str = "streaming",
     delay: Optional[str] = None,
+    tracer=None,
     **mix_overrides,
 ) -> Dict[str, Any]:
     """Measure concurrent-query throughput of the multi-tenant service.
@@ -179,7 +186,7 @@ def run_service_benchmark(
     result = run_query_mix(
         num_hosts=num_hosts, topology=topology, qps=qps,
         duration=duration, seed=seed, stats=stats, delay=delay,
-        **mix_overrides)
+        tracer=tracer, **mix_overrides)
     summary = result["summary"]
     elapsed = summary["elapsed_seconds"]
     return {
@@ -213,6 +220,7 @@ def run_scale_sweep(
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     stats: str = "full",
     delay: str = "fixed",
+    tracer=None,
 ) -> List[Dict[str, Any]]:
     """Run :func:`run_scale_benchmark` for each host count, in order.
 
@@ -225,7 +233,7 @@ def run_scale_sweep(
         row = run_scale_benchmark(
             int(num_hosts), topology=topology, protocol=protocol,
             aggregate=aggregate, seed=seed, repetitions=repetitions,
-            stats=stats, delay=delay,
+            stats=stats, delay=delay, tracer=tracer,
         )
         rows.append(row)
         if progress is not None:

@@ -1,0 +1,60 @@
+"""Telemetry subsystem: tracing, metrics, provenance, profiling, logging.
+
+The observability layer for the simulation kernel and the query
+service.  Everything here obeys one contract: **zero cost when
+disabled**.  Tracing is off unless a tracer is passed to (or bound as
+the process default before constructing) an engine; metrics are pulled
+from structures the engines already maintain; profiling wraps a run
+from the outside.  With everything disabled the kernel's event loop
+executes the exact same instruction stream as before this package
+existed, and the golden seeded snapshots stay bit-identical.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_queue_metrics,
+    collect_run_metrics,
+    collect_service_metrics,
+    worker_utilisation,
+)
+from repro.obs.profiling import PhaseTimer, ProfileCapture
+from repro.obs.provenance import (
+    EstimateProvenance,
+    ProvenanceTracer,
+    run_protocol_with_provenance,
+)
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    DEFAULT_SAMPLING,
+    RingTracer,
+    Tracer,
+    default_tracer,
+    set_default_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_queue_metrics",
+    "collect_run_metrics",
+    "collect_service_metrics",
+    "worker_utilisation",
+    "PhaseTimer",
+    "ProfileCapture",
+    "EstimateProvenance",
+    "ProvenanceTracer",
+    "run_protocol_with_provenance",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_SAMPLING",
+    "RingTracer",
+    "Tracer",
+    "default_tracer",
+    "set_default_tracer",
+    "tracing",
+]

@@ -1,0 +1,67 @@
+"""Logging setup for the ``repro`` CLI and library status lines.
+
+One root logger (``"repro"``) covers the whole package --
+``orchestration.store`` already logs under it via ``__name__`` -- and
+the CLI configures exactly one stderr handler on it:
+
+* default: INFO (progress lines, cache hits, artifact paths)
+* ``--quiet``: WARNING (only problems)
+* ``-v`` / ``-vv``: DEBUG (per-trial progress, cache internals)
+
+Library code calls :func:`get_logger` and logs unconditionally; with no
+handler configured (library embedding, tests) records propagate to the
+root logger and follow the host application's setup, per stdlib
+convention.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["configure", "get_logger", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (the root one by default)."""
+    if name is None or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the CLI's stderr handler; idempotent across calls.
+
+    Args:
+        verbosity: ``< 0`` = WARNING (``--quiet``), ``0`` = INFO,
+            ``>= 1`` = DEBUG (``-v``).
+        stream: handler stream (default ``sys.stderr``; injectable for
+            tests).
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    if verbosity < 0:
+        level = logging.WARNING
+    elif verbosity == 0:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    logger.setLevel(level)
+    target = stream if stream is not None else sys.stderr
+    # Replace (don't stack) the handler this module manages, so repeated
+    # main() calls in one process never duplicate output lines.
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(target)
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    # The CLI handler is authoritative; don't double-print through any
+    # root handler the embedding application may have installed.
+    logger.propagate = False
+    return logger

@@ -25,8 +25,11 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.obs.logconfig import configure as configure_logging, get_logger
 from repro.orchestration.executor import RunReport, run_specs
 from repro.orchestration.store import ResultStore, default_cache_root
+
+log = get_logger()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,6 +38,11 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Parallel experiment orchestration for the "
                     "Price-of-Validity reproduction.",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="debug-level status logging (per-trial "
+                             "progress, cache internals)")
+    parser.add_argument("--quiet", action="store_true", dest="log_quiet",
+                        help="warnings only; suppress progress/status lines")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("figures", help="list available figure experiments")
@@ -92,6 +100,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--profile", action="store_true",
                        help="run under cProfile and print the top 25 "
                             "functions by cumulative time to stderr")
+    bench.add_argument("--profile-out", default=None, metavar="PATH",
+                       help="write the cProfile dump to PATH (binary "
+                            "pstats, loadable with pstats.Stats) plus a "
+                            "JSON sidecar at PATH.json; implies --profile")
+    bench.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record a sampled structured trace of the "
+                            "runs and write it to PATH (.jsonl = JSON "
+                            "Lines; anything else = Chrome trace-event "
+                            "JSON, loadable in Perfetto)")
     bench.add_argument("--json", default=None, metavar="PATH",
                        help="append rows to a BENCH_kernel.json trajectory "
                             "file at PATH")
@@ -140,8 +157,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the first N per-query rows (default 20; "
                             "0 = summary only)")
     serve.add_argument("--json", default=None, metavar="PATH",
-                       help="write the full report (rows + summary) to "
-                            "PATH as JSON")
+                       help="write the full report (rows + summary + "
+                            "metrics) to PATH as JSON")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the service metrics snapshot (engine "
+                            "tallies, queue occupancy, per-tenant "
+                            "breakdown) to PATH as JSON")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record a sampled structured trace of the "
+                            "service run (.jsonl = JSON Lines; else "
+                            "Chrome trace-event JSON for Perfetto)")
 
     sweep = sub.add_parser(
         "delay-sweep",
@@ -161,6 +186,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-t", "--trials", type=int, default=3,
                        help="independent trials per point (default 3)")
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--provenance", action="store_true",
+                       help="attribute each declared estimate's "
+                            "contribution set and add lost_alive_mean / "
+                            "lost_churn_mean columns (records every "
+                            "delivery; experiment scale only)")
 
     cache = sub.add_parser("cache", help="inspect or evict cached results")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -206,9 +236,12 @@ def _print_report(figure_id: str, report: RunReport, quiet: bool) -> None:
             } for result in report.results]
             print(format_table(summary, title="Trials"))
     cached = report.num_cached
+    utilisation = (f", {report.worker_utilisation:.0%} utilised"
+                   if report.workers > 1 and report.num_executed else "")
     print(f"-- {len(report.results)} trials "
           f"({cached} cached, {report.num_executed} executed) "
-          f"in {report.elapsed:.2f}s with {report.workers} worker(s) --")
+          f"in {report.elapsed:.2f}s with {report.workers} worker(s)"
+          f"{utilisation} --")
     print()
 
 
@@ -260,7 +293,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # One shared pool across figures: `run all --workers N`
         # parallelises even at one trial per figure.
         reports = run_specs(specs, workers=args.workers, store=store,
-                            force=args.force)
+                            force=args.force, progress=log.debug)
     finally:
         if previous_stats_mode is not None:
             from repro.simulation.stats import set_default_stats_mode
@@ -306,20 +339,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"refusing to overwrite {args.json}: 'trajectory' is "
                   f"not a list", file=sys.stderr)
             return 2
-    profiler = None
-    if args.profile:
+    capture = None
+    if args.profile or args.profile_out:
         if args.json:
             # Profiled wall times carry cProfile's tracing overhead; a
             # trajectory file must only ever record clean measurements.
             print("--profile cannot be combined with --json (profiled "
                   "timings would pollute the trajectory)", file=sys.stderr)
             return 2
-        import cProfile
+        from repro.obs.profiling import ProfileCapture
 
-        profiler = cProfile.Profile()
+        capture = ProfileCapture()
+    tracer = None
+    if args.trace_out:
+        from repro.obs.trace import RingTracer
+
+        tracer = RingTracer()
     try:
-        if profiler is not None:
-            profiler.enable()
+        if capture is not None:
+            capture.start()
         rows = run_scale_sweep(
             args.hosts,
             topology=args.topology,
@@ -329,11 +367,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             repetitions=args.repetitions,
             stats=args.stats,
             delay=args.delay,
-            progress=lambda row: print(
-                f".. {row['hosts']} hosts: {row['run_seconds']:.2f}s, "
-                f"{row['messages']} messages "
-                f"({row['messages_per_second']}/s, "
-                f"peak RSS {row['peak_rss_mb']} MiB)", file=sys.stderr),
+            tracer=tracer,
+            progress=lambda row: log.info(
+                ".. %s hosts: %.2fs, %s messages (%s/s, peak RSS %s MiB)",
+                row["hosts"], row["run_seconds"], row["messages"],
+                row["messages_per_second"], row["peak_rss_mb"]),
         )
     except (KeyError, ValueError) as exc:
         # Unknown topology/protocol/aggregate/delay names surface as
@@ -342,14 +380,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(str(message), file=sys.stderr)
         return 2
     finally:
-        if profiler is not None:
-            profiler.disable()
-    if profiler is not None:
-        # Top cumulative-time functions, for hunting the next hot path.
-        import pstats
-
-        stats = pstats.Stats(profiler, stream=sys.stderr)
-        stats.sort_stats("cumulative").print_stats(25)
+        if capture is not None:
+            capture.stop()
+    if capture is not None:
+        if args.profile_out:
+            capture.dump(args.profile_out)
+            log.info("wrote profile to %s (load with pstats.Stats; "
+                     "sidecar at %s.json)", args.profile_out,
+                     args.profile_out)
+        if args.profile:
+            # Top cumulative-time functions, for hunting the next hot path.
+            capture.print_stats(25)
+    if tracer is not None:
+        _export_trace(tracer, args.trace_out)
     print(format_table(rows, title=f"Kernel scale benchmark "
                                    f"({args.protocol} / {args.topology} / "
                                    f"{args.aggregate} / {args.delay} delay / "
@@ -361,8 +404,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)
             handle.write("\n")
-        print(f"appended trajectory point to {args.json}")
+        log.info("appended trajectory point to %s", args.json)
     return 0
+
+
+def _export_trace(tracer, path: str) -> None:
+    """Write a RingTracer to ``path`` (.jsonl = JSON Lines, else Chrome)."""
+    import os
+
+    if path.endswith(".jsonl"):
+        written = tracer.export_jsonl(path)
+    else:
+        written = tracer.export_chrome(path)
+    counts = tracer.summary()["counts"]
+    log.info("wrote %s trace records to %s (%.1f MiB; exact counts: %s)",
+             written, path, os.path.getsize(path) / (1024.0 * 1024.0),
+             ", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -385,6 +442,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         protocol_mix = {"wildfire": args.wildfire_share,
                         "spanning-tree": rest * 2.0 / 3.0,
                         "dag2": rest / 3.0}
+    tracer = None
+    if args.trace_out:
+        from repro.obs.trace import RingTracer
+
+        tracer = RingTracer()
+    progress = None
+    if log.isEnabledFor(10):  # DEBUG: periodic progress line per slice
+        progress = lambda snap: log.debug(  # noqa: E731
+            ".. t=%.1f: %s active, %s queued events, %s messages, "
+            "%s retired", snap["time"], snap["active_sessions"],
+            snap["pending_events"], snap["messages_sent"],
+            snap["retired"])
     try:
         mix = QueryMixConfig(
             qps=args.qps, duration=args.duration,
@@ -402,6 +471,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             delay=None if args.delay == "fixed" else args.delay,
             departures=args.departures,
             mix=mix,
+            tracer=tracer,
+            progress=progress,
         )
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
@@ -424,14 +495,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"{summary['topology']} / qps {summary['qps']} / "
                   f"{summary['stats']} stats) -- first {len(shown)} of "
                   f"{len(rows)} queries"))
-    print(format_table([summary], title="Service summary"))
-    if args.json:
+    # Structured summary values (retired order, per-query late counts)
+    # belong in the JSON artifacts; the printed table stays scalar.
+    printable = {key: value for key, value in summary.items()
+                 if not isinstance(value, (list, dict))}
+    print(format_table([printable], title="Service summary"))
+    if args.json or args.metrics_out:
         import json
 
-        with open(args.json, "w") as handle:
-            json.dump(result, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote full report to {args.json}")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(result, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            log.info("wrote full report to %s", args.json)
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as handle:
+                json.dump(result["metrics"], handle, indent=1,
+                          sort_keys=True)
+                handle.write("\n")
+            log.info("wrote metrics snapshot to %s", args.metrics_out)
+    if tracer is not None:
+        _export_trace(tracer, args.trace_out)
     return 0
 
 
@@ -462,6 +546,7 @@ def _cmd_delay_sweep(args: argparse.Namespace) -> int:
             delay_specs=args.delays or DEFAULT_DELAY_SPECS,
             num_trials=args.trials,
             seed=args.seed,
+            provenance=args.provenance,
         )
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
@@ -504,6 +589,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    configure_logging(-1 if args.log_quiet else args.verbose)
     try:
         if args.command == "figures":
             return _cmd_figures()

@@ -62,6 +62,14 @@ class RunReport:
     def fully_cached(self) -> bool:
         return self.results != [] and self.num_executed == 0
 
+    @property
+    def worker_utilisation(self) -> float:
+        """Fraction of the pool's wall-clock budget spent inside trials
+        (cached trials cost no worker time and are excluded)."""
+        from repro.obs.metrics import worker_utilisation
+
+        return worker_utilisation(self)
+
 
 def _pool_context():
     """Prefer fork (fast; inherits registered runners); fall back otherwise."""

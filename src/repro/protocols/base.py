@@ -263,6 +263,7 @@ def run_protocol(
     max_time: Optional[float] = None,
     delay: "DelayModel | str | None" = None,
     stats: "StatsSink | str | None" = None,
+    tracer=None,
 ) -> ProtocolRunResult:
     """Run ``protocol`` once and return its declared answer and costs.
 
@@ -304,6 +305,10 @@ def run_protocol(
         stats: cost accounting mode -- ``"full"`` (default),
             ``"streaming"`` for the bounded-memory sink used by
             million-host runs, or a ready-made sink.
+        tracer: structured trace sink from :mod:`repro.obs.trace`
+            (``None`` = the process default, usually disabled).  Tracers
+            observe; the declared value and every cost counter are
+            bit-identical with tracing on or off.
     """
     prepared = prepare_protocol_run(
         protocol, topology, values, query,
@@ -322,6 +327,7 @@ def run_protocol(
         max_time=termination * 4 + 16 if max_time is None else max_time,
         delay_model=prepared.delay_model,
         stats=stats,
+        tracer=tracer,
     )
     sim_result: SimulationResult = simulator.run(until=termination)
     return ProtocolRunResult(

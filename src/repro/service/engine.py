@@ -34,10 +34,11 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Any
 
+from repro.obs.trace import Tracer, default_tracer
 from repro.service.session import QuerySession, QueryStatus, SessionContext
 from repro.simulation.churn import ChurnSchedule
 from repro.simulation.clock import SimulationClock
-from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.events import Event, EventKind, EventQueue, _DeliverBatch
 from repro.simulation.messages import Message
 from repro.simulation.network import DynamicNetwork
 
@@ -51,6 +52,9 @@ class MuxEngine:
         churn: service-wide schedule of host failures/joins.
         wireless: broadcast-medium accounting (shared by all sessions).
         max_time: hard stop for the engine clock (runaway backstop).
+        tracer: structured trace sink (``None`` resolves the process
+            default once; trace times are session *virtual* times plus
+            the query id, so one trace demultiplexes per tenant).
     """
 
     def __init__(
@@ -60,6 +64,7 @@ class MuxEngine:
         churn: Optional[ChurnSchedule] = None,
         wireless: bool = False,
         max_time: float = 1_000_000.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if delta <= 0:
             raise ValueError("delta must be positive")
@@ -80,6 +85,13 @@ class MuxEngine:
         self.dropped_messages = 0
         self.late_messages = 0
         self.events_processed = 0
+        # Introspection: high-water mark of concurrently live sessions,
+        # the order sessions left the demux table (declared), and late
+        # deliveries per query (only bumped on the rare late path).
+        self.max_active_sessions = 0
+        self.retired_order: List[int] = []
+        self.late_by_query: Dict[int, int] = {}
+        self.tracer = tracer if tracer is not None else default_tracer()
 
     # ------------------------------------------------------------------
     # Session scheduling
@@ -105,6 +117,30 @@ class MuxEngine:
 
     def pending_events(self) -> int:
         return len(self._queue)
+
+    def queue_depth_by_session(self) -> Dict[int, int]:
+        """Pending queued work per query id, computed on demand.
+
+        Walks the calendar queue's live entries (never the drain path):
+        unicasts count 1 under their ``query_id``, multicast batches
+        count their not-yet-delivered destinations, and mux timers route
+        on the session carried in their tag.  This is the per-tenant
+        queue-depth signal the admission-control roadmap item needs.
+        """
+        depths: Dict[int, int] = {}
+        for entry, weight in self._queue.iter_pending():
+            cls = entry.__class__
+            if cls is Message or cls is _DeliverBatch:
+                qid = entry.query_id
+            elif cls is Event and entry.kind is EventKind.TIMER:
+                tag = entry.timer_name
+                if type(tag) is not tuple:
+                    continue
+                qid = tag[0].qid
+            else:
+                continue
+            depths[qid] = depths.get(qid, 0) + weight
+        return depths
 
     # ------------------------------------------------------------------
     # Session-context API (the per-query analogue of Simulator.submit_*)
@@ -142,6 +178,9 @@ class MuxEngine:
                           session.qid, vdeliver)
         session.sink.record_send(kind, vnow)
         self.messages_sent += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.send(vnow, sender, dest, kind, query_id=session.qid)
         self._queue.push_deliver(session.t0 + vdeliver, message)
         return True
 
@@ -200,6 +239,10 @@ class MuxEngine:
         else:
             sink.record_send_batch(kind, vnow, len(dests))
             self.messages_sent += len(dests)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.send(vnow, sender, -1, kind, count=len(dests),
+                        query_id=qid)
 
     # ------------------------------------------------------------------
     # Run loop
@@ -236,6 +279,7 @@ class MuxEngine:
         ends_heap = self._ends_heap
         timer = EventKind.TIMER
         sctx = self._sctx
+        tracer = self.tracer
         events = 0
         gc_was_enabled = gc.isenabled()
         gc.disable()
@@ -262,14 +306,26 @@ class MuxEngine:
                         # Sender's query already declared: a solo run
                         # would have left this delivery unconsumed.
                         self.late_messages += 1
+                        qid = entry.query_id
+                        late = self.late_by_query
+                        late[qid] = late.get(qid, 0) + 1
+                        if tracer is not None:
+                            tracer.late(entry.vtime, entry.dest, qid)
                         continue
                     dest = entry.dest
                     if not alive_flags[dest]:
                         self.dropped_messages += 1
                         session.sink.record_dropped()
+                        if tracer is not None:
+                            tracer.drop(entry.vtime, dest, entry.query_id)
                         continue
                     chain_depth = entry.chain_depth
                     session.sink.record_processed(dest, chain_depth)
+                    if tracer is not None:
+                        tracer.deliver(entry.vtime, entry.sender, dest,
+                                       entry.kind, chain_depth,
+                                       entry.sent_at - session.t0,
+                                       entry.query_id)
                     sctx.session = session
                     sctx.host_id = dest
                     sctx.now = entry.vtime
@@ -284,6 +340,8 @@ class MuxEngine:
                             or vfire > session.termination):
                         continue
                     data, chain_depth = entry.data
+                    if tracer is not None:
+                        tracer.timer(vfire, host, name, session.qid)
                     sctx.session = session
                     sctx.host_id = host
                     sctx.now = vfire
@@ -307,6 +365,10 @@ class MuxEngine:
             for qid in list(active):
                 session = active.pop(qid)
                 session.finalize()
+                self.retired_order.append(qid)
+                if tracer is not None:
+                    tracer.session(session.termination, qid, "declare",
+                                   session.value)
             ends_heap.clear()
         return clock.now
 
@@ -318,6 +380,10 @@ class MuxEngine:
         session = self._active.pop(qid, None)
         if session is not None:
             session.finalize()
+            self.retired_order.append(qid)
+            if self.tracer is not None:
+                self.tracer.session(session.termination, qid, "declare",
+                                    session.value)
 
     def _schedule_churn(self) -> None:
         for time, host in self._churn.failures:
@@ -341,11 +407,19 @@ class MuxEngine:
                 session.status = QueryStatus.FAILED
                 session.hosts = None
                 session.extra["error"] = repr(exc)
+                if self.tracer is not None:
+                    self.tracer.session(time, session.qid, "failed",
+                                        repr(exc))
                 return
             if launched:
                 self._active[session.qid] = session
+                if len(self._active) > self.max_active_sessions:
+                    self.max_active_sessions = len(self._active)
                 heapq.heappush(self._ends_heap,
                                (session.ends_at, session.qid))
+                if self.tracer is not None:
+                    self.tracer.session(0.0, session.qid, "launch",
+                                        session.protocol.name)
                 sctx = self._sctx
                 sctx.session = session
                 sctx.host_id = session.querying_host
@@ -357,6 +431,8 @@ class MuxEngine:
             if not self.network.is_alive(host):
                 return
             self.network.fail_host(host, time)
+            if self.tracer is not None:
+                self.tracer.fail(time, host)
             for session in self._active.values():
                 if time <= session.ends_at:
                     session.hosts[host].on_fail(time - session.t0)
@@ -367,6 +443,8 @@ class MuxEngine:
             if not neighbors:
                 return
             new_id = self.network.join_host(neighbors, time)
+            if self.tracer is not None:
+                self.tracer.join(time, new_id)
             for session in self._active.values():
                 session.on_join(new_id)
         elif kind is EventKind.CUSTOM:

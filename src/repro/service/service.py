@@ -69,6 +69,14 @@ class ServiceReport:
         messages_sent: total messages across all sessions.
         late_messages: deliveries that arrived after their query declared.
         dropped_messages: deliveries lost to host failures.
+        events_processed: events the engine's loop consumed (cumulative).
+        peak_active_sessions: high-water mark of concurrently live
+            sessions -- the resident-state bound the retirement design
+            promises.
+        retired_order: query ids in the order their sessions declared
+            and left the demux table.
+        late_by_query: late-delivery count per query id (queries with
+            no late deliveries are absent).
     """
 
     outcomes: List[QueryOutcome] = field(default_factory=list)
@@ -77,6 +85,10 @@ class ServiceReport:
     messages_sent: int = 0
     late_messages: int = 0
     dropped_messages: int = 0
+    events_processed: int = 0
+    peak_active_sessions: int = 0
+    retired_order: List[int] = field(default_factory=list)
+    late_by_query: Dict[int, int] = field(default_factory=dict)
 
     @property
     def answered(self) -> int:
@@ -100,6 +112,12 @@ class ServiceReport:
             "messages_sent": self.messages_sent,
             "late_messages": self.late_messages,
             "dropped_messages": self.dropped_messages,
+            "events_processed": self.events_processed,
+            "peak_active_sessions": self.peak_active_sessions,
+            "retired": len(self.retired_order),
+            "retired_order": list(self.retired_order),
+            "late_by_query": {str(qid): count for qid, count
+                              in sorted(self.late_by_query.items())},
         }
 
 
@@ -127,6 +145,8 @@ class QueryService:
             shared-substrate service resolves it with the *service* seed,
             so concurrent queries agree on the horizon arithmetic).
         max_time: engine runaway backstop.
+        tracer: structured trace sink handed to the engine (``None``
+            resolves the process default once at construction).
     """
 
     def __init__(
@@ -141,6 +161,7 @@ class QueryService:
         wireless: bool = False,
         d_hat: Optional[int] = None,
         max_time: float = 1_000_000.0,
+        tracer=None,
     ) -> None:
         if len(values) < topology.num_hosts:
             raise ValueError("need one attribute value per host")
@@ -154,7 +175,7 @@ class QueryService:
         self.d_hat = resolve_d_hat(topology, d_hat, seed=seed)
         self.engine = MuxEngine(
             topology.to_network(), delta=self.delta, churn=self.churn,
-            wireless=wireless, max_time=max_time,
+            wireless=wireless, max_time=max_time, tracer=tracer,
         )
         self._sessions: Dict[int, QuerySession] = {}
         self._next_qid = 1
@@ -242,6 +263,9 @@ class QueryService:
         )
         self._sessions[qid] = session
         self.engine.schedule_session(session)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.session(float(at), qid, "submit", protocol.name)
         return qid
 
     def poll(self, query_id: int) -> QueryOutcome:
@@ -263,7 +287,11 @@ class QueryService:
                 f"query {query_id} is {session.status.value}; only done or "
                 f"failed queries can be retired"
             )
-        return self._sessions.pop(query_id).outcome()
+        outcome = self._sessions.pop(query_id).outcome()
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.session(self.engine.clock.now, query_id, "retire")
+        return outcome
 
     def run(self, until: Optional[float] = None) -> ServiceReport:
         """Drive the shared event loop (to drain, or to ``until``)."""
@@ -278,6 +306,10 @@ class QueryService:
             messages_sent=engine.messages_sent,
             late_messages=engine.late_messages,
             dropped_messages=engine.dropped_messages,
+            events_processed=engine.events_processed,
+            peak_active_sessions=engine.max_active_sessions,
+            retired_order=list(engine.retired_order),
+            late_by_query=dict(engine.late_by_query),
         )
 
     def outcomes(self) -> List[QueryOutcome]:

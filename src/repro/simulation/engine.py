@@ -23,6 +23,7 @@ from repro.simulation.host import HostContext, ProtocolHost
 from repro.simulation.messages import Message
 from repro.simulation.network import DynamicNetwork
 from repro.simulation.stats import CostAccounting, StatsSink, make_stats_sink
+from repro.obs.trace import Tracer, default_tracer
 
 
 @dataclass
@@ -70,6 +71,11 @@ class Simulator:
             the bounded-memory accumulator, a ready-made
             :class:`~repro.simulation.stats.StatsSink`, or ``None`` for
             the process-wide default mode (``"full"`` unless changed).
+        tracer: structured trace sink (see :mod:`repro.obs.trace`);
+            ``None`` resolves the process-wide default *once* here.  With
+            no tracer bound the run loop performs a single pointer check
+            per event and nothing else -- tracing observes, it never
+            perturbs RNG streams, event ordering, or cost accounting.
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class Simulator:
         max_time: float = 1_000_000.0,
         delay_model: Union[DelayModel, str, None] = None,
         stats: Union[StatsSink, str, None] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if len(hosts) < network.num_hosts:
             raise ValueError(
@@ -111,6 +118,7 @@ class Simulator:
         self._churn = churn or ChurnSchedule.empty()
         self._stopped = False
         self._fail_callbacks: List[Callable[[int, float], None]] = []
+        self.tracer = tracer if tracer is not None else default_tracer()
 
     # ------------------------------------------------------------------
     # Scheduling API used by HostContext
@@ -139,6 +147,9 @@ class Simulator:
             chain_depth=chain_depth,
         )
         self.costs.record_send(kind, time)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.send(time, sender, dest, kind)
         sample = self._sample_delay
         delay = self.delta if sample is None else sample(sender, dest, time)
         self._queue.push_deliver(time + delay, message)
@@ -203,6 +214,9 @@ class Simulator:
             self.costs.record_wireless_group(len(dests) - 1)
         else:
             self.costs.record_send_batch(kind, time, len(dests))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.send(time, sender, -1, kind, count=len(dests))
 
     def schedule_timer(
         self,
@@ -272,6 +286,7 @@ class Simulator:
             processed = None
             record_processed = costs.record_processed
         timer = EventKind.TIMER
+        tracer = self.tracer
         ctx = HostContext(self, 0, 0.0, 0)
         gc_was_enabled = gc.isenabled()
         gc.disable()
@@ -287,6 +302,8 @@ class Simulator:
                     # Messages to hosts that failed in flight are lost.
                     if not alive_flags[dest]:
                         costs.dropped_messages += 1
+                        if tracer is not None:
+                            tracer.drop(time, dest)
                         continue
                     chain_depth = entry.chain_depth
                     if processed is not None:
@@ -295,6 +312,9 @@ class Simulator:
                             costs.max_chain_depth = chain_depth
                     else:
                         record_processed(dest, chain_depth)
+                    if tracer is not None:
+                        tracer.deliver(time, entry.sender, dest, entry.kind,
+                                       chain_depth, entry.sent_at)
                     ctx.host_id = dest
                     ctx.now = time
                     ctx._chain_depth = chain_depth
@@ -309,6 +329,8 @@ class Simulator:
                     else:
                         data = None
                         chain_depth = 0
+                    if tracer is not None:
+                        tracer.timer(time, host, entry.timer_name or "")
                     ctx.host_id = host
                     ctx.now = time
                     ctx._chain_depth = chain_depth
@@ -378,8 +400,14 @@ class Simulator:
         # simply drops them.
         if not self.network.is_alive(dest):
             self.costs.record_dropped()
+            if self.tracer is not None:
+                self.tracer.drop(self.clock.now, dest)
             return
         self.costs.record_processed(dest, message.chain_depth)
+        if self.tracer is not None:
+            self.tracer.deliver(self.clock.now, message.sender, dest,
+                                message.kind, message.chain_depth,
+                                message.sent_at)
         ctx = HostContext(self, dest, self.clock.now, chain_depth=message.chain_depth)
         self.hosts[dest].on_message(message, ctx)
 
@@ -399,6 +427,8 @@ class Simulator:
         if not self.network.is_alive(host):
             return
         self.network.fail_host(host, self.clock.now)
+        if self.tracer is not None:
+            self.tracer.fail(self.clock.now, host)
         self.hosts[host].on_fail(self.clock.now)
         for callback in self._fail_callbacks:
             callback(host, self.clock.now)
@@ -410,6 +440,8 @@ class Simulator:
         if not neighbors:
             return
         new_id = self.network.join_host(neighbors, self.clock.now)
+        if self.tracer is not None:
+            self.tracer.join(self.clock.now, new_id)
         # Joining hosts get a default protocol state cloned from the factory
         # attached by the experiment driver; if none was provided the host
         # silently ignores all traffic.

@@ -314,6 +314,55 @@ class EventQueue:
         self._cancelled.add(event.seq)
 
     # ------------------------------------------------------------------
+    # Introspection (pull-based; never touched by the drain hot path)
+    # ------------------------------------------------------------------
+    def occupancy(self) -> Dict[str, Any]:
+        """Queue depth and calendar occupancy, computed on demand.
+
+        Walks only the day index (one entry per non-empty day), not the
+        events themselves, so a metrics snapshot costs O(days) -- safe
+        to take mid-run at any scale.
+        """
+        day_sizes = [len(bucket) for bucket in self._days.values()]
+        total = sum(day_sizes)
+        return {
+            "pending": len(self),
+            "cancelled": len(self._cancelled),
+            "slots": len(self._slots),
+            "days": len(self._days),
+            "max_day_occupancy": max(day_sizes, default=0),
+            "mean_day_occupancy": (round(total / len(day_sizes), 2)
+                                   if day_sizes else 0),
+        }
+
+    def iter_pending(self) -> Iterator[Any]:
+        """Yield ``(entry, weight)`` for every live queued entry.
+
+        Non-destructive and unordered (slot-table order).  ``entry`` is
+        a bare :class:`Message`, a :class:`_DeliverBatch` (``weight`` =
+        destinations not yet delivered), or an :class:`Event`; cancelled
+        events and already-popped positions are skipped.  Intended for
+        metrics collectors, not for draining.
+        """
+        cancelled = self._cancelled
+        for slot in self._slots.values():
+            buckets = slot.buckets
+            cursors = slot.cursors
+            for priority in range(_NUM_PRIORITIES):
+                bucket = buckets[priority]
+                for index in range(cursors[priority], len(bucket)):
+                    entry = bucket[index]
+                    if entry is None:
+                        continue
+                    if (entry.__class__ is Event
+                            and entry.seq in cancelled):
+                        continue
+                    if entry.__class__ is _DeliverBatch:
+                        yield entry, len(entry.dests) - entry.pos
+                    else:
+                        yield entry, 1
+
+    # ------------------------------------------------------------------
     # Draining
     # ------------------------------------------------------------------
     def _locate_front(self):

@@ -469,7 +469,12 @@ class DynamicNetwork:
             dist = self.bfs_distances(start)
             if not dist:
                 continue
-            far_host, far_dist = max(dist.items(), key=lambda kv: kv[1])
+            # Tie-break equally-far hosts by smallest id: BFS dict insertion
+            # order differs between the packed CSR rows and the reference's
+            # adjacency sets, so a bare max() over items would pick
+            # different second-sweep sources on the two implementations.
+            far_host, far_dist = max(dist.items(),
+                                     key=lambda kv: (kv[1], -kv[0]))
             best = max(best, far_dist)
             dist2 = self.bfs_distances(far_host)
             if dist2:

@@ -258,7 +258,10 @@ class ReferenceNetwork:
             dist = self.bfs_distances(start)
             if not dist:
                 continue
-            far_host, far_dist = max(dist.items(), key=lambda kv: kv[1])
+            # Tie-break equally-far hosts by smallest id so the sweep source
+            # does not depend on set iteration order (matches the packed core).
+            far_host, far_dist = max(dist.items(),
+                                     key=lambda kv: (kv[1], -kv[0]))
             best = max(best, far_dist)
             dist2 = self.bfs_distances(far_host)
             if dist2:

@@ -1,0 +1,135 @@
+"""CLI integration tests for the observability flags.
+
+Drives ``repro`` through :func:`main` (no subprocesses) and checks the
+artifacts each flag promises: a ``pstats``-loadable profile dump, a
+Perfetto-loadable Chrome trace / JSON Lines trace, a metrics snapshot
+with per-tenant rows, and logging verbosity switching.
+"""
+
+import json
+import logging
+import pstats
+
+import pytest
+
+from repro.orchestration.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _reset_cli_logging():
+    """The CLI configures the process-wide 'repro' logger; restore the
+    handler-free default after each test so verbosity cannot leak."""
+    yield
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+
+
+class TestBenchArtifacts:
+    def test_profile_out_dump_loads_with_pstats(self, tmp_path, capsys):
+        path = tmp_path / "bench.pstats"
+        assert main(["bench", "--hosts", "300",
+                     "--profile-out", str(path)]) == 0
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+        with open(str(path) + ".json") as handle:
+            sidecar = json.load(handle)
+        assert sidecar["top_functions"]
+        # The benchmark table still prints on stdout.
+        assert "Kernel scale benchmark" in capsys.readouterr().out
+
+    def test_profile_out_refuses_trajectory_json(self, tmp_path, capsys):
+        code = main(["bench", "--hosts", "300",
+                     "--profile-out", str(tmp_path / "p.pstats"),
+                     "--json", str(tmp_path / "traj.json")])
+        assert code == 2
+        assert "--profile" in capsys.readouterr().err
+
+    def test_trace_out_chrome_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["bench", "--hosts", "300",
+                     "--trace-out", str(path)]) == 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        events = payload["traceEvents"]
+        assert events
+        # Benchmark phases ride along as complete spans.
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"generate_topology", "simulate"} <= names
+        counts = payload["metadata"]["counts"]
+        assert counts["send"] == counts["deliver"] > 300
+
+    def test_trace_out_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(["bench", "--hosts", "300",
+                     "--trace-out", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+        assert all(json.loads(line)["type"] for line in lines[1:])
+
+
+class TestServeArtifacts:
+    def _serve(self, tmp_path, *extra):
+        metrics = tmp_path / "metrics.json"
+        args = ["serve", "--hosts", "120", "--qps", "0.5",
+                "--duration", "8", "--max-queries", "4", "--rows", "0",
+                "--metrics-out", str(metrics)]
+        args.extend(extra)
+        assert main(args) == 0
+        with open(metrics) as handle:
+            return json.load(handle)
+
+    def test_metrics_out_reports_per_tenant_rows(self, tmp_path):
+        snapshot = self._serve(tmp_path)
+        assert snapshot["service.messages_sent"] > 0
+        assert snapshot["service.retired_order"]
+        tenants = snapshot["service.tenants"]
+        assert tenants
+        for row in tenants.values():
+            assert {"status", "protocol", "queue_depth", "late_messages",
+                    "messages_sent", "residency"} <= set(row)
+        assert "service.queue.pending" in snapshot
+
+    def test_trace_out_demuxes_sessions_by_query_id(self, tmp_path):
+        trace = tmp_path / "serve.json"
+        self._serve(tmp_path, "--trace-out", str(trace))
+        with open(trace) as handle:
+            events = json.load(handle)["traceEvents"]
+        session_ids = {e["id"] for e in events if e["cat"] == "session"}
+        assert len(session_ids) >= 2        # several tenants in one trace
+        assert any(e["ph"] == "b" for e in events)   # async span begins
+        assert any(e["ph"] == "e" for e in events)   # ... and ends
+
+
+class TestLoggingFlags:
+    def test_verbose_enables_info_progress(self, tmp_path, capsys):
+        assert main(["-v", "bench", "--hosts", "200"]) == 0
+        captured = capsys.readouterr()
+        assert "hosts:" in captured.err          # progress line on stderr
+        assert "Kernel scale benchmark" in captured.out
+
+    def test_quiet_suppresses_progress(self, capsys):
+        assert main(["--quiet", "bench", "--hosts", "200"]) == 0
+        captured = capsys.readouterr()
+        assert "hosts:" not in captured.err
+        assert "Kernel scale benchmark" in captured.out
+
+    def test_default_level_is_info(self, capsys):
+        assert main(["bench", "--hosts", "200"]) == 0
+        captured = capsys.readouterr()
+        assert "hosts:" in captured.err
+
+
+class TestDelaySweepProvenance:
+    def test_provenance_flag_adds_columns(self, capsys):
+        assert main(["--quiet", "delay-sweep", "--size", "40",
+                     "--delays", "fixed", "-t", "1", "--provenance"]) == 0
+        out = capsys.readouterr().out
+        assert "lost_alive_mean" in out
+        assert "lost_churn_mean" in out
+
+    def test_without_flag_columns_absent(self, capsys):
+        assert main(["--quiet", "delay-sweep", "--size", "40",
+                     "--delays", "fixed", "-t", "1"]) == 0
+        assert "lost_alive_mean" not in capsys.readouterr().out

@@ -1,0 +1,167 @@
+"""Tests for the metrics registry and its pull collectors.
+
+Metrics are pull-based: every collector reads structures the engines
+already maintain, so the tests here double as a contract that those
+structures (queue occupancy, per-tenant demux state, session table)
+stay consistent with the engine's own accounting.
+"""
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    collect_queue_metrics,
+    collect_run_metrics,
+    collect_service_metrics,
+    worker_utilisation,
+)
+from repro.protocols.base import run_protocol
+from repro.protocols.wildfire import Wildfire
+from repro.service import QueryService
+from repro.simulation.events import EventKind, EventQueue
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import uniform_values
+
+SEED = 17
+
+
+@pytest.fixture
+def topology():
+    return random_topology(60, avg_degree=4, seed=SEED)
+
+
+@pytest.fixture
+def values(topology):
+    return uniform_values(topology.num_hosts, low=1, high=50, seed=SEED)
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(3)
+        registry.counter("a.count").inc(4)
+        registry.gauge("b.depth").set(12)
+        hist = registry.histogram("c.residency")
+        for sample in (2.0, 8.0, 5.0):
+            hist.observe(sample)
+        snapshot = registry.snapshot()
+        assert snapshot["a.count"] == 7
+        assert snapshot["b.depth"] == 12
+        assert snapshot["c.residency"] == {
+            "count": 3, "sum": 15.0, "min": 2.0, "max": 8.0, "mean": 5.0}
+        assert list(snapshot) == sorted(snapshot)
+
+    def test_counters_only_move_forward(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_name_collisions_across_types_are_errors(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+
+class TestRunCollector:
+    def test_collects_cost_sink_of_a_run(self, topology, values):
+        result = run_protocol(Wildfire(), topology, values, "count",
+                              seed=SEED)
+        snapshot = collect_run_metrics(result).snapshot()
+        assert snapshot["run.messages_sent"] == result.costs.messages_sent
+        assert snapshot["run.computation_cost"] == \
+            result.costs.computation_cost
+        assert snapshot["run.accounting_bytes"] > 0
+
+
+class TestQueueCollector:
+    def test_occupancy_matches_pending_population(self):
+        queue = EventQueue()
+        for i in range(25):
+            queue.push(float(i % 7), EventKind.TIMER, host=i,
+                       timer_name="t")
+        cancelled = queue.push(3.0, EventKind.TIMER, host=99,
+                               timer_name="t")
+        queue.cancel(cancelled)
+        snapshot = collect_queue_metrics(queue).snapshot()
+        assert snapshot["queue.pending"] == len(queue) == 25
+        assert snapshot["queue.cancelled"] == 1
+        assert snapshot["queue.max_day_occupancy"] >= \
+            snapshot["queue.mean_day_occupancy"] > 0
+
+    def test_iter_pending_agrees_with_len(self):
+        queue = EventQueue()
+        for i in range(40):
+            queue.push(float(i % 11), EventKind.TIMER, host=i,
+                       timer_name="t")
+        assert sum(w for _, w in queue.iter_pending()) == len(queue)
+
+
+class TestServiceCollector:
+    def test_final_snapshot_covers_every_tenant(self, topology, values):
+        service = QueryService(topology, values, seed=SEED)
+        qids = [service.submit("wildfire", "count"),
+                service.submit("spanning-tree", "sum", at=1.0),
+                service.submit("dag2", "min", at=2.0)]
+        service.run()
+        snapshot = collect_service_metrics(service)
+        engine = service.engine
+        assert snapshot["service.messages_sent"] == engine.messages_sent
+        assert snapshot["service.peak_active_sessions"] >= 2
+        assert snapshot["service.retired_order"] == sorted(qids)
+        tenants = snapshot["service.tenants"]
+        assert sorted(tenants) == [str(q) for q in sorted(qids)]
+        for row in tenants.values():
+            assert row["status"] == "done"
+            assert row["queue_depth"] == 0
+            assert row["messages_sent"] > 0
+            assert row["residency"] > 0
+        assert snapshot["service.session_residency"]["count"] == len(qids)
+
+    def test_mid_run_queue_depth_demuxes_per_tenant(self, topology, values):
+        service = QueryService(topology, values, seed=SEED)
+        first = service.submit("wildfire", "count")
+        second = service.submit("spanning-tree", "sum", at=1.0)
+        service.run(until=1.5)       # both launched, neither declared
+        depths = service.engine.queue_depth_by_session()
+        assert depths.get(first, 0) > 0
+        assert depths.get(second, 0) > 0
+        total = sum(w for _, w in service.engine._queue.iter_pending())
+        assert sum(depths.values()) <= total
+        service.run()                # horizon-sliced drive still drains
+
+
+class TestWorkerUtilisation:
+    class _Result:
+        def __init__(self, elapsed, cached=False):
+            self.elapsed = elapsed
+            self.cached = cached
+
+    class _Report:
+        def __init__(self, results, elapsed, workers):
+            self.results = results
+            self.elapsed = elapsed
+            self.workers = workers
+
+    def test_busy_fraction(self):
+        report = self._Report(
+            [self._Result(2.0), self._Result(2.0),
+             self._Result(1.0, cached=True)],
+            elapsed=4.0, workers=2)
+        assert worker_utilisation(report) == pytest.approx(0.5)
+
+    def test_degenerate_reports_are_zero(self):
+        assert worker_utilisation(
+            self._Report([], elapsed=0.0, workers=4)) == 0.0
+
+    def test_real_run_report_exposes_property(self):
+        from repro.orchestration.executor import run_spec
+        from repro.orchestration.spec import ExperimentSpec
+
+        spec = ExperimentSpec.create(
+            name="util-smoke", runner="validity-point",
+            axes={"protocol": ["wildfire"], "topology": ["random"],
+                  "size": [30], "aggregate": ["count"]},
+            num_trials=2, base_seed=SEED)
+        report = run_spec(spec)
+        assert 0.0 <= report.worker_utilisation <= 1.0

@@ -1,0 +1,187 @@
+"""Tests for the structured trace layer.
+
+The two contracts under test:
+
+* a tracer *observes* -- a traced run is bit-identical (declared value,
+  termination, full cost fingerprint) to an untraced run at the same
+  seed, because the hooks never touch RNG streams, event ordering, or
+  accounting;
+* the ring is bounded and the per-kind counts stay exact under
+  sampling, so a 100k-host trace cannot blow the export budget while
+  still reporting true traffic totals.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    DEFAULT_SAMPLING,
+    RingTracer,
+    Tracer,
+    default_tracer,
+    set_default_tracer,
+    tracing,
+)
+from repro.protocols.base import run_protocol
+from repro.protocols.wildfire import Wildfire
+from repro.simulation.churn import ChurnSchedule
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import uniform_values
+
+SEED = 21
+
+
+@pytest.fixture
+def topology():
+    return random_topology(48, avg_degree=4, seed=SEED)
+
+
+@pytest.fixture
+def values(topology):
+    return uniform_values(topology.num_hosts, low=1, high=9, seed=SEED)
+
+
+def _fingerprint(result):
+    costs = result.costs
+    return (
+        result.value,
+        result.finished_at,
+        result.termination_time,
+        costs.messages_sent,
+        costs.wireless_transmissions,
+        costs.dropped_messages,
+        costs.max_chain_depth,
+        sorted(costs.messages_processed.items()),
+        sorted(costs.messages_by_time.items()),
+    )
+
+
+class TestObservationOnly:
+    def test_traced_run_bit_identical_to_untraced(self, topology, values):
+        churn = ChurnSchedule(failures=[(1.5, 7), (2.5, 12)])
+        untraced = run_protocol(Wildfire(), topology, values, "count",
+                                churn=churn, seed=SEED)
+        tracer = RingTracer()
+        traced = run_protocol(Wildfire(), topology, values, "count",
+                              churn=churn, seed=SEED, tracer=tracer)
+        assert _fingerprint(traced) == _fingerprint(untraced)
+        # ... and the tracer actually saw the run.
+        assert tracer.counts["send"] == traced.costs.messages_sent
+        assert tracer.counts["fail"] == 2
+
+    def test_base_tracer_exercises_call_sites_without_recording(
+            self, topology, values):
+        plain = run_protocol(Wildfire(), topology, values, "count",
+                             seed=SEED)
+        noop = run_protocol(Wildfire(), topology, values, "count",
+                            seed=SEED, tracer=Tracer())
+        assert _fingerprint(noop) == _fingerprint(plain)
+
+
+class TestRing:
+    def test_exact_counts_survive_sampling(self):
+        tracer = RingTracer(sampling={"send": 10})
+        for i in range(95):
+            tracer.send(float(i), i, i + 1, "Aggregate")
+        assert tracer.counts["send"] == 95
+        # Every 10th admitted: records 0, 10, ..., 90.
+        assert len(tracer) == 10
+
+    def test_multicast_weight_bumps_count_by_fanout(self):
+        tracer = RingTracer(sampling={})
+        tracer.send(0.0, 3, -1, "Broadcast", count=17)
+        assert tracer.counts["send"] == 17
+        assert len(tracer) == 1
+
+    def test_ring_keeps_newest_records(self):
+        tracer = RingTracer(capacity=8, sampling={})
+        for i in range(20):
+            tracer.timer(float(i), i, "deadline")
+        records = tracer.records()
+        assert len(records) == 8
+        assert [r["time"] for r in records] == [float(i) for i in range(12, 20)]
+        assert tracer.counts["timer"] == 20
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            RingTracer(capacity=0)
+        with pytest.raises(ValueError):
+            RingTracer(sampling={"send": 0})
+
+    def test_summary_reports_counts_and_occupancy(self):
+        tracer = RingTracer(capacity=100, sampling={"send": 2})
+        for i in range(6):
+            tracer.send(float(i), 0, 1, "Aggregate")
+        summary = tracer.summary()
+        assert summary["counts"] == {"send": 6}
+        assert summary["recorded"] == 3
+        assert summary["capacity"] == 100
+        assert summary["sampling"] == {"send": 2}
+
+
+class TestExporters:
+    @pytest.fixture
+    def populated(self, topology, values):
+        tracer = RingTracer(sampling=DEFAULT_SAMPLING)
+        run_protocol(Wildfire(), topology, values, "count", seed=SEED,
+                     tracer=tracer)
+        tracer.phase("simulate", 0.0, 1.25, detail=topology.num_hosts)
+        tracer.session(0.0, 1, "launch", "wildfire")
+        tracer.session(8.0, 1, "declare", 42.0)
+        return tracer
+
+    def test_jsonl_header_plus_one_object_per_record(self, populated,
+                                                     tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = populated.export_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == written + 1
+        header = json.loads(lines[0])
+        assert header["type"] == "meta"
+        assert header["counts"] == populated.summary()["counts"]
+        kinds = {json.loads(line)["type"] for line in lines[1:]}
+        assert {"send", "deliver", "phase", "session"} <= kinds
+
+    def test_chrome_export_is_perfetto_shaped(self, populated, tmp_path):
+        path = tmp_path / "trace.json"
+        written = populated.export_chrome(str(path))
+        with open(path) as handle:
+            payload = json.load(handle)
+        events = payload["traceEvents"]
+        assert len(events) == written == len(populated)
+        phases = {e["ph"] for e in events}
+        assert "i" in phases            # thread instants
+        assert "X" in phases            # wall-clock phase span
+        assert {"b", "e"} <= phases     # session async span
+        span = next(e for e in events if e["ph"] == "X")
+        # One simulation second maps to one trace microsecond.
+        assert span["dur"] == pytest.approx(1.25e6)
+        assert payload["metadata"]["counts"] == populated.summary()["counts"]
+
+
+class TestDefaultBinding:
+    def test_default_is_disabled(self):
+        assert default_tracer() is None
+
+    def test_tracing_binds_and_restores(self):
+        tracer = RingTracer()
+        with tracing(tracer) as bound:
+            assert bound is tracer
+            assert default_tracer() is tracer
+        assert default_tracer() is None
+
+    def test_engines_resolve_default_once(self, topology, values):
+        """A run built under ``tracing(...)`` uses the bound tracer even
+        though no ``tracer=`` argument was passed."""
+        tracer = RingTracer()
+        with tracing(tracer):
+            result = run_protocol(Wildfire(), topology, values, "count",
+                                  seed=SEED)
+        assert tracer.counts["send"] == result.costs.messages_sent
+
+    def test_set_default_rejects_non_tracers(self):
+        with pytest.raises(TypeError):
+            set_default_tracer(object())
+        previous = set_default_tracer(None)
+        assert previous is None
