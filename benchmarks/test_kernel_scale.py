@@ -20,6 +20,14 @@ Three locks on the simulation kernel's performance:
   packed-memory network core's guard: ``repro bench --hosts 100000
   --stats streaming`` in a clean subprocess must peak >=2x below the
   pre-packed-core baseline RSS recorded in ``BENCH_kernel.json``.
+* ``test_vector_lane_10k_differential_and_2x_speedup`` -- the CI
+  python-vs-vector differential cell: the opt-in vectorized kernel lane
+  must reproduce the python lane bit-for-bit (value, cost fingerprint,
+  declaration time) on a 10k-host streaming run and beat it by >=2x
+  (self-calibrating: both lanes are timed interleaved on this machine).
+* ``test_bench_lane_cli_smoke`` -- ``repro bench --lane`` end to end in
+  a clean subprocess: the flag reaches the kernel, the JSON row records
+  the lane, and both lanes' rows agree on every cost measure.
 * ``test_million_host_run_completes_when_requested`` -- the 1,000,000
   host streaming run (opt-in via ``REPRO_BENCH_MILLION=1``).
 
@@ -343,6 +351,121 @@ def test_service_throughput_10k():
         k: row[k] for k in ("hosts", "queries", "answered", "run_seconds",
                             "queries_per_second", "messages",
                             "messages_per_second", "peak_rss_mb")})
+
+
+#: Required python/vector wall-time ratio on the 10k differential cell.
+#: The 100k acceptance row in BENCH_kernel.json shows >=3x, but the CI
+#: cell is 10x smaller (activation and d_hat BFS weigh relatively more),
+#: so the red line sits at 2x -- a genuine lane regression lands well
+#: below it, while machine noise does not.
+VECTOR_LANE_REQUIRED_SPEEDUP = 2.0
+
+
+def test_vector_lane_10k_differential_and_2x_speedup():
+    """CI perf smoke, vector-lane half: the python-vs-vector cell.
+
+    Runs the same 10k-host streaming WILDFIRE count query through both
+    kernel lanes, interleaved best-of-3 (same rationale as
+    ``_measure_kernel``): the vector lane must be *bit-identical* --
+    value, ``costs.fingerprint()`` and declaration time -- and at least
+    2x faster.  The budget is self-calibrating because both lanes are
+    timed on the same machine in the same session; no recorded baseline
+    is involved.
+    """
+    from repro.protocols.base import run_protocol
+    from repro.protocols.wildfire import Wildfire
+    from repro.simulation import vector_lane
+    from repro.topology.gnutella import gnutella_like_topology
+
+    topology = gnutella_like_topology(10_000, seed=TOPOLOGY_SEED)
+    values = [1.0] * topology.num_hosts
+
+    def sample(lane):
+        start = time.perf_counter()
+        result = run_protocol(Wildfire(), topology, values, "count",
+                              seed=RUN_SEED, stats="streaming", lane=lane)
+        return time.perf_counter() - start, {
+            "value": result.value,
+            "fingerprint": result.costs.fingerprint(),
+            "declared_at": result.finished_at,
+        }
+
+    best = {"python": float("inf"), "vector": float("inf")}
+    snapshots = {}
+    engaged_before = vector_lane.engagements
+    for _ in range(3):
+        for lane in ("python", "vector"):
+            elapsed, snapshot = sample(lane)
+            best[lane] = min(best[lane], elapsed)
+            assert snapshots.setdefault(lane, snapshot) == snapshot, (
+                f"{lane} lane is not deterministic across repeats")
+    assert vector_lane.engagements == engaged_before + 3, (
+        f"vector lane fell back to the spec loop "
+        f"({vector_lane.last_fallback_reason})")
+    assert snapshots["vector"] == snapshots["python"], (
+        "vector lane diverged from the python lane on the 10k cell: "
+        f"python={snapshots['python']} vector={snapshots['vector']}")
+
+    speedup = best["python"] / best["vector"]
+    print(f"\n10k differential: python {best['python']:.4f}s, "
+          f"vector {best['vector']:.4f}s -> {speedup:.2f}x (bit-identical)")
+    _record_trajectory("pytest 10k vector differential", hosts=10_000,
+                       python_seconds=round(best["python"], 4),
+                       vector_seconds=round(best["vector"], 4),
+                       speedup=round(speedup, 2))
+    if _RELAX:
+        pytest.skip(f"REPRO_BENCH_RELAX=1 (measured {speedup:.2f}x)")
+    assert speedup >= VECTOR_LANE_REQUIRED_SPEEDUP, (
+        f"vector lane speedup {speedup:.2f}x fell below the required "
+        f"{VECTOR_LANE_REQUIRED_SPEEDUP}x (python {best['python']:.4f}s, "
+        f"vector {best['vector']:.4f}s)")
+
+
+def test_bench_lane_cli_smoke():
+    """``repro bench --lane`` end to end: the flag reaches the kernel.
+
+    Runs the bench CLI once per lane in a clean subprocess on a small
+    network and checks that the JSON rows record their lane and agree on
+    every cost measure -- the CLI-level version of the differential cell
+    above (which owns the timing budget; subprocess wall times at this
+    size are dominated by interpreter start-up).
+    """
+    import subprocess
+    import sys
+    import tempfile
+
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    rows = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for lane in ("python", "vector"):
+            out_path = os.path.join(tmp, f"bench-{lane}.json")
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "bench", "--hosts", "4000",
+                 "--stats", "streaming", "--seed", "1", "--lane", lane,
+                 "--json", out_path, "--label", f"cli-smoke-{lane}"],
+                env=env, capture_output=True, text=True, timeout=600)
+            assert proc.returncode == 0, (
+                f"repro bench --lane {lane} failed:\n"
+                f"{proc.stdout}\n{proc.stderr}")
+            with open(out_path) as handle:
+                rows[lane] = json.load(handle)["trajectory"][-1]["rows"][0]
+
+    for lane, row in rows.items():
+        assert row["lane"] == lane
+        assert row["hosts"] == 4000
+        assert 4000 / 8 <= row["value"] <= 4000 * 8
+    for key in ("value", "d_hat", "messages", "computation_cost",
+                "time_cost", "accounting_bytes"):
+        assert rows["vector"][key] == rows["python"][key], (
+            f"--lane vector diverged from --lane python on {key}: "
+            f"{rows['vector'][key]!r} != {rows['python'][key]!r}")
+    _record_trajectory("pytest bench --lane cli smoke", hosts=4000, **{
+        f"{lane}_run_seconds": rows[lane]["run_seconds"]
+        for lane in ("python", "vector")})
 
 
 def test_million_host_run_completes_when_requested():

@@ -151,6 +151,7 @@ class ValidAggregator:
             repetitions=self.protocol_config.fm_repetitions,
             delay=self.simulation.delay,
             stats=self.simulation.stats,
+            lane=self.simulation.lane,
         )
 
         certificate = None

@@ -25,6 +25,11 @@ class SimulationConfig:
         stats: cost-accounting mode -- ``"full"`` keeps per-host counters,
             ``"streaming"`` is the bounded-memory sink for very large runs
             (see :mod:`repro.simulation.stats`).
+        lane: kernel lane -- ``"python"`` (the executable spec, default)
+            or ``"vector"`` for the opt-in per-tick vectorized lane
+            (see :mod:`repro.simulation.vector_lane`); the vector lane
+            is locked bit-identical to the spec path and falls back to
+            it when a run is unsupported.
     """
 
     delta: float = 1.0
@@ -33,6 +38,7 @@ class SimulationConfig:
     max_time: float = 1_000_000.0
     delay: str = "fixed"
     stats: str = "full"
+    lane: str = "python"
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -42,9 +48,11 @@ class SimulationConfig:
         # Fail fast on malformed specs instead of at first query time.
         from repro.simulation.delay import delay_model_from_spec
         from repro.simulation.stats import validate_stats_mode
+        from repro.simulation.vector_lane import validate_lane
 
         delay_model_from_spec(self.delay, self.delta, seed=self.seed)
         validate_stats_mode(self.stats)
+        validate_lane(self.lane)
 
 
 @dataclass(frozen=True)

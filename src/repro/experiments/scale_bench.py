@@ -79,6 +79,7 @@ def run_scale_benchmark(
     stats: str = "full",
     delay: str = "fixed",
     tracer=None,
+    lane: str = "python",
 ) -> Dict[str, Any]:
     """Run one protocol once at ``num_hosts`` scale and measure it.
 
@@ -107,6 +108,9 @@ def run_scale_benchmark(
         tracer: structured trace sink threaded into the simulation; the
             benchmark's own phases (topology generation, simulation)
             land in the same trace as wall-clock ``phase`` spans.
+        lane: kernel lane, ``"python"`` (the executable spec) or
+            ``"vector"`` (the opt-in per-tick vectorized lane; falls
+            back to the spec loop when the run is unsupported).
     """
     if num_hosts < 2:
         raise ValueError("scale benchmarks need at least 2 hosts")
@@ -134,6 +138,7 @@ def run_scale_benchmark(
             stats=stats,
             delay=delay,
             tracer=tracer,
+            lane=lane,
         )
     gen_seconds = timer.seconds("generate_topology")
     run_seconds = timer.seconds("simulate")
@@ -147,6 +152,7 @@ def run_scale_benchmark(
         "seed": seed,
         "stats": stats,
         "delay": delay,
+        "lane": lane,
         "value": result.value,
         "d_hat": result.d_hat,
         "messages": messages,
@@ -221,6 +227,7 @@ def run_scale_sweep(
     stats: str = "full",
     delay: str = "fixed",
     tracer=None,
+    lane: str = "python",
 ) -> List[Dict[str, Any]]:
     """Run :func:`run_scale_benchmark` for each host count, in order.
 
@@ -233,7 +240,7 @@ def run_scale_sweep(
         row = run_scale_benchmark(
             int(num_hosts), topology=topology, protocol=protocol,
             aggregate=aggregate, seed=seed, repetitions=repetitions,
-            stats=stats, delay=delay, tracer=tracer,
+            stats=stats, delay=delay, tracer=tracer, lane=lane,
         )
         rows.append(row)
         if progress is not None:

@@ -97,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="link-delay model spec: fixed | uniform[:lo,hi]"
                             " | per_edge[:lo,hi] | heavy_tail[:alpha,xm] "
                             "(default fixed)")
+    bench.add_argument("--lane", choices=("python", "vector"),
+                       default="python",
+                       help="kernel lane: python (the executable spec) or "
+                            "vector (per-tick vectorized fast lane, "
+                            "bit-identical; falls back to python when the "
+                            "run is unsupported)")
     bench.add_argument("--profile", action="store_true",
                        help="run under cProfile and print the top 25 "
                             "functions by cumulative time to stderr")
@@ -367,6 +373,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             repetitions=args.repetitions,
             stats=args.stats,
             delay=args.delay,
+            lane=args.lane,
             tracer=tracer,
             progress=lambda row: log.info(
                 ".. %s hosts: %.2fs, %s messages (%s/s, peak RSS %s MiB)",
@@ -396,7 +403,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(format_table(rows, title=f"Kernel scale benchmark "
                                    f"({args.protocol} / {args.topology} / "
                                    f"{args.aggregate} / {args.delay} delay / "
-                                   f"{args.stats} stats)"))
+                                   f"{args.stats} stats / {args.lane} lane)"))
     if args.json and payload is not None:
         label = args.label or (
             f"cli {args.protocol}/{args.topology}/{args.aggregate}")

@@ -264,6 +264,7 @@ def run_protocol(
     delay: "DelayModel | str | None" = None,
     stats: "StatsSink | str | None" = None,
     tracer=None,
+    lane: str = "python",
 ) -> ProtocolRunResult:
     """Run ``protocol`` once and return its declared answer and costs.
 
@@ -309,6 +310,11 @@ def run_protocol(
             (``None`` = the process default, usually disabled).  Tracers
             observe; the declared value and every cost counter are
             bit-identical with tracing on or off.
+        lane: kernel lane -- ``"python"`` (the executable spec, default)
+            or ``"vector"`` for the opt-in per-tick vectorized lane
+            (:mod:`repro.simulation.vector_lane`), which is locked
+            bit-identical to the spec path and falls back to it when the
+            run is unsupported.
     """
     prepared = prepare_protocol_run(
         protocol, topology, values, query,
@@ -328,6 +334,7 @@ def run_protocol(
         delay_model=prepared.delay_model,
         stats=stats,
         tracer=tracer,
+        lane=lane,
     )
     sim_result: SimulationResult = simulator.run(until=termination)
     return ProtocolRunResult(

@@ -32,6 +32,7 @@ happens in time and Single-Site Validity is preserved.
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import Any, List, Optional, Sequence, Set
 
@@ -328,6 +329,422 @@ class WildfireHost(ProtocolHost):
         if self.partial is None:
             return None
         return self.combiner.finalize(self.partial)
+
+
+class WildfireVectorAdapter:
+    """Protocol-side batch kernel for the vectorized lane.
+
+    The lane (:mod:`repro.simulation.vector_lane`) drains whole calendar
+    instants at once and hands each instant's delivery batch to
+    :meth:`process_instant`, which runs WILDFIRE's hot ``on_message``
+    branches **inlined** over the batch: per delivery it costs a couple
+    of index operations and an int (or float) comparison instead of a
+    :class:`~repro.simulation.messages.Message` allocation, a context
+    rebind and a method-dispatch chain.  The inlined branches are exact
+    transcriptions of :meth:`WildfireHost.on_message` and the FLUSH
+    timer (packed-int folding for FM count/sum, the
+    ``absorbs``/``combine`` hook pair for min/max, activation through
+    the real ``combiner.initial`` so RNG consumption order stays that
+    of the spec engine).  In packed mode, lane payloads carry the raw
+    packed bitmask int instead of a sketch object -- only this adapter
+    consumes in-run payloads, receivers normalise either form, and the
+    querying host's declared sketch is materialised lazily by the
+    ``partial`` property exactly as in the spec lane.
+
+    The transcription is safe because deliveries are processed in the
+    exact global FIFO order of the spec loop and every branch reads the
+    host's *live* state (no mirrors, no staleness): the sequence of
+    state transitions is the one the spec loop would have produced,
+    step for step.  ``try_build`` gates engagement to host tables this
+    adapter provably understands; everything else falls back to the
+    spec lane.
+    """
+
+    __slots__ = ("hosts", "packed_mode", "global_deadline", "deadlines")
+
+    @classmethod
+    def try_build(cls, hosts: Sequence[Any], num_hosts: int,
+                  querying_host: int) -> Optional["WildfireVectorAdapter"]:
+        """An adapter for this host table, or ``None`` if unsupported.
+
+        Supported: every host is exactly a :class:`WildfireHost` sharing
+        one combiner whose state is either a packed bitmask
+        (``packed_state``; FM count/sum) or a bare float with exact-
+        equality semantics (:class:`~repro.sketches.combiners.MinCombiner`
+        / :class:`~repro.sketches.combiners.MaxCombiner`).  Pair states
+        (FM average) and third-party combiners fall back to the spec lane.
+        """
+        from repro.sketches.combiners import MaxCombiner, MinCombiner
+
+        if num_hosts <= 0 or len(hosts) < num_hosts:
+            return None
+        combiner = getattr(hosts[querying_host], "combiner", None)
+        for host in hosts:
+            if type(host) is not WildfireHost or host.combiner is not combiner:
+                return None
+        if bool(getattr(combiner, "packed_state", False)):
+            packed_mode = True
+        elif type(combiner) in (MinCombiner, MaxCombiner):
+            packed_mode = False
+        else:
+            return None
+        return cls(hosts, packed_mode)
+
+    def __init__(self, hosts: Sequence[Any], packed_mode: bool) -> None:
+        self.hosts = hosts
+        self.packed_mode = packed_mode
+        self.global_deadline = hosts[0]._global_deadline
+        #: Participation-deadline mirror, ``None`` while a host is
+        #: inactive: one list load replaces a host fetch plus two
+        #: attribute reads per delivery, and past-deadline deliveries
+        #: (the tail of every flood) skip the host object entirely.
+        #: Maintained by the inlined activation path and
+        #: :meth:`refresh_host` after any real hook runs.
+        self.deadlines: List[Optional[float]] = [
+            host._deadline if host.active else None for host in hosts]
+
+    def refresh_host(self, host_id: int) -> None:
+        """Re-mirror one host's activation state after a real hook ran."""
+        host = self.hosts[host_id]
+        self.deadlines[host_id] = host._deadline if host.active else None
+
+    def process_instant(self, now: float, entries: Sequence[Any],
+                        lane: Any) -> None:
+        """Process one instant's delivery records in spec FIFO order.
+
+        ``entries`` is one lane ring bucket: per send one
+        ``(sender, dests, kind, agg, dist, chain_depth)`` record, in
+        send order; destinations ascend within a record.  The payload
+        dict of the spec path is flattened to the two fields WILDFIRE
+        handlers read -- only this adapter consumes in-run records.
+        Receive-side accounting (processed counts, drops, chain depth)
+        is accumulated into the ``lane``'s bulk counters; send-side
+        accounting happens at submit time as usual.
+        """
+        hosts = self.hosts
+        alive = lane.alive_bytes
+        counts = lane.counts
+        deadlines = self.deadlines
+        timers = lane._timers
+        timer_heap = lane._timer_heap
+        heappush = heapq.heappush
+        gdl = self.global_deadline
+        packed_mode = self.packed_mode
+        dropped = 0
+        max_depth = lane.max_depth
+        last_fire = -1.0  # memo: flush times repeat within an instant
+        last_timer_bucket: Optional[list] = None
+        for sender, dests, kind, incoming, dist, depth in entries:
+            if kind != CONVERGECAST and kind != BROADCAST:
+                # on_message ignores foreign kinds: deliveries count,
+                # state never moves.
+                delivered = False
+                for dest in dests:
+                    if alive[dest]:
+                        counts[dest] += 1
+                        delivered = True
+                    else:
+                        dropped += 1
+                if delivered and depth > max_depth:
+                    max_depth = depth
+                continue
+            # Packed mode ships the raw bitmask int in lane records
+            # (only this adapter consumes them); sketch objects appear
+            # only in sends from the real hooks (query start).
+            if packed_mode and incoming is not None:
+                inc_packed = (incoming if type(incoming) is int
+                              else incoming.packed)
+            else:
+                inc_packed = None
+            delivered = False
+            for dest in dests:
+                if not alive[dest]:
+                    dropped += 1
+                    continue
+                counts[dest] += 1
+                delivered = True
+                deadline = deadlines[dest]
+                if deadline is None:  # inactive
+                    if now >= gdl:
+                        continue  # spec path: return untouched
+                    self._activate_host(hosts[dest], dest, sender,
+                                        incoming, inc_packed, dist,
+                                        now, depth, lane)
+                    continue
+                if now > deadline:
+                    continue  # spec path: return untouched
+                if incoming is None:
+                    continue
+                host = hosts[dest]
+                # -- inlined WildfireHost.on_message, active host ------
+                if packed_mode:
+                    packed = host._packed
+                    merged = packed | inc_packed
+                    if merged == packed:
+                        if packed == inc_packed:
+                            continue  # pure no-op
+                        # absorbed but the sender is stale: owe a reply
+                        reply_to = host._reply_to
+                        if reply_to is None:
+                            host._reply_to = {sender}
+                        else:
+                            reply_to.add(sender)
+                    else:
+                        host._packed = merged
+                        host._packed_stale = True
+                        host.updates_observed += 1
+                        host._dirty = True
+                        host._skip_neighbor = (sender if merged == inc_packed
+                                               else None)
+                        if host._reply_to is not None:
+                            host._reply_to.discard(sender)
+                else:
+                    partial = host.partial
+                    if host._absorbs(partial, incoming):
+                        if host._states_equal(partial, incoming):
+                            continue  # pure no-op
+                        reply_to = host._reply_to
+                        if reply_to is None:
+                            host._reply_to = {sender}
+                        else:
+                            reply_to.add(sender)
+                    else:
+                        host.partial = new_partial = host._combine(
+                            partial, incoming)
+                        host.updates_observed += 1
+                        host._dirty = True
+                        host._skip_neighbor = (
+                            sender
+                            if host._states_equal(new_partial, incoming)
+                            else None)
+                        if host._reply_to is not None:
+                            host._reply_to.discard(sender)
+                # inlined _schedule_flush + lane.register_timer
+                if not host._flush_pending:
+                    host._flush_pending = True
+                    wait = host._next_flush - now
+                    fire_at = now + (wait if wait > 0.0 else 0.0)
+                    if fire_at != last_fire:
+                        last_fire = fire_at
+                        last_timer_bucket = timers.get(fire_at)
+                        if last_timer_bucket is None:
+                            timers[fire_at] = last_timer_bucket = []
+                            heappush(timer_heap, fire_at)
+                    last_timer_bucket.append((dest, FLUSH, None, depth))
+            if delivered and depth > max_depth:
+                max_depth = depth
+        lane.dropped += dropped
+        lane.max_depth = max_depth
+
+    def _activate_host(self, host: WildfireHost, dest: int, sender: int,
+                       incoming: Any, inc_packed: Optional[int],
+                       sender_distance: Optional[int], now: float,
+                       depth: int, lane: Any) -> None:
+        """Inlined inactive branch of :meth:`WildfireHost.on_message`.
+
+        Transcribed from ``_activate``, ``_fold`` and the Broadcast
+        forwarding; the combiner hooks -- including the shared-RNG draw
+        in ``initial`` -- run in exact spec order.  In packed mode the
+        fold runs on the bitmask int (the packed combiners define
+        ``states_equal`` as packed equality and ``combine`` as the
+        union, so the int transitions are the spec transitions) and the
+        onward Broadcast ships the raw int.  The two ``_schedule_flush``
+        sites are coalesced into one registration after the Broadcast
+        submit: nothing between them registers a timer, so the timer
+        ring order is unchanged.
+        """
+        distance = (sender_distance + 1) if sender_distance is not None else 1
+        # _activate
+        host.active = True
+        host.distance = distance
+        host.partial = host.combiner.initial(host.value, host.rng)
+        if host.early_termination and host.host_id != host.querying_host:
+            host._deadline = (2.0 * host.d_hat - distance + 1.0) * host.delta
+        else:
+            host._deadline = self.global_deadline
+        self.deadlines[dest] = host._deadline
+        # _fold (the freshly set partial is never stale)
+        schedule = False
+        if inc_packed is not None:
+            packed = host._packed
+            merged = packed | inc_packed
+            if merged != packed:
+                host._packed = merged
+                host._packed_stale = True
+                host.updates_observed += 1
+                host._dirty = True
+                host._skip_neighbor = (sender if merged == inc_packed
+                                       else None)
+                if host._reply_to is not None:
+                    host._reply_to.discard(sender)
+                schedule = True
+            elif packed != inc_packed:
+                reply_to = host._reply_to
+                if reply_to is None:
+                    host._reply_to = {sender}
+                else:
+                    reply_to.add(sender)
+                schedule = True
+        elif incoming is not None:
+            partial = host._partial_obj
+            equal = host._states_equal
+            new_partial = host._combine(partial, incoming)
+            if not equal(new_partial, partial):
+                host.partial = new_partial
+                host.updates_observed += 1
+                host._dirty = True
+                host._skip_neighbor = (sender if equal(new_partial, incoming)
+                                       else None)
+                if host._reply_to is not None:
+                    host._reply_to.discard(sender)
+                schedule = True
+            elif not equal(partial, incoming):
+                reply_to = host._reply_to
+                if reply_to is None:
+                    host._reply_to = {sender}
+                else:
+                    reply_to.add(sender)
+                schedule = True
+        # Forward the Broadcast immediately (send_to_neighbors with
+        # exclude=(sender,)); flooding must not wait a whole instant.
+        nbr_cache = lane.nbr_cache
+        neighbors = nbr_cache[dest]
+        if neighbors is None:
+            nbr_cache[dest] = neighbors = \
+                lane.network.alive_neighbors_sorted(dest)
+        targets = [t for t in neighbors if t != sender]
+        if targets:
+            lane.submit_multi(
+                dest, targets, BROADCAST,
+                host._packed if self.packed_mode else host._partial_obj,
+                distance, now, depth + 1)
+        # The sender still needs our aggregate if it knows less than us.
+        if self.packed_mode:
+            owes_reply = inc_packed is None or host._packed != inc_packed
+        else:
+            owes_reply = (incoming is None
+                          or not host._states_equal(host._partial_obj,
+                                                    incoming))
+        if owes_reply:
+            reply_to = host._reply_to
+            if reply_to is None:
+                host._reply_to = {sender}
+            else:
+                reply_to.add(sender)
+            schedule = True
+        if schedule and not host._flush_pending:
+            host._flush_pending = True
+            wait = host._next_flush - now
+            lane.register_timer(now + (wait if wait > 0.0 else 0.0),
+                                dest, FLUSH, None, depth)
+        host._dirty = False  # neighbors just heard our aggregate
+
+    def process_timer_bucket(self, now: float, bucket: List[tuple],
+                             lane: Any) -> None:
+        """Fire one instant's timers in registration (spec seq) order.
+
+        The FLUSH handler -- :meth:`WildfireHost.on_timer` plus the
+        ``send_to_neighbors`` path it calls -- is transcribed inline; a
+        timer with any other name (impossible for WILDFIRE hosts, kept
+        for safety) goes through the real hook.  Iteration is by index
+        so timers registered while the bucket fires still run within
+        this instant, matching the calendar queue's drain semantics.
+
+        All sends from this bucket share one delivery instant
+        (``now + delta``) and one accounting key
+        (``(now, CONVERGECAST)``), so the lane's submit twins are
+        inlined here against one lazily created ring bucket and two
+        local counters folded into the lane at the end -- the same
+        totals the per-send path would record, in the same FIFO ring
+        order.
+        """
+        hosts = self.hosts
+        alive = lane.alive_bytes
+        network = lane.network
+        has_alive_edge = network.has_alive_edge
+        nbr_cache = lane.nbr_cache
+        packed_mode = self.packed_mode
+        wireless = lane.wireless
+        deliver_at = now + lane.delta
+        deliveries = lane._deliveries
+        ring_bucket = None  # created on first send, never empty
+        sent = 0
+        wireless_extra = 0
+        index = 0
+        pending = len(bucket)
+        while index < pending:
+            host_id, name, data, depth = bucket[index]
+            index += 1
+            if not alive[host_id]:
+                continue  # dead hosts' timers expire silently
+            if name != FLUSH:
+                lane.run_foreign_timer(now, host_id, name, data, depth)
+                # A real hook may have registered same-instant timers.
+                pending = len(bucket)
+                continue
+            # -- inlined WildfireHost.on_timer(FLUSH) ------------------
+            host = hosts[host_id]
+            host._flush_pending = False
+            host._next_flush = now + host.delta
+            if not host.active or now > host._deadline:
+                host._dirty = False
+                host._reply_to = None
+                continue
+            if host._dirty:
+                targets = nbr_cache[host_id]
+                if targets is None:
+                    nbr_cache[host_id] = targets = \
+                        network.alive_neighbors_sorted(host_id)
+                skip = host._skip_neighbor
+                if skip is not None:
+                    targets = [t for t in targets if t != skip]
+                if targets:
+                    if wireless:
+                        # One over-the-air transmission for the batch.
+                        sent += 1
+                        wireless_extra += len(targets) - 1
+                    else:
+                        sent += len(targets)
+                    if ring_bucket is None:
+                        ring_bucket = deliveries.get(deliver_at)
+                        if ring_bucket is None:
+                            deliveries[deliver_at] = ring_bucket = []
+                            heapq.heappush(lane._delivery_heap,
+                                           deliver_at)
+                    # Packed mode ships the raw bitmask int (receivers
+                    # normalise); no sketch materialisation per flush.
+                    ring_bucket.append(
+                        (host_id, targets, CONVERGECAST,
+                         host._packed if packed_mode
+                         else host._partial_obj,
+                         host.distance, depth + 1))
+                host._reply_to = None
+            elif host._reply_to:
+                agg = (host._packed if packed_mode
+                       else host._partial_obj)
+                distance = host.distance
+                for neighbor in sorted(host._reply_to):
+                    # The spec's unicast path re-checks edge liveness
+                    # and records nothing when it fails.
+                    if not has_alive_edge(host_id, neighbor):
+                        continue
+                    sent += 1
+                    if ring_bucket is None:
+                        ring_bucket = deliveries.get(deliver_at)
+                        if ring_bucket is None:
+                            deliveries[deliver_at] = ring_bucket = []
+                            heapq.heappush(lane._delivery_heap,
+                                           deliver_at)
+                    ring_bucket.append(
+                        (host_id, (neighbor,), CONVERGECAST, agg,
+                         distance, depth + 1))
+                host._reply_to = None
+            host._dirty = False
+            host._skip_neighbor = None
+        if sent:
+            lane._send_acc[(now, CONVERGECAST)] += sent
+        if wireless_extra:
+            lane._wireless_groups += wireless_extra
 
 
 class Wildfire(Protocol):

@@ -76,6 +76,14 @@ class Simulator:
             no tracer bound the run loop performs a single pointer check
             per event and nothing else -- tracing observes, it never
             perturbs RNG streams, event ordering, or cost accounting.
+        lane: kernel lane -- ``"python"`` (default) drains one event per
+            iteration and is the executable spec; ``"vector"`` opts into
+            the per-tick vectorized lane
+            (:mod:`~repro.simulation.vector_lane`), which engages when
+            the run is supported (fixed delay, no joins, no tracer,
+            adapter-supported hosts) and silently falls back to the spec
+            loop otherwise.  ``lane_used`` records, after :meth:`run`,
+            which lane actually executed.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class Simulator:
         delay_model: Union[DelayModel, str, None] = None,
         stats: Union[StatsSink, str, None] = None,
         tracer: Optional[Tracer] = None,
+        lane: str = "python",
     ) -> None:
         if len(hosts) < network.num_hosts:
             raise ValueError(
@@ -119,6 +128,11 @@ class Simulator:
         self._stopped = False
         self._fail_callbacks: List[Callable[[int, float], None]] = []
         self.tracer = tracer if tracer is not None else default_tracer()
+        from repro.simulation.vector_lane import validate_lane
+
+        self.lane = validate_lane(lane)
+        #: Which lane :meth:`run` actually executed (``None`` before it).
+        self.lane_used: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Scheduling API used by HostContext
@@ -254,6 +268,18 @@ class Simulator:
         horizon = min(until, self.max_time) if until is not None else self.max_time
         self._schedule_churn(horizon)
         self._queue.push(0.0, EventKind.QUERY_START, host=self.querying_host)
+
+        if self.lane == "vector":
+            # Opt-in vectorized per-tick lane; returns None (consuming
+            # nothing) when the run is unsupported, in which case the
+            # spec loop below proceeds untouched.
+            from repro.simulation import vector_lane
+
+            result = vector_lane.maybe_run(self, horizon)
+            if result is not None:
+                self.lane_used = "vector"
+                return result
+        self.lane_used = "python"
 
         # The run loop handles the two hot event kinds (message deliveries
         # and timers, >99% of traffic) inline and routes everything else

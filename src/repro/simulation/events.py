@@ -82,7 +82,13 @@ class Event:
     """A scheduled simulation event.
 
     The dataclass ordering is (time, priority, seq); the payload fields are
-    excluded from comparison.
+    excluded from comparison.  ``queued``/``cancelled`` are queue-internal
+    lifecycle markers: ``queued`` holds the owning :class:`EventQueue`
+    exactly while the event sits unconsumed in it (``None`` otherwise), and
+    ``cancelled`` marks a lazy cancellation the drain has not yet
+    discarded.  Keeping them on the event (rather than in a queue-side seq
+    set) makes cancelling a consumed, foreign, or never-scheduled event a
+    natural no-op.
     """
 
     time: float
@@ -93,6 +99,8 @@ class Event:
     message: Optional[Message] = field(compare=False, default=None)
     timer_name: Optional[str] = field(compare=False, default=None)
     data: Any = field(compare=False, default=None)
+    queued: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
 
 
 class _DeliverBatch:
@@ -150,7 +158,17 @@ class EventQueue:
     """A calendar queue of :class:`Event` objects ordered by (time, prio, seq).
 
     Supports lazy cancellation: cancelled events stay in their slot but are
-    skipped when popped.
+    skipped when popped.  Cancelling an event that was already consumed
+    (or that was never scheduled on this queue) is a no-op, so ``len`` and
+    ``occupancy()`` stay exact under any interleaving of push/pop/cancel.
+
+    Time-validity contract: **every** scheduling entry point (``push``,
+    ``push_deliver``, ``push_timer``, ``extend_delivers``,
+    ``push_multicast``) rejects negative times with :class:`ValueError`.
+    The check is performed inline on all five paths -- it is one float
+    comparison per call, which is not measurable against the dict lookup
+    and list append each push already performs, and it keeps the contract
+    in one place instead of hoisting it to every caller.
 
     Args:
         width: calendar day width.  Purely a performance knob (drain order
@@ -173,11 +191,11 @@ class EventQueue:
         self._front_day = -1
         self._front_times: Optional[List[float]] = None
         self._counter = itertools.count()
-        self._cancelled: set[int] = set()
+        self._num_cancelled = 0
         self._size = 0
 
     def __len__(self) -> int:
-        return self._size - len(self._cancelled)
+        return self._size - self._num_cancelled
 
     def __bool__(self) -> bool:
         return len(self) > 0
@@ -223,6 +241,7 @@ class EventQueue:
             message=message,
             timer_name=timer_name,
             data=data,
+            queued=self,
         )
         slot = self._slot_at(time)
         slot.buckets[priority].append(event)
@@ -242,6 +261,8 @@ class EventQueue:
         difference is that fast-path deliveries cannot be cancelled (the
         simulator never cancels deliveries).
         """
+        if time < 0:
+            raise ValueError("events cannot be scheduled at negative times")
         slot = self._slot_at(time)
         slot.buckets[_DELIVER_PRIORITY].append(message)
         if _DELIVER_PRIORITY < slot.min_pri:
@@ -256,8 +277,10 @@ class EventQueue:
         returned event carries a sequence number and can be cancelled like
         any other event.
         """
+        if time < 0:
+            raise ValueError("events cannot be scheduled at negative times")
         event = Event(time, _TIMER_PRIORITY, next(self._counter),
-                      EventKind.TIMER, host, None, name, info)
+                      EventKind.TIMER, host, None, name, info, self)
         slot = self._slot_at(time)
         slot.buckets[_TIMER_PRIORITY].append(event)
         if _TIMER_PRIORITY < slot.min_pri:
@@ -271,6 +294,8 @@ class EventQueue:
         All messages of a multicast share the delivery instant, so the
         whole batch lands in one slot bucket with a single call.
         """
+        if time < 0:
+            raise ValueError("events cannot be scheduled at negative times")
         slot = self._slot_at(time)
         slot.buckets[_DELIVER_PRIORITY].extend(messages)
         if _DELIVER_PRIORITY < slot.min_pri:
@@ -299,6 +324,8 @@ class EventQueue:
         at its delivery instant.  This is the fixed-delay multicast fast
         path of both the solo and the multi-tenant engine.
         """
+        if time < 0:
+            raise ValueError("events cannot be scheduled at negative times")
         if not dests:
             return  # same no-op contract as extend_delivers([])
         slot = self._slot_at(time)
@@ -310,8 +337,19 @@ class EventQueue:
         self._size += len(dests)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (lazy removal)."""
-        self._cancelled.add(event.seq)
+        """Cancel a previously scheduled event (lazy removal).
+
+        Cancelling an event that was already consumed (popped or drained),
+        already cancelled, or never scheduled here is a **no-op** -- the
+        queue's ``len``/``occupancy`` bookkeeping only counts events that
+        are actually still pending, so cancellation can never drive
+        ``len(queue)`` negative or make it undercount.  An event pending
+        on a *different* queue is likewise left untouched.
+        """
+        if (event.__class__ is Event and event.queued is self
+                and not event.cancelled):
+            event.cancelled = True
+            self._num_cancelled += 1
 
     # ------------------------------------------------------------------
     # Introspection (pull-based; never touched by the drain hot path)
@@ -327,7 +365,7 @@ class EventQueue:
         total = sum(day_sizes)
         return {
             "pending": len(self),
-            "cancelled": len(self._cancelled),
+            "cancelled": self._num_cancelled,
             "slots": len(self._slots),
             "days": len(self._days),
             "max_day_occupancy": max(day_sizes, default=0),
@@ -344,7 +382,6 @@ class EventQueue:
         events and already-popped positions are skipped.  Intended for
         metrics collectors, not for draining.
         """
-        cancelled = self._cancelled
         for slot in self._slots.values():
             buckets = slot.buckets
             cursors = slot.cursors
@@ -354,8 +391,7 @@ class EventQueue:
                     entry = bucket[index]
                     if entry is None:
                         continue
-                    if (entry.__class__ is Event
-                            and entry.seq in cancelled):
+                    if entry.__class__ is Event and entry.cancelled:
                         continue
                     if entry.__class__ is _DeliverBatch:
                         yield entry, len(entry.dests) - entry.pos
@@ -378,7 +414,6 @@ class EventQueue:
         """
         day_heap = self._day_heap
         days = self._days
-        cancelled = self._cancelled
         while True:
             times = self._front_times
             if not times:  # cached front day drained or invalidated
@@ -409,11 +444,11 @@ class EventQueue:
                 length = len(bucket)
                 while index < length:
                     entry = bucket[index]
-                    # Only Event wrappers carry a seq and can be cancelled
-                    # (bare messages and multicast batches never are).
-                    if (entry.__class__ is Event
-                            and entry.seq in cancelled):
-                        cancelled.discard(entry.seq)
+                    # Only Event wrappers can be cancelled (bare messages
+                    # and multicast batches never are).
+                    if entry.__class__ is Event and entry.cancelled:
+                        entry.queued = None
+                        self._num_cancelled -= 1
                         self._size -= 1
                         bucket[index] = None  # type: ignore[call-overload]
                         index += 1
@@ -466,7 +501,71 @@ class EventQueue:
             return time, message
         slot.cursors[priority] = index + 1
         slot.buckets[priority][index] = None  # type: ignore[call-overload]
+        if entry.__class__ is Event:
+            entry.queued = None
         return time, entry
+
+    def pop_tick(self, horizon: Optional[float] = None):
+        """Consume *every* event of the earliest instant in one call.
+
+        This is the vector lane's batch drain: instead of one
+        :meth:`pop_due` per message, the whole calendar slot is detached
+        at once.  Returns ``(time, buckets)`` where ``buckets`` is a list
+        of ``_NUM_PRIORITIES`` lists in priority order; each entry is a
+        bare :class:`Message`, an *unexpanded* :class:`_DeliverBatch`
+        (``entry.dests[entry.pos:]`` are its undelivered destinations, in
+        FIFO/ascending order), or an :class:`Event`.  Cancelled events are
+        discarded, consumed events are unqueued, and the slot is released,
+        exactly as if the instant had been drained with ``pop_due`` --
+        the per-entry order within each bucket is the (time, priority,
+        seq) drain order.  When ``horizon`` is given, an instant due after
+        it is left untouched and ``None`` is returned; an empty queue also
+        returns ``None``.
+
+        Unlike ``pop_due``, events appended to the instant *while the
+        caller processes the returned buckets* land in a fresh slot and
+        surface on the next call, so callers that schedule same-instant
+        work (zero-delay timers) must drain the instant repeatedly or
+        manage that work themselves -- the vector lane does the latter.
+        """
+        front = self._locate_front()
+        if front is None:
+            return None
+        time = front[0]
+        if horizon is not None and time > horizon:
+            return None
+        slot = self._slots[time]
+        removed = 0
+        buckets_out: List[List[Any]] = []
+        for priority in range(_NUM_PRIORITIES):
+            bucket = slot.buckets[priority]
+            start = slot.cursors[priority]
+            live: List[Any] = []
+            for index in range(start, len(bucket)):
+                entry = bucket[index]
+                if entry is None:
+                    continue
+                cls = entry.__class__
+                if cls is Event:
+                    if entry.cancelled:
+                        entry.queued = None
+                        self._num_cancelled -= 1
+                        removed += 1
+                        continue
+                    entry.queued = None
+                    removed += 1
+                elif cls is _DeliverBatch:
+                    removed += len(entry.dests) - entry.pos
+                else:
+                    removed += 1
+                live.append(entry)
+            buckets_out.append(live)
+        self._size -= removed
+        # Release the slot and its timestamp ( _locate_front resolved the
+        # front day, so the cached heap's head is exactly ``time``).
+        del self._slots[time]
+        heapq.heappop(self._front_times)
+        return time, buckets_out
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.

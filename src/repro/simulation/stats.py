@@ -87,6 +87,22 @@ class StatsSink(abc.ABC):
     def record_dropped(self) -> None:
         """Record a message dropped because its destination failed."""
 
+    def record_processed_bulk(self, host_counts) -> None:
+        """Fold many per-host processed-count increments in at once.
+
+        ``host_counts`` yields ``(host, count)`` pairs with ``count >= 1``.
+        Equivalent to ``count`` calls to :meth:`record_processed` per pair
+        except that chain depths are **not** folded here -- the caller
+        (the vector lane's end-of-run replay) updates the
+        ``max_chain_depth`` attribute directly, exactly like the engine's
+        inline hot loop does.  Concrete sinks override this with an O(1)-
+        per-pair implementation; the default loops for third-party sinks.
+        """
+        record = self.record_processed
+        for host, count in host_counts:
+            for _ in range(count):
+                record(host, 0)
+
     # ------------------------------------------------------------------
     # Derived measures
     # ------------------------------------------------------------------
@@ -225,6 +241,12 @@ class CostAccounting(StatsSink):
         """Record a message dropped because its destination failed."""
         self.dropped_messages += 1
 
+    def record_processed_bulk(self, host_counts) -> None:
+        """Fold ``(host, count)`` processed increments in one dict bump each."""
+        processed = self.messages_processed
+        for host, count in host_counts:
+            processed[host] += count
+
     # ------------------------------------------------------------------
     # Derived measures
     # ------------------------------------------------------------------
@@ -361,6 +383,20 @@ class StreamingCostAccounting(StatsSink):
 
     def record_dropped(self) -> None:
         self.dropped_messages += 1
+
+    def record_processed_bulk(self, host_counts) -> None:
+        """Fold ``(host, count)`` processed increments, tracking the max."""
+        processed = self._processed
+        max_processed = self._max_processed
+        for host, count in host_counts:
+            if host >= len(processed):  # a host joined after construction
+                processed.frombytes(
+                    bytes(processed.itemsize * (host + 1 - len(processed))))
+            total = processed[host] + count
+            processed[host] = total
+            if total > max_processed:
+                max_processed = total
+        self._max_processed = max_processed
 
     # ------------------------------------------------------------------
     # Derived measures

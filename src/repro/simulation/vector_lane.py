@@ -1,0 +1,396 @@
+"""The vectorized per-tick kernel lane (opt-in fast path).
+
+Under the fixed-delay model every delivery of a tick shares one calendar
+slot, so the spec engine's one-Python-iteration-per-message drain can be
+replaced by *instant-at-a-time* processing: the lane keeps its own
+per-instant rings -- one for deliveries, one for timers -- and hands each
+instant's batch to a protocol adapter (currently
+:class:`~repro.protocols.wildfire.WildfireVectorAdapter`) that runs the
+protocol's hot receive and flush branches inlined over the whole batch.
+Per delivery this costs a couple of index operations and an int (or
+float) comparison instead of a calendar-queue round trip, a
+:class:`~repro.simulation.messages.Message` allocation, a context rebind
+and a method-dispatch chain; receive-side cost accounting is accumulated
+in flat per-host count vectors and replayed into the stats sink in bulk
+at the end of the run.  Only deliveries with irreducibly stateful
+effects (activation, which draws from the shared RNG and floods the
+query onward) run the unmodified per-message hook.
+
+The lane is locked bit-identical to the spec path by construction plus
+harness:
+
+* deliveries are processed in the exact global FIFO order of the spec
+  loop (records in send order, destinations ascending within a record,
+  instants in time order, deliveries before timers before failures),
+  and every inlined branch reads live host state, so the sequence of
+  state transitions is the spec loop's, step for step;
+* activations, query starts and foreign timers execute the unmodified
+  ``on_message``/``on_query_start``/``on_timer`` hooks with a real
+  (subclassed) :class:`~repro.simulation.host.HostContext`, so RNG
+  consumption order, send order, payload contents and declaration times
+  are those of the spec engine;
+* sends are filed with the same liveness checks and ``time + delta``
+  arrival arithmetic as the engine's
+  ``submit_message``/``submit_multicast`` (payload snapshots are shared
+  rather than copied -- payloads are immutable by repo-wide convention,
+  so sharing is observationally identical), and both cost-accounting
+  sides -- per-(tick, kind) send totals and per-host receive counts,
+  all commutative sums -- are replayed into the same
+  :class:`~repro.simulation.stats.StatsSink` at the end of the run, so
+  ``costs.fingerprint()`` matches;
+* the golden matrix and the python-vs-vector differential axis in
+  ``tests/integration/test_protocol_matrix.py`` pin value, fingerprint
+  and declaration time across topologies, churn and combiners.
+
+Engagement is conservative: the lane runs only when delay is fixed, no
+tracer is attached, churn has no joins, nothing unexpected is
+pre-queued, and the host table is supported by a protocol adapter.
+Anything else falls back to the spec loop -- ``Simulator.lane_used``
+records which lane actually ran, and this module's ``engagements`` /
+``last_fallback_reason`` expose the decision to the differential tests
+so a silent fallback cannot masquerade as a passing bit-identity check.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.simulation.events import Event, EventKind
+from repro.simulation.host import HostContext
+
+#: Lane names understood by the engine and every CLI/config surface.
+LANES = ("python", "vector")
+
+#: Number of times the vector lane actually engaged (for tests: assert
+#: the differential harness exercised the lane, not a silent fallback).
+engagements = 0
+
+#: Why the most recent ``maybe_run`` declined to engage (None = engaged).
+last_fallback_reason: Optional[str] = None
+
+
+def validate_lane(lane: str) -> str:
+    """Check that ``lane`` names a known kernel lane; returns it."""
+    if lane not in LANES:
+        raise ValueError(
+            f"unknown kernel lane {lane!r}; known: {', '.join(LANES)}"
+        )
+    return lane
+
+
+class _LaneContext(HostContext):
+    """A :class:`HostContext` whose sends and timers go to the lane rings.
+
+    The redirected methods reproduce the engine paths they stand in for
+    (same liveness checks, same cost-recording calls, same arrival
+    arithmetic); they exist so a whole instant's sends land in one lane
+    ring bucket instead of round-tripping through the calendar queue.
+    """
+
+    __slots__ = ("_lane",)
+
+    def __init__(self, lane: "_VectorLane", simulator) -> None:
+        super().__init__(simulator, 0, 0.0, 0)
+        self._lane = lane
+
+    def send(self, dest, kind, payload) -> bool:
+        # Lane records carry the two payload fields the WILDFIRE
+        # message handlers read (flat, no per-send dict); unknown kinds
+        # never have their payload inspected at delivery.
+        return self._lane.submit_single(
+            self.host_id, dest, kind, payload.get("agg"),
+            payload.get("dist"), self.now, self._chain_depth + 1)
+
+    def send_to_neighbors(self, kind, payload, exclude=None) -> int:
+        targets: Sequence[int] = self._simulator.network.alive_neighbors_sorted(
+            self.host_id)
+        if exclude is not None:
+            excluded = set(exclude)
+            if excluded:
+                targets = [t for t in targets if t not in excluded]
+        if not targets:
+            return 0
+        self._lane.submit_multi(self.host_id, targets, kind,
+                                payload.get("agg"), payload.get("dist"),
+                                self.now, self._chain_depth + 1)
+        return len(targets)
+
+    def set_timer(self, delay: float, name: str, data: Any = None) -> None:
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        self._lane.register_timer(self.now + delay, self.host_id, name,
+                                  data, self._chain_depth)
+
+
+def _unsupported_reason(simulator) -> Optional[str]:
+    """Why this run cannot use the vector lane (None = it can)."""
+    if simulator.delay_model is not None:
+        return "variable delay model"
+    if simulator.tracer is not None:
+        return "tracer attached"
+    if simulator._churn.joins:
+        return "join churn scheduled"
+    # The queue was just primed by run(): churn failures plus the query
+    # start.  Anything else (pre-pushed timers, custom events, external
+    # deliveries) belongs to a driver the lane does not know about.
+    for entry, _weight in simulator._queue.iter_pending():
+        if entry.__class__ is not Event or entry.kind not in (
+                EventKind.QUERY_START, EventKind.FAIL):
+            return "unexpected pre-queued events"
+    return None
+
+
+def maybe_run(simulator, horizon: float):
+    """Run the simulation on the vector lane, or return ``None`` to fall
+    back to the spec loop.
+
+    Called by :meth:`Simulator.run` after churn and the query start are
+    queued; on fallback nothing has been consumed, so the spec loop
+    proceeds as if the lane had never been consulted.
+    """
+    global engagements, last_fallback_reason
+    reason = _unsupported_reason(simulator)
+    if reason is None:
+        from repro.protocols.wildfire import WildfireVectorAdapter
+
+        adapter = WildfireVectorAdapter.try_build(
+            simulator.hosts, simulator.network.num_hosts,
+            simulator.querying_host)
+        if adapter is None:
+            reason = "unsupported protocol hosts or combiner"
+    if reason is not None:
+        last_fallback_reason = reason
+        return None
+    last_fallback_reason = None
+    engagements += 1
+    return _VectorLane(simulator, adapter, horizon).run()
+
+
+class _VectorLane:
+    """One engaged vector-lane run (see the module docstring)."""
+
+    def __init__(self, simulator, adapter, horizon: float) -> None:
+        self.sim = simulator
+        self.adapter = adapter
+        self.horizon = horizon
+        network = simulator.network
+        n = network.num_hosts
+        self.num_hosts = n
+        self.hosts = simulator.hosts
+        self.network = network
+        self.costs = simulator.costs
+        self.delta = simulator.delta
+        self.wireless = simulator.wireless
+        #: The network's own packed alive bitmap (one byte per host);
+        #: failures the lane applies show through immediately.
+        self.alive_bytes = network._alive
+        # Receive-side accounting, accumulated flat and replayed into
+        # the stats sink at the end of the run (send-side counters stay
+        # incremental through the submit paths below).
+        self.counts: List[int] = [0] * n
+        self.dropped = 0
+        self.max_depth = 0
+        # Send-side accounting, also accumulated flat: per (time, kind)
+        # totals -- the sink counters these feed are commutative sums,
+        # so a handful of end-of-run ``record_send_batch`` calls rebuild
+        # exactly what per-send recording would have.
+        self._send_acc: Dict[tuple, int] = defaultdict(int)
+        self._wireless_groups = 0
+        # Lane rings: fire/delivery time -> FIFO bucket, plus a heap of
+        # times per ring (dict-guarded, so no duplicates).  Same-instant
+        # ordering inside a bucket is append order, which is exactly the
+        # calendar queue's same-instant seq order.
+        self._timers: Dict[float, List[tuple]] = {}
+        self._timer_heap: List[float] = []
+        self._deliveries: Dict[float, List[tuple]] = {}
+        self._delivery_heap: List[float] = []
+        #: alive-neighbor lists memoised per host (``None`` = not yet
+        #: computed); liveness only changes at FAIL events, which reset
+        #: the whole cache.
+        self.nbr_cache: List[Optional[list]] = [None] * n
+        self.ctx = _LaneContext(self, simulator)
+
+    # ------------------------------------------------------------------
+    # Ring registries (the LaneContext / adapter submit targets)
+    # ------------------------------------------------------------------
+    def register_timer(self, time: float, host: int, name: str,
+                       data: Any, chain_depth: int) -> None:
+        bucket = self._timers.get(time)
+        if bucket is None:
+            self._timers[time] = bucket = []
+            heapq.heappush(self._timer_heap, time)
+        bucket.append((host, name, data, chain_depth))
+
+    def submit_single(self, sender: int, dest: int, kind: str, agg,
+                      dist, time: float, chain_depth: int) -> bool:
+        """Lane twin of ``Simulator.submit_message`` (alive sender).
+
+        The sender is the host a hook is currently running for, so only
+        the edge liveness check remains; a failed check records nothing,
+        exactly like the engine path.
+        """
+        if not self.network.has_alive_edge(sender, dest):
+            return False
+        self._send_acc[(time, kind)] += 1
+        deliver_at = time + self.delta
+        bucket = self._deliveries.get(deliver_at)
+        if bucket is None:
+            self._deliveries[deliver_at] = bucket = []
+            heapq.heappush(self._delivery_heap, deliver_at)
+        bucket.append((sender, (dest,), kind, agg, dist, chain_depth))
+        return True
+
+    def submit_multi(self, sender: int, dests: Sequence[int], kind: str,
+                     agg, dist, time: float, chain_depth: int) -> None:
+        """Lane twin of ``Simulator.submit_multicast`` (trusted dests).
+
+        ``dests`` comes from the network's own alive-neighbor view (the
+        ``send_to_neighbors`` contract), so no per-destination liveness
+        re-check happens -- destinations that die before the delivery
+        instant are dropped at delivery time, as in the spec path.
+        """
+        acc = self._send_acc
+        if self.wireless:
+            # One over-the-air transmission for the whole batch.
+            acc[(time, kind)] += 1
+            self._wireless_groups += len(dests) - 1
+        else:
+            acc[(time, kind)] += len(dests)
+        deliver_at = time + self.delta
+        bucket = self._deliveries.get(deliver_at)
+        if bucket is None:
+            self._deliveries[deliver_at] = bucket = []
+            heapq.heappush(self._delivery_heap, deliver_at)
+        bucket.append((sender, dests, kind, agg, dist, chain_depth))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self):
+        from repro.simulation.engine import SimulationResult
+
+        sim = self.sim
+        queue = sim._queue
+        clock = sim.clock
+        horizon = self.horizon
+        timer_heap = self._timer_heap
+        delivery_heap = self._delivery_heap
+        adapter = self.adapter
+        import gc
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            while not sim._stopped:
+                now = queue.peek_time()
+                if delivery_heap and (now is None or delivery_heap[0] < now):
+                    now = delivery_heap[0]
+                if timer_heap and (now is None or timer_heap[0] < now):
+                    now = timer_heap[0]
+                if now is None or now > horizon:
+                    break
+                clock._now = now
+                fails: List[Event] = []
+                if queue.peek_time() == now:
+                    _, buckets = queue.pop_tick()
+                    if buckets[1] or buckets[2] or buckets[3] or buckets[4]:
+                        # JOIN/CUSTOM/raw DELIVER/raw TIMER are excluded
+                        # at engagement time and never arise in a lane
+                        # run; if one shows up the run cannot be
+                        # continued bit-identically, so fail loud,
+                        # never wrong.
+                        raise RuntimeError(
+                            "vector lane encountered unsupported events")
+                    for event in buckets[0]:
+                        self._handle_query_start(event, now)
+                    fails = buckets[5]
+                if delivery_heap and delivery_heap[0] == now:
+                    heapq.heappop(delivery_heap)
+                    adapter.process_instant(
+                        now, self._deliveries.pop(now), self)
+                self._fire_timers(now)
+                for event in fails:
+                    self._handle_fail(event, now)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        self._replay_accounting()
+        return SimulationResult(
+            value=self.hosts[sim.querying_host].local_result(),
+            costs=sim.costs,
+            finished_at=clock.now,
+            querying_host=sim.querying_host,
+        )
+
+    # ------------------------------------------------------------------
+    # Instant processing
+    # ------------------------------------------------------------------
+    def _handle_query_start(self, event: Event, now: float) -> None:
+        host = event.host
+        if host is None or not self.sim.network.is_alive(host):
+            return
+        ctx = self.ctx
+        ctx.host_id = host
+        ctx.now = now
+        ctx._chain_depth = 0
+        self.hosts[host].on_query_start(ctx)
+        self.adapter.refresh_host(host)
+
+    def _fire_timers(self, now: float) -> None:
+        # Looked up at fire time, not peek time: deliveries of this
+        # instant may have just scheduled zero-delay flush timers.
+        bucket = self._timers.get(now)
+        if bucket is not None:
+            self.adapter.process_timer_bucket(now, bucket, self)
+            del self._timers[now]
+        if self._timer_heap and self._timer_heap[0] == now:
+            heapq.heappop(self._timer_heap)
+
+    def run_foreign_timer(self, now: float, host: int, name: str,
+                          data: Any, chain_depth: int) -> None:
+        """Dispatch one non-adapter timer through the real hook."""
+        ctx = self.ctx
+        ctx.host_id = host
+        ctx.now = now
+        ctx._chain_depth = chain_depth
+        self.hosts[host].on_timer(name, data, ctx)
+        self.adapter.refresh_host(host)
+
+    def _handle_fail(self, event: Event, now: float) -> None:
+        host = event.host
+        sim = self.sim
+        if host is None or not sim.network.is_alive(host):
+            return
+        sim.network.fail_host(host, now)
+        self.nbr_cache = [None] * self.num_hosts
+        self.hosts[host].on_fail(now)
+        for callback in sim._fail_callbacks:
+            callback(host, now)
+
+    # ------------------------------------------------------------------
+    # End-of-run accounting replay
+    # ------------------------------------------------------------------
+    def _replay_accounting(self) -> None:
+        """Fold the lane's flat counters into the stats sink.
+
+        Everything the batch path bypassed commutes -- per-host and
+        per-(tick, kind) sums, a running max, scalars -- so replaying
+        the totals at the end produces counter-for-counter the state
+        the spec loop's per-send / per-delivery recording would have
+        built.
+        """
+        costs = self.sim.costs
+        for (time, kind), count in self._send_acc.items():
+            costs.record_send_batch(kind, time, count)
+        if self._wireless_groups:
+            costs.record_wireless_group(self._wireless_groups)
+        if self.dropped:
+            costs.dropped_messages += self.dropped
+        if self.max_depth > costs.max_chain_depth:
+            costs.max_chain_depth = self.max_depth
+        costs.record_processed_bulk(
+            (host, count)
+            for host, count in enumerate(self.counts) if count)

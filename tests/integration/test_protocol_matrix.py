@@ -324,6 +324,44 @@ def test_packed_core_is_event_identical_to_reference_network(
     )
 
 
+# ----------------------------------------------------------------------
+# Kernel-lane differential: the opt-in vector lane must be event-
+# identical to the executable-spec python loop on every WILDFIRE cell
+# it engages for -- same declared value, same full cost-accounting
+# fingerprint, same declaration time.
+# ----------------------------------------------------------------------
+def _run_lane_cell(topology_name, query, churned, lane):
+    topology = TOPOLOGIES[topology_name]()
+    values = uniform_values(topology.num_hosts, low=1, high=50, seed=SEED)
+    churn = _make_churn(topology, churned)
+    result = run_protocol(Wildfire(), topology, values, query,
+                          querying_host=0, churn=churn, seed=SEED,
+                          lane=lane)
+    return {
+        "value": result.value,
+        "cost_fingerprint": result.costs.fingerprint(),
+        "declared_at": result.finished_at,
+    }
+
+
+@pytest.mark.parametrize("churned", [False, True], ids=["static", "churn"])
+@pytest.mark.parametrize("query", ["min", "max", "count", "sum"])
+@pytest.mark.parametrize("topology_name", sorted(TOPOLOGIES))
+def test_vector_lane_is_event_identical_to_spec_lane(
+        topology_name, query, churned):
+    from repro.simulation import vector_lane
+
+    python = _run_lane_cell(topology_name, query, churned, "python")
+    before = vector_lane.engagements
+    vector = _run_lane_cell(topology_name, query, churned, "vector")
+    assert vector_lane.engagements == before + 1, (
+        f"vector lane fell back: {vector_lane.last_fallback_reason}")
+    assert vector == python, (
+        f"vector lane diverged from the spec loop on wildfire/"
+        f"{topology_name}/{query}/{'churn' if churned else 'static'}"
+    )
+
+
 @pytest.mark.parametrize("delay", ["uniform:0.25,1.0", "heavy_tail:1.2"])
 def test_wildfire_stays_oracle_valid_under_churn_and_variable_delay(delay):
     """WILDFIRE's Single-Site Validity claim is stated for any delay at

@@ -1,0 +1,175 @@
+"""The opt-in vectorized kernel lane: engagement, fallback, identity.
+
+The heavyweight locks live in the integration matrix (python-vs-vector
+differential over the full protocol matrix) and in the perf-smoke bench;
+this file pins the lane's *contract*: when it engages, when and why it
+falls back to the executable-spec loop, and that small runs are
+bit-identical (value, cost fingerprint, declaration time) either way.
+"""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.obs.trace import Tracer
+from repro.protocols.base import prepare_protocol_run, run_protocol
+from repro.protocols.spanning_tree import SpanningTree
+from repro.protocols.wildfire import Wildfire
+from repro.simulation import vector_lane
+from repro.simulation.churn import ChurnSchedule, JoinSpec
+from repro.simulation.engine import Simulator
+from repro.simulation.vector_lane import validate_lane
+from repro.topology.grid import grid_topology
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import uniform_values
+
+SEED = 11
+
+
+def _snapshot(result):
+    return {
+        "value": result.value,
+        "fingerprint": result.costs.fingerprint(),
+        "declared_at": result.finished_at,
+    }
+
+
+def _run(lane, query="count", churn=None, wireless=False, delay=None,
+         tracer=None, protocol=None, stats="full"):
+    topology = random_topology(30, avg_degree=3.0, seed=SEED)
+    values = uniform_values(len(topology), low=1, high=50, seed=SEED)
+    result = run_protocol(
+        protocol or Wildfire(), topology, values, query, querying_host=0,
+        churn=churn, wireless=wireless, seed=SEED, delay=delay,
+        tracer=tracer, stats=stats, lane=lane)
+    return _snapshot(result)
+
+
+# ----------------------------------------------------------------------
+# Lane validation
+# ----------------------------------------------------------------------
+def test_validate_lane_accepts_known_lanes():
+    assert validate_lane("python") == "python"
+    assert validate_lane("vector") == "vector"
+
+
+def test_validate_lane_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown kernel lane"):
+        validate_lane("turbo")
+
+
+def test_simulation_config_validates_lane():
+    assert SimulationConfig(lane="vector").lane == "vector"
+    with pytest.raises(ValueError, match="unknown kernel lane"):
+        SimulationConfig(lane="turbo")
+
+
+def test_simulator_rejects_unknown_lane():
+    topology = grid_topology(3)
+    prepared = prepare_protocol_run(
+        Wildfire(), topology, [1.0] * len(topology), "min",
+        querying_host=0, seed=SEED)
+    with pytest.raises(ValueError, match="unknown kernel lane"):
+        Simulator(network=topology.to_network(), hosts=prepared.hosts,
+                  querying_host=0, lane="turbo")
+
+
+# ----------------------------------------------------------------------
+# Engagement and bit-identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("query", ["min", "max", "count", "sum"])
+def test_vector_lane_is_bit_identical(query):
+    churn = ChurnSchedule(failures=[(1.0, 7), (2.0, 3), (3.0, 11)])
+    before = vector_lane.engagements
+    python = _run("python", query=query, churn=churn)
+    assert vector_lane.engagements == before  # spec lane never engages
+    vector = _run("vector", query=query, churn=churn)
+    assert vector_lane.engagements == before + 1
+    assert vector_lane.last_fallback_reason is None
+    assert vector == python
+
+
+def test_vector_lane_identical_under_wireless_and_streaming():
+    python = _run("python", query="count", wireless=True, stats="streaming")
+    vector = _run("vector", query="count", wireless=True, stats="streaming")
+    assert vector == python
+
+
+def test_vector_lane_identical_with_failure_at_time_zero():
+    churn = ChurnSchedule(failures=[(0.0, 5)])
+    assert (_run("vector", query="min", churn=churn)
+            == _run("python", query="min", churn=churn))
+
+
+def test_lane_used_records_actual_lane():
+    topology = grid_topology(4)
+    values = [float(i) for i in range(len(topology))]
+    for lane, expected in (("python", "python"), ("vector", "vector")):
+        prepared = prepare_protocol_run(
+            Wildfire(), topology, values, "min", querying_host=0, seed=SEED)
+        simulator = Simulator(
+            network=topology.to_network(), hosts=prepared.hosts,
+            querying_host=0, max_time=prepared.termination * 4 + 16,
+            lane=lane)
+        assert simulator.lane_used is None
+        simulator.run(until=prepared.termination)
+        assert simulator.lane_used == expected
+
+
+# ----------------------------------------------------------------------
+# Fallback gating: unsupported runs use the spec loop, with a reason
+# ----------------------------------------------------------------------
+def _assert_falls_back(reason, **kwargs):
+    before = vector_lane.engagements
+    vector = _run("vector", **kwargs)
+    assert vector_lane.engagements == before
+    assert vector_lane.last_fallback_reason == reason
+    assert vector == _run("python", **kwargs)
+
+
+def test_falls_back_on_variable_delay_model():
+    _assert_falls_back("variable delay model", delay="uniform:0.25,1.0")
+
+
+def test_falls_back_when_tracer_attached():
+    # Fresh tracer per run: identity is about value/costs, not traces.
+    before = vector_lane.engagements
+    vector = _run("vector", tracer=Tracer())
+    assert vector_lane.engagements == before
+    assert vector_lane.last_fallback_reason == "tracer attached"
+    assert vector == _run("python", tracer=Tracer())
+
+
+def test_falls_back_on_join_churn():
+    churn = ChurnSchedule(failures=[(2.0, 4)],
+                          joins=[JoinSpec(3.0, (0, 1))])
+    _assert_falls_back("join churn scheduled", churn=churn)
+
+
+def test_falls_back_on_unsupported_combiner():
+    # FM average carries pair state; the adapter only handles packed
+    # bitmask and bare-float states.
+    _assert_falls_back("unsupported protocol hosts or combiner",
+                       query="avg")
+
+
+def test_falls_back_on_foreign_protocol_hosts():
+    _assert_falls_back("unsupported protocol hosts or combiner",
+                       protocol=SpanningTree(), query="count")
+
+
+def test_falls_back_on_unexpected_pre_queued_events():
+    topology = grid_topology(4)
+    prepared = prepare_protocol_run(
+        Wildfire(), topology, [1.0] * len(topology), "min",
+        querying_host=0, seed=SEED)
+    simulator = Simulator(
+        network=topology.to_network(), hosts=prepared.hosts,
+        querying_host=0, max_time=prepared.termination * 4 + 16,
+        lane="vector")
+    # A driver-pushed timer the lane has no transcription for.
+    simulator._queue.push_timer(1.0, 0, "custom-probe", (None, 0))
+    before = vector_lane.engagements
+    simulator.run(until=prepared.termination)
+    assert vector_lane.engagements == before
+    assert vector_lane.last_fallback_reason == "unexpected pre-queued events"
+    assert simulator.lane_used == "python"
