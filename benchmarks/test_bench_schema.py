@@ -1,0 +1,80 @@
+"""Schema check for the committed perf trajectory (BENCH_kernel.json).
+
+The trajectory file is append-only across PRs and both the perf-smoke
+budget assertions and the README's perf narrative read it, so a
+malformed append (a stringified number, a point without a label, a
+clobbered reference block) must fail the suite loudly rather than
+corrupt the record for every later session.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_kernel.json")
+
+#: Fields every trajectory point must carry.
+REQUIRED_POINT_FIELDS = {"label": str}
+
+#: Known numeric fields: when present they must be real numbers, never
+#: stringified (a silent ``"464.16"`` would break every consumer that
+#: compares or plots the trajectory).
+NUMERIC_POINT_FIELDS = (
+    "wildfire_1k_seconds", "calibration_seconds", "hosts", "queries",
+    "answered", "run_seconds", "gen_seconds", "queries_per_second",
+    "messages", "messages_per_second", "peak_rss_mb", "accounting_bytes",
+    "shards", "value", "d_hat", "computation_cost", "time_cost", "seed",
+)
+
+
+def _load():
+    with open(TRAJECTORY_PATH) as handle:
+        return json.load(handle)
+
+
+def test_trajectory_top_level_shape():
+    payload = _load()
+    assert isinstance(payload, dict)
+    for key in ("benchmark", "description", "reference", "trajectory"):
+        assert key in payload, key
+    assert isinstance(payload["benchmark"], str)
+    assert isinstance(payload["description"], str)
+    reference = payload["reference"]
+    assert isinstance(reference, dict)
+    for key in ("baseline_pre_rewrite_seconds", "required_speedup",
+                "budget_seconds"):
+        assert isinstance(reference.get(key), (int, float)), key
+    assert isinstance(payload["trajectory"], list)
+    assert payload["trajectory"], "the trajectory must never be emptied"
+
+
+def test_trajectory_points_are_well_formed():
+    for index, point in enumerate(_load()["trajectory"]):
+        assert isinstance(point, dict), f"point {index} is not an object"
+        for key, kind in REQUIRED_POINT_FIELDS.items():
+            assert isinstance(point.get(key), kind), (
+                f"point {index} ({point.get('label')!r}) needs a "
+                f"{kind.__name__} {key!r}")
+        for key in NUMERIC_POINT_FIELDS:
+            if key in point:
+                value = point[key]
+                assert isinstance(value, (int, float)), (
+                    f"point {index} ({point['label']!r}): {key!r} is "
+                    f"{type(value).__name__} {value!r}, expected a number")
+        # CLI-appended points nest rows; each row is then held to the
+        # same numeric discipline.
+        for row in point.get("rows", ()):
+            assert isinstance(row, dict)
+            for key in NUMERIC_POINT_FIELDS:
+                if key in row and row[key] is not None:
+                    assert isinstance(row[key], (int, float)), (
+                        f"point {index} row field {key!r} is not numeric")
+
+
+def test_trajectory_labels_are_unique():
+    labels = [point["label"] for point in _load()["trajectory"]]
+    assert len(labels) == len(set(labels)), (
+        "duplicate trajectory labels make points unciteable: "
+        f"{sorted(label for label in labels if labels.count(label) > 1)}")

@@ -36,6 +36,8 @@ def run_query_mix(
     tracer=None,
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     progress_interval: Optional[float] = None,
+    shards: int = 1,
+    _session_slice: Optional[tuple] = None,
     **mix_overrides,
 ) -> Dict[str, Any]:
     """Run one open-world query mix over a shared service.
@@ -65,6 +67,16 @@ def run_query_mix(
             pop the exact same event sequence as one drain, so results
             are bit-identical with or without progress reporting.
         progress_interval: simulated seconds per progress slice.
+        shards: partition the mix by query id across this many worker
+            processes, each driving its own engine over an identically
+            seeded copy of the network.  Sessions are private and churn
+            is a fixed schedule, so every per-query row -- and therefore
+            the recomputed determinism digest -- is bit-identical to the
+            single-process run; service-level tallies are merged by
+            :func:`repro.service.engine.merge_shard_summaries`.
+        _session_slice: internal ``(worker, shards)`` filter -- submit
+            only queries whose id lands on this worker (ids are pinned
+            so per-session seeds match the unsharded run).
 
     Returns:
         ``{"rows": [...], "summary": {...}, "metrics": {...}}``.  The
@@ -73,6 +85,25 @@ def run_query_mix(
         compared with one string; ``metrics`` is the service metrics
         snapshot (engine tallies, queue occupancy, per-tenant breakdown).
     """
+    if int(shards) < 1:
+        raise ValueError("shards must be at least 1")
+    if shards > 1:
+        if _session_slice is not None:
+            raise ValueError("worker slices cannot themselves shard")
+        if tracer is not None or progress is not None:
+            raise ValueError(
+                "sharded query mixes cannot carry a tracer or progress "
+                "callback across process boundaries; run with shards=1")
+        if prebuilt_topology is not None:
+            raise ValueError(
+                "sharded query mixes rebuild the topology per worker; "
+                "pass the generator name instead of a prebuilt topology")
+        return _run_sharded_query_mix(
+            shards=int(shards), num_hosts=num_hosts, topology=topology,
+            qps=qps, duration=duration, seed=seed, stats=stats,
+            delay=delay, departures=departures, mix=mix,
+            mix_overrides=mix_overrides)
+
     if prebuilt_topology is not None:
         topo = prebuilt_topology
     else:
@@ -98,7 +129,16 @@ def run_query_mix(
     service = QueryService(
         topo, values, churn=churn, seed=seed, stats=stats, delay=delay,
         tracer=tracer)
-    for submission in submissions:
+    for index, submission in enumerate(submissions):
+        # Ids are pinned explicitly (1-based submission order, exactly
+        # what auto-assignment would hand out) so a shard worker that
+        # skips every other submission still derives the same
+        # per-session seeds as the single-process run.
+        qid = index + 1
+        if _session_slice is not None:
+            worker, span = _session_slice
+            if qid % span != worker:
+                continue
         service.submit(
             submission.protocol,
             submission.aggregate,
@@ -107,6 +147,7 @@ def run_query_mix(
             stream=submission.stream,
             extra={"continuous": submission.continuous,
                    "report_index": submission.report_index},
+            query_id=qid,
         )
     if progress is None:
         report = service.run()
@@ -154,3 +195,74 @@ def run_query_mix(
     })
     return {"rows": rows, "summary": summary,
             "metrics": collect_service_metrics(service)}
+
+
+def _mix_shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool entry point: one worker's slice of the sharded query mix."""
+    kwargs = dict(payload)
+    overrides = kwargs.pop("mix_overrides")
+    return run_query_mix(**kwargs, **overrides)
+
+
+def _run_sharded_query_mix(
+    shards: int,
+    num_hosts: int,
+    topology: str,
+    qps: float,
+    duration: float,
+    seed: int,
+    stats: str,
+    delay: Optional[str],
+    departures: int,
+    mix: Optional[QueryMixConfig],
+    mix_overrides: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Partition the mix by query id over a worker pool and merge.
+
+    Each worker rebuilds the identical topology/values/churn/mix from
+    the shared seed and drives only the queries whose 1-based id is
+    congruent to its index mod ``shards``.  Per-query rows come back
+    bit-identical to the single-process run (sessions are private;
+    churn is a fixed schedule), so the parent reassembles them in id
+    order and *recomputes* the determinism digest with the exact
+    single-process algorithm -- digest equality is the end-to-end proof
+    that sharding changed nothing a tenant can observe.
+    """
+    from repro.orchestration.executor import _pool_context
+    from repro.service.engine import merge_shard_summaries
+
+    payloads = [
+        {
+            "num_hosts": num_hosts, "topology": topology, "qps": qps,
+            "duration": duration, "seed": seed, "stats": stats,
+            "delay": delay, "departures": departures, "mix": mix,
+            "_session_slice": (worker, shards),
+            "mix_overrides": mix_overrides,
+        }
+        for worker in range(shards)
+    ]
+    ctx = _pool_context()
+    with ctx.Pool(processes=shards) as pool:
+        shard_results = pool.map(_mix_shard_worker, payloads)
+
+    rows = sorted(
+        (row for result in shard_results for row in result["rows"]),
+        key=lambda row: row["query_id"])
+    digest = hashlib.sha256()
+    for row in rows:
+        fingerprint = row.get("cost_fingerprint")
+        if fingerprint is not None:
+            digest.update(fingerprint.encode())
+        digest.update(repr((row["query_id"], row["value"])).encode())
+    summary = merge_shard_summaries(
+        [result["summary"] for result in shard_results], rows)
+    summary["determinism_digest"] = digest.hexdigest()
+    summary["shards"] = shards
+    return {
+        "rows": rows,
+        "summary": summary,
+        "metrics": {
+            "service.shards": shards,
+            "per_shard": [result["metrics"] for result in shard_results],
+        },
+    }

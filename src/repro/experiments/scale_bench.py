@@ -80,6 +80,7 @@ def run_scale_benchmark(
     delay: str = "fixed",
     tracer=None,
     lane: str = "python",
+    shards: int = 1,
 ) -> Dict[str, Any]:
     """Run one protocol once at ``num_hosts`` scale and measure it.
 
@@ -108,9 +109,13 @@ def run_scale_benchmark(
         tracer: structured trace sink threaded into the simulation; the
             benchmark's own phases (topology generation, simulation)
             land in the same trace as wall-clock ``phase`` spans.
-        lane: kernel lane, ``"python"`` (the executable spec) or
-            ``"vector"`` (the opt-in per-tick vectorized lane; falls
-            back to the spec loop when the run is unsupported).
+        lane: kernel lane, ``"python"`` (the executable spec),
+            ``"vector"`` (the opt-in per-tick vectorized lane) or
+            ``"sharded"`` (the epoch-synchronous multiprocess lane);
+            the opt-in lanes fall back to the spec loop when the run is
+            unsupported.
+        shards: worker-process count for ``lane="sharded"`` (ignored by
+            the other lanes beyond validation).
     """
     if num_hosts < 2:
         raise ValueError("scale benchmarks need at least 2 hosts")
@@ -139,6 +144,7 @@ def run_scale_benchmark(
             delay=delay,
             tracer=tracer,
             lane=lane,
+            shards=shards,
         )
     gen_seconds = timer.seconds("generate_topology")
     run_seconds = timer.seconds("simulate")
@@ -153,6 +159,7 @@ def run_scale_benchmark(
         "stats": stats,
         "delay": delay,
         "lane": lane,
+        "shards": shards,
         "value": result.value,
         "d_hat": result.d_hat,
         "messages": messages,
@@ -228,6 +235,7 @@ def run_scale_sweep(
     delay: str = "fixed",
     tracer=None,
     lane: str = "python",
+    shards: int = 1,
 ) -> List[Dict[str, Any]]:
     """Run :func:`run_scale_benchmark` for each host count, in order.
 
@@ -241,6 +249,7 @@ def run_scale_sweep(
             int(num_hosts), topology=topology, protocol=protocol,
             aggregate=aggregate, seed=seed, repetitions=repetitions,
             stats=stats, delay=delay, tracer=tracer, lane=lane,
+            shards=shards,
         )
         rows.append(row)
         if progress is not None:

@@ -33,6 +33,7 @@ __all__ = [
     "collect_run_metrics",
     "collect_queue_metrics",
     "collect_service_metrics",
+    "collect_shard_metrics",
     "worker_utilisation",
 ]
 
@@ -162,11 +163,44 @@ def collect_run_metrics(costs, registry: Optional[MetricsRegistry] = None,
 
 def collect_queue_metrics(queue, registry: Optional[MetricsRegistry] = None,
                           prefix: str = "queue") -> MetricsRegistry:
-    """Calendar-queue depth and day-bucket occupancy gauges."""
+    """Calendar-queue depth and day-bucket occupancy gauges.
+
+    ``occupancy()`` reports ``None`` for the horizon fields of an empty
+    queue ("no next event" is not a number); those are skipped rather
+    than gauged so snapshots stay numeric.
+    """
     registry = registry if registry is not None else MetricsRegistry()
     occupancy = queue.occupancy()
     for key, value in occupancy.items():
+        if value is None:
+            continue
         registry.gauge(f"{prefix}.{key}").set(value)
+    return registry
+
+
+def collect_shard_metrics(result, registry: Optional[MetricsRegistry] = None,
+                          prefix: str = "shard") -> MetricsRegistry:
+    """Per-shard lane metrics from a sharded-lane run's result.
+
+    Accepts a :class:`SimulationResult` / :class:`ProtocolRunResult`
+    whose ``extra["sharded"]`` block the coordinator filled in; a result
+    from any other lane folds nothing.  Emits one gauge per shard per
+    numeric metric (``shard.2.barrier_wait_s``, ...) plus the shard
+    count, so barrier skew and exchange volume show up next to the run
+    metrics in the same snapshot.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    info = getattr(result, "extra", None) or {}
+    sharded = info.get("sharded")
+    if not sharded:
+        return registry
+    registry.gauge(f"{prefix}.shards").set(sharded["shards"])
+    for worker in sharded.get("workers", ()):
+        shard = worker.get("shard")
+        for key, value in sorted(worker.items()):
+            if key == "shard" or not isinstance(value, (int, float)):
+                continue
+            registry.gauge(f"{prefix}.{shard}.{key}").set(value)
     return registry
 
 

@@ -97,12 +97,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="link-delay model spec: fixed | uniform[:lo,hi]"
                             " | per_edge[:lo,hi] | heavy_tail[:alpha,xm] "
                             "(default fixed)")
-    bench.add_argument("--lane", choices=("python", "vector"),
+    bench.add_argument("--lane", choices=("python", "vector", "sharded"),
                        default="python",
-                       help="kernel lane: python (the executable spec) or "
-                            "vector (per-tick vectorized fast lane, "
-                            "bit-identical; falls back to python when the "
-                            "run is unsupported)")
+                       help="kernel lane: python (the executable spec), "
+                            "vector (per-tick vectorized fast lane) or "
+                            "sharded (epoch-synchronous multiprocess "
+                            "lane, see --shards); the opt-in lanes are "
+                            "bit-identical and fall back to python when "
+                            "the run is unsupported)")
+    bench.add_argument("--shards", type=int, default=1, metavar="K",
+                       help="worker processes for --lane sharded "
+                            "(default 1 = in-process shard)")
     bench.add_argument("--profile", action="store_true",
                        help="run under cProfile and print the top 25 "
                             "functions by cumulative time to stderr")
@@ -159,6 +164,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "spanning-tree and dag2)")
     serve.add_argument("--max-queries", type=int, default=None,
                        help="cap on total submissions (default: unbounded)")
+    serve.add_argument("--shards", type=int, default=1, metavar="K",
+                       help="partition the query mix across K worker "
+                            "processes by query id; rows, summary and "
+                            "the determinism digest are merged to match "
+                            "the single-process run (default 1)")
     serve.add_argument("--rows", type=int, default=20, metavar="N",
                        help="print the first N per-query rows (default 20; "
                             "0 = summary only)")
@@ -320,6 +330,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.repetitions < 1:
         print("--repetitions must be at least 1", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.lane != "sharded":
+        print("--shards requires --lane sharded", file=sys.stderr)
+        return 2
     payload = None
     if args.json:
         # Pre-flight the trajectory file BEFORE the (potentially long)
@@ -374,6 +390,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             stats=args.stats,
             delay=args.delay,
             lane=args.lane,
+            shards=args.shards,
             tracer=tracer,
             progress=lambda row: log.info(
                 ".. %s hosts: %.2fs, %s messages (%s/s, peak RSS %s MiB)",
@@ -400,10 +417,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             capture.print_stats(25)
     if tracer is not None:
         _export_trace(tracer, args.trace_out)
+    lane_label = (f"{args.lane} lane x{args.shards}"
+                  if args.lane == "sharded" else f"{args.lane} lane")
     print(format_table(rows, title=f"Kernel scale benchmark "
                                    f"({args.protocol} / {args.topology} / "
                                    f"{args.aggregate} / {args.delay} delay / "
-                                   f"{args.stats} stats / {args.lane} lane)"))
+                                   f"{args.stats} stats / {lane_label})"))
     if args.json and payload is not None:
         label = args.label or (
             f"cli {args.protocol}/{args.topology}/{args.aggregate}")
@@ -439,6 +458,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.qps <= 0 or args.duration <= 0:
         print("--qps and --duration must be positive", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
         return 2
     protocol_mix = dict(DEFAULT_PROTOCOL_MIX)
     if args.wildfire_share is not None:
@@ -480,6 +502,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mix=mix,
             tracer=tracer,
             progress=progress,
+            shards=args.shards,
         )
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)

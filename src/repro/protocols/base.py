@@ -33,6 +33,10 @@ class ProtocolRunResult:
         d_hat: the stable-diameter overestimate used by the run.
         termination_time: the protocol's nominal termination time ``T``.
         extra: protocol-specific details (tree depth, reports received, ...).
+        fallback_reason: why an opt-in kernel lane (``vector`` /
+            ``sharded``) declined this run and the spec loop ran instead
+            (``None``: the requested lane ran, or the spec lane was
+            requested).
     """
 
     protocol: str
@@ -44,6 +48,7 @@ class ProtocolRunResult:
     d_hat: int
     termination_time: float
     extra: Dict[str, Any] = field(default_factory=dict)
+    fallback_reason: Optional[str] = None
 
 
 class Protocol(abc.ABC):
@@ -265,6 +270,7 @@ def run_protocol(
     stats: "StatsSink | str | None" = None,
     tracer=None,
     lane: str = "python",
+    shards: int = 1,
 ) -> ProtocolRunResult:
     """Run ``protocol`` once and return its declared answer and costs.
 
@@ -310,11 +316,15 @@ def run_protocol(
             (``None`` = the process default, usually disabled).  Tracers
             observe; the declared value and every cost counter are
             bit-identical with tracing on or off.
-        lane: kernel lane -- ``"python"`` (the executable spec, default)
-            or ``"vector"`` for the opt-in per-tick vectorized lane
-            (:mod:`repro.simulation.vector_lane`), which is locked
-            bit-identical to the spec path and falls back to it when the
-            run is unsupported.
+        lane: kernel lane -- ``"python"`` (the executable spec, default),
+            ``"vector"`` for the opt-in per-tick vectorized lane
+            (:mod:`repro.simulation.vector_lane`), or ``"sharded"`` for
+            the multiprocess epoch-synchronous lane
+            (:mod:`repro.simulation.sharded`); both opt-in lanes are
+            locked bit-identical to the spec path and fall back to it
+            when the run is unsupported.
+        shards: worker-process count for the sharded lane (ignored by
+            the other lanes).
     """
     prepared = prepare_protocol_run(
         protocol, topology, values, query,
@@ -335,6 +345,7 @@ def run_protocol(
         stats=stats,
         tracer=tracer,
         lane=lane,
+        shards=shards,
     )
     sim_result: SimulationResult = simulator.run(until=termination)
     return ProtocolRunResult(
@@ -347,4 +358,5 @@ def run_protocol(
         d_hat=prepared.d_hat,
         termination_time=termination,
         extra=dict(sim_result.extra),
+        fallback_reason=sim_result.fallback_reason,
     )

@@ -451,3 +451,60 @@ class MuxEngine:
             handler = event.data
             if callable(handler):
                 handler(self)
+
+
+def merge_shard_summaries(summaries: Sequence[Mapping[str, Any]],
+                          rows: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Fold per-shard service summaries into one service-level summary.
+
+    The sharded ``repro serve`` drive partitions the query mix by id
+    across worker processes, each running its own :class:`MuxEngine`
+    over a private (identically seeded) copy of the network.  Because
+    per-session state is private and churn is a fixed service-wide
+    schedule, every per-query row is bit-identical to the
+    single-process run; this helper reassembles the *service-level*
+    tallies from the shard summaries:
+
+    * engine tallies (``messages_sent``, ``late_messages``,
+      ``dropped_messages``, ``events_processed``), query counts and
+      wall-clock ``elapsed_seconds`` are additive -- note that
+      ``events_processed`` counts *work done*, and every shard's engine
+      replays the shared churn schedule on its private network copy, so
+      the sum exceeds the single-process tally by
+      ``(shards - 1) * churn_events``;
+    * ``finished_at`` is the max over shards;
+    * ``retired_order`` is rebuilt from the merged ``rows`` by sorting
+      declared queries on ``(declared_at, query_id)`` -- the engine
+      retires same-instant declarations in submission (id) order, so
+      this reproduces the single-process order;
+    * ``late_by_query`` is a disjoint union (each query lives on
+      exactly one shard);
+    * ``peak_active_sessions`` is summed: the shards run concurrently,
+      so the sum is the faithful residency bound for the sharded drive
+      (and an upper bound on the single-process peak).
+    """
+    if not summaries:
+        raise ValueError("merge_shard_summaries needs at least one summary")
+    merged: Dict[str, Any] = dict(summaries[0])
+    for key in ("queries", "answered", "failed", "messages_sent",
+                "late_messages", "dropped_messages", "events_processed",
+                "peak_active_sessions"):
+        merged[key] = sum(s[key] for s in summaries)
+    merged["finished_at"] = max(s["finished_at"] for s in summaries)
+    merged["elapsed_seconds"] = round(
+        sum(s["elapsed_seconds"] for s in summaries), 4)
+    merged["queries_per_second"] = round(
+        merged["answered"] / merged["elapsed_seconds"], 2
+    ) if merged["elapsed_seconds"] > 0 else 0.0
+    late_by_query: Dict[str, int] = {}
+    for summary in summaries:
+        late_by_query.update(summary.get("late_by_query", {}))
+    merged["late_by_query"] = {
+        key: late_by_query[key]
+        for key in sorted(late_by_query, key=int)
+    }
+    declared = [row for row in rows if row.get("declared_at") is not None]
+    declared.sort(key=lambda row: (row["declared_at"], row["query_id"]))
+    merged["retired_order"] = [row["query_id"] for row in declared]
+    merged["retired"] = len(merged["retired_order"])
+    return merged

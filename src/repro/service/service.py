@@ -207,6 +207,7 @@ class QueryService:
         join_factory: Optional[Callable[[int], ProtocolHost]] = None,
         stream: Optional[int] = None,
         extra: Optional[Dict[str, Any]] = None,
+        query_id: Optional[int] = None,
     ) -> int:
         """Register one aggregate query and return its session id.
 
@@ -215,6 +216,12 @@ class QueryService:
         the protocol's nominal termination time.  ``seed`` defaults to
         :meth:`derive_seed` of the assigned id; pass it explicitly to
         replay a session solo.
+
+        ``query_id`` pins the session id instead of taking the next free
+        one -- the sharded service drive uses this so a worker holding
+        every ``K``-th query still derives the exact per-session seeds
+        (and therefore rows) of the single-process run.  Auto-assignment
+        continues above any pinned id.
         """
         if at < 0:
             raise ValueError("queries cannot launch at negative times")
@@ -241,8 +248,16 @@ class QueryService:
                 f"paths and requires a duplicate-insensitive combiner; got "
                 f"{combiner.name!r}"
             )
-        qid = self._next_qid
-        self._next_qid += 1
+        if query_id is None:
+            qid = self._next_qid
+            self._next_qid += 1
+        else:
+            qid = int(query_id)
+            if qid < 1:
+                raise ValueError("query ids start at 1")
+            if qid in self._sessions:
+                raise ValueError(f"query id {qid} is already in use")
+            self._next_qid = max(self._next_qid, qid + 1)
         session = QuerySession(
             qid=qid,
             protocol=protocol,

@@ -37,6 +37,11 @@ class SimulationResult:
         finished_at: simulation time when the run stopped.
         querying_host: id of the host that issued the query.
         extra: protocol- or experiment-specific extras (e.g. tree depth).
+        fallback_reason: when an opt-in lane (``vector``/``sharded``) was
+            requested but declined to engage, why -- carried on the result
+            itself so concurrent or subsequent runs cannot clobber it
+            (the module-global ``vector_lane.last_fallback_reason`` is a
+            deprecated alias).  ``None`` when the requested lane ran.
     """
 
     value: Any
@@ -44,6 +49,7 @@ class SimulationResult:
     finished_at: float
     querying_host: int
     extra: Dict[str, Any] = field(default_factory=dict)
+    fallback_reason: Optional[str] = None
 
 
 class Simulator:
@@ -82,8 +88,13 @@ class Simulator:
             (:mod:`~repro.simulation.vector_lane`), which engages when
             the run is supported (fixed delay, no joins, no tracer,
             adapter-supported hosts) and silently falls back to the spec
-            loop otherwise.  ``lane_used`` records, after :meth:`run`,
-            which lane actually executed.
+            loop otherwise.  ``"sharded"`` opts into the multiprocess
+            epoch-synchronous lane (:mod:`~repro.simulation.sharded`),
+            which partitions the host range across ``shards`` worker
+            processes.  ``lane_used`` records, after :meth:`run`, which
+            lane actually executed.
+        shards: worker-process count for the sharded lane (ignored by the
+            other lanes); ``1`` runs the sharded protocol in-process.
     """
 
     def __init__(
@@ -99,6 +110,7 @@ class Simulator:
         stats: Union[StatsSink, str, None] = None,
         tracer: Optional[Tracer] = None,
         lane: str = "python",
+        shards: int = 1,
     ) -> None:
         if len(hosts) < network.num_hosts:
             raise ValueError(
@@ -131,6 +143,9 @@ class Simulator:
         from repro.simulation.vector_lane import validate_lane
 
         self.lane = validate_lane(lane)
+        if int(shards) < 1:
+            raise ValueError("shards must be at least 1")
+        self.shards = int(shards)
         #: Which lane :meth:`run` actually executed (``None`` before it).
         self.lane_used: Optional[str] = None
 
@@ -269,6 +284,7 @@ class Simulator:
         self._schedule_churn(horizon)
         self._queue.push(0.0, EventKind.QUERY_START, host=self.querying_host)
 
+        fallback_reason: Optional[str] = None
         if self.lane == "vector":
             # Opt-in vectorized per-tick lane; returns None (consuming
             # nothing) when the run is unsupported, in which case the
@@ -279,6 +295,16 @@ class Simulator:
             if result is not None:
                 self.lane_used = "vector"
                 return result
+            fallback_reason = vector_lane.last_fallback_reason
+        elif self.lane == "sharded":
+            # Opt-in multiprocess epoch-synchronous lane; same contract.
+            from repro.simulation import sharded
+
+            result = sharded.maybe_run(self, horizon)
+            if result is not None:
+                self.lane_used = "sharded"
+                return result
+            fallback_reason = sharded.last_fallback_reason
         self.lane_used = "python"
 
         # The run loop handles the two hot event kinds (message deliveries
@@ -374,6 +400,7 @@ class Simulator:
             costs=self.costs,
             finished_at=finished,
             querying_host=self.querying_host,
+            fallback_reason=fallback_reason,
         )
 
     def stop(self) -> None:

@@ -357,12 +357,30 @@ class EventQueue:
     def occupancy(self) -> Dict[str, Any]:
         """Queue depth and calendar occupancy, computed on demand.
 
-        Walks only the day index (one entry per non-empty day), not the
-        events themselves, so a metrics snapshot costs O(days) -- safe
-        to take mid-run at any scale.
+        Walks the day index (one entry per non-empty day) plus, for the
+        ``horizon``/``current_epoch`` fields, the slot table (one entry
+        per distinct timestamp, scanning each slot only until the first
+        live entry) -- still far from touching every event, so a metrics
+        snapshot stays safe to take mid-run at any scale.
+
+        ``horizon`` is the latest timestamp that still has a live
+        (non-cancelled, unconsumed) entry, ``current_epoch`` the calendar
+        day index of the earliest such timestamp -- exactly the window the
+        sharded lane's barrier scheduler reasons about.  Both are ``None``
+        when no live entries remain; cancelled events and already-drained
+        slot positions never count.
         """
         day_sizes = [len(bucket) for bucket in self._days.values()]
         total = sum(day_sizes)
+        horizon: Optional[float] = None
+        earliest: Optional[float] = None
+        for time, slot in self._slots.items():
+            if not self._slot_has_live(slot):
+                continue
+            if horizon is None or time > horizon:
+                horizon = time
+            if earliest is None or time < earliest:
+                earliest = time
         return {
             "pending": len(self),
             "cancelled": self._num_cancelled,
@@ -371,7 +389,26 @@ class EventQueue:
             "max_day_occupancy": max(day_sizes, default=0),
             "mean_day_occupancy": (round(total / len(day_sizes), 2)
                                    if day_sizes else 0),
+            "horizon": horizon,
+            "current_epoch": (None if earliest is None
+                              else int(earliest / self._width)),
         }
+
+    @staticmethod
+    def _slot_has_live(slot: _Slot) -> bool:
+        """Whether any live entry remains in ``slot`` (non-mutating)."""
+        buckets = slot.buckets
+        cursors = slot.cursors
+        for priority in range(_NUM_PRIORITIES):
+            bucket = buckets[priority]
+            for index in range(cursors[priority], len(bucket)):
+                entry = bucket[index]
+                if entry is None:
+                    continue
+                if entry.__class__ is Event and entry.cancelled:
+                    continue
+                return True
+        return False
 
     def iter_pending(self) -> Iterator[Any]:
         """Yield ``(entry, weight)`` for every live queued entry.
@@ -504,6 +541,50 @@ class EventQueue:
         if entry.__class__ is Event:
             entry.queued = None
         return time, entry
+
+    def drain_until(self, horizon: Optional[float]) -> List[tuple]:
+        """Pop every event due at or before ``horizon``, in drain order.
+
+        This is the sharded lane's epoch entry point: the whole
+        ``(time, priority, seq)``-ordered prefix of the queue is extracted
+        in one call so a coordinator can re-plan it (and, via
+        :meth:`ingest_events`, put it back untouched on fallback).  Each
+        element is the ``(time, entry)`` pair :meth:`pop_due` would have
+        returned -- a bare :class:`Message` for fast-path deliveries
+        (multicast batches are expanded) and an :class:`Event` for
+        everything else.  ``None`` drains unconditionally.  Events due
+        after ``horizon`` stay queued.
+        """
+        drained: List[tuple] = []
+        append = drained.append
+        pop_due = self.pop_due
+        while True:
+            front = pop_due(horizon)
+            if front is None:
+                return drained
+            append(front)
+
+    def ingest_events(self, batch: Sequence[tuple]) -> None:
+        """Re-schedule a batch of ``(time, entry)`` pairs in batch order.
+
+        The inverse of :meth:`drain_until`: pushing the drained list back
+        restores the exact drain order (same times, same relative order
+        within an instant -- fresh sequence numbers preserve the original
+        FIFO ranks because the batch is already (time, priority, seq)
+        sorted).  Entries may be bare :class:`Message` objects or
+        :class:`Event` wrappers; cancel handles on the originals are
+        stale after a round trip (the originals were consumed), which
+        matches the queue's cancel-after-consume no-op contract.
+        """
+        push = self.push
+        push_deliver = self.push_deliver
+        for time, entry in batch:
+            if entry.__class__ is Event:
+                push(time, entry.kind, host=entry.host,
+                     message=entry.message, timer_name=entry.timer_name,
+                     data=entry.data)
+            else:
+                push_deliver(time, entry)
 
     def pop_tick(self, horizon: Optional[float] = None):
         """Consume *every* event of the earliest instant in one call.

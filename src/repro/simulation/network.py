@@ -405,6 +405,54 @@ class DynamicNetwork:
         )
         return new_id
 
+    def partition_bounds(self, shards: int) -> List[int]:
+        """Contiguous host-range boundaries for ``shards`` workers.
+
+        Returns ``[0, b1, ..., num_hosts]`` (``shards + 1`` entries) such
+        that shard ``k`` owns hosts ``[bounds[k], bounds[k+1])``.  Cut
+        points are chosen so every shard carries roughly the same number
+        of *base CSR edges* (host count alone skews badly on power-law
+        topologies: the hub-heavy prefix would dwarf the tail shards).
+        Ranges may be empty when ``shards > num_hosts``.  Partitioning a
+        network that has grown past its base table (joined hosts) is
+        refused -- overflow rows are not range-partitionable.
+        """
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        n = self._base_n
+        if n != len(self._alive) or self._overflow:
+            raise ValueError(
+                "cannot range-partition a network with joined hosts")
+        offsets = self._base_offsets
+        total = offsets[n]
+        bounds = [0]
+        for k in range(1, shards):
+            cut = bisect_left(offsets, total * k // shards)
+            if cut > n:
+                cut = n
+            if cut < bounds[-1]:
+                cut = bounds[-1]
+            bounds.append(cut)
+        bounds.append(n)
+        return bounds
+
+    def apply_failures(self, failures: Iterable[Tuple[float, int]]) -> int:
+        """Apply a batch of ``(time, host)`` failures in batch order.
+
+        Already-failed hosts are skipped (the engine's FAIL handler
+        guards with ``is_alive`` the same way); returns how many hosts
+        actually failed.  Used by the sharded lane to replicate the churn
+        schedule onto every worker's network copy and to bring the
+        parent's network up to date after a forked run.
+        """
+        applied = 0
+        alive = self._alive
+        for time, host in failures:
+            if alive[host]:
+                self.fail_host(host, time)
+                applied += 1
+        return applied
+
     # ------------------------------------------------------------------
     # Graph algorithms
     # ------------------------------------------------------------------

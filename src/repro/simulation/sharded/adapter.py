@@ -1,0 +1,246 @@
+"""WILDFIRE batch kernel for the sharded lane.
+
+:class:`ShardWildfireAdapter` subclasses the vector lane's
+:class:`~repro.protocols.wildfire.WildfireVectorAdapter` and replaces the
+two batch entry points with shard-aware twins.  The protocol transitions
+are the same inlined transcriptions of ``WildfireHost.on_message`` and
+the FLUSH timer (``_activate_host`` -- the one stateful path, including
+the RNG draw in ``combiner.initial`` -- is inherited **unmodified**); what
+changes is the bookkeeping around them:
+
+* every delivery record arrives with its dense **global rank** for the
+  instant (assigned canonically by the epoch exchange), and the rank is
+  carried onto any flush-timer registration it causes, so the timer
+  bucket's emission order can be reconstructed globally;
+* outgoing records are filed into the lane's epoch out-queue tagged with
+  a canonical integer key that is a pure function of content-independent
+  quantities (activation rank for Broadcast, ``(causing rank, host,
+  seq)`` for flush emissions) -- identical keys on every shard count, so
+  sorting by key reproduces the spec loop's global FIFO order exactly;
+* flush timers are asserted to fire at their registration instant
+  (``_next_flush`` can never be in the future under the fixed-delay
+  model this lane is gated to), which is what lets the lane keep one
+  flat per-instant bucket instead of a timer ring.
+
+Any observation that would break the bit-identity contract (a future
+flush, an unranked broadcaster) raises instead of degrading -- fail
+loud, never wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.protocols.wildfire import (
+    BROADCAST,
+    CONVERGECAST,
+    WildfireVectorAdapter,
+)
+
+__all__ = ["ShardWildfireAdapter"]
+
+
+class ShardWildfireAdapter(WildfireVectorAdapter):
+    """Shard-aware batch kernel (see the module docstring)."""
+
+    __slots__ = ()
+
+    def process_instant(self, now: float, entries: Sequence[Any],
+                        lane: Any) -> None:
+        """Process one instant's ranked delivery records in rank order.
+
+        ``entries`` is the epoch exchange's output: per record one
+        ``(rank, sender, dests, kind, agg, dist, chain_depth)`` tuple in
+        ascending global-rank order, with ``dests`` already restricted
+        to this shard's host range (ascending).  The body is the vector
+        adapter's ``process_instant`` with the timer registration
+        re-targeted at the lane's flat epoch bucket, carrying the
+        causing rank.
+        """
+        hosts = self.hosts
+        alive = lane.alive_bytes
+        counts = lane.counts
+        deadlines = self.deadlines
+        bucket = lane.timer_bucket
+        gdl = self.global_deadline
+        packed_mode = self.packed_mode
+        dropped = 0
+        max_depth = lane.max_depth
+        for rank, sender, dests, kind, incoming, dist, depth in entries:
+            lane._current_rank = rank
+            if kind != CONVERGECAST and kind != BROADCAST:
+                # on_message ignores foreign kinds: deliveries count,
+                # state never moves.
+                delivered = False
+                for dest in dests:
+                    if alive[dest]:
+                        counts[dest] += 1
+                        delivered = True
+                    else:
+                        dropped += 1
+                if delivered and depth > max_depth:
+                    max_depth = depth
+                continue
+            if packed_mode and incoming is not None:
+                inc_packed = (incoming if type(incoming) is int
+                              else incoming.packed)
+            else:
+                inc_packed = None
+            delivered = False
+            for dest in dests:
+                if not alive[dest]:
+                    dropped += 1
+                    continue
+                counts[dest] += 1
+                delivered = True
+                deadline = deadlines[dest]
+                if deadline is None:  # inactive
+                    if now >= gdl:
+                        continue  # spec path: return untouched
+                    self._activate_host(hosts[dest], dest, sender,
+                                        incoming, inc_packed, dist,
+                                        now, depth, lane)
+                    continue
+                if now > deadline:
+                    continue  # spec path: return untouched
+                if incoming is None:
+                    continue
+                host = hosts[dest]
+                # -- inlined WildfireHost.on_message, active host ------
+                if packed_mode:
+                    packed = host._packed
+                    merged = packed | inc_packed
+                    if merged == packed:
+                        if packed == inc_packed:
+                            continue  # pure no-op
+                        reply_to = host._reply_to
+                        if reply_to is None:
+                            host._reply_to = {sender}
+                        else:
+                            reply_to.add(sender)
+                    else:
+                        host._packed = merged
+                        host._packed_stale = True
+                        host.updates_observed += 1
+                        host._dirty = True
+                        host._skip_neighbor = (sender if merged == inc_packed
+                                               else None)
+                        if host._reply_to is not None:
+                            host._reply_to.discard(sender)
+                else:
+                    partial = host.partial
+                    if host._absorbs(partial, incoming):
+                        if host._states_equal(partial, incoming):
+                            continue  # pure no-op
+                        reply_to = host._reply_to
+                        if reply_to is None:
+                            host._reply_to = {sender}
+                        else:
+                            reply_to.add(sender)
+                    else:
+                        host.partial = new_partial = host._combine(
+                            partial, incoming)
+                        host.updates_observed += 1
+                        host._dirty = True
+                        host._skip_neighbor = (
+                            sender
+                            if host._states_equal(new_partial, incoming)
+                            else None)
+                        if host._reply_to is not None:
+                            host._reply_to.discard(sender)
+                # inlined _schedule_flush: under fixed delay every
+                # arrival instant is a flush boundary, so the timer
+                # always fires *now* -- keep the epoch bucket flat.
+                if not host._flush_pending:
+                    host._flush_pending = True
+                    if host._next_flush > now:
+                        raise RuntimeError(
+                            "sharded lane: flush scheduled in the future")
+                    bucket.append((dest, depth, rank))
+            if delivered and depth > max_depth:
+                max_depth = depth
+        lane.dropped += dropped
+        lane.max_depth = max_depth
+
+    def process_timer_bucket(self, now: float, bucket: List[tuple],
+                             lane: Any) -> None:
+        """Fire one instant's flush timers in canonical bucket order.
+
+        Entries are ``(host_id, chain_depth, causing_rank)`` appended in
+        (rank, destination) order -- exactly the spec loop's timer
+        registration order restricted to this shard.  The FLUSH handler
+        body is the vector adapter's transcription, with the outgoing
+        sends filed into the epoch out-queue under phase-1 canonical
+        keys ``((rank_bound + rank) * nh1 + host) * nh1 + seq`` instead
+        of a local delivery ring: ``rank_bound`` (shared by all shards
+        for the instant) places every flush emission after every
+        Broadcast of the same instant, and ``(rank, host, seq)`` orders
+        the emissions exactly as the spec's single global bucket would.
+        """
+        hosts = self.hosts
+        alive = lane.alive_bytes
+        network = lane.network
+        has_alive_edge = network.has_alive_edge
+        nbr_cache = lane.nbr_cache
+        packed_mode = self.packed_mode
+        wireless = lane.wireless
+        out = lane.out_records
+        nh1 = lane._nh1
+        rank_bound = lane.rank_bound
+        sent = 0
+        wireless_extra = 0
+        for host_id, depth, rank in bucket:
+            if not alive[host_id]:
+                continue  # dead hosts' timers expire silently
+            # -- inlined WildfireHost.on_timer(FLUSH) ------------------
+            host = hosts[host_id]
+            host._flush_pending = False
+            host._next_flush = now + host.delta
+            if not host.active or now > host._deadline:
+                host._dirty = False
+                host._reply_to = None
+                continue
+            if host._dirty:
+                targets = nbr_cache[host_id]
+                if targets is None:
+                    nbr_cache[host_id] = targets = \
+                        network.alive_neighbors_sorted(host_id)
+                skip = host._skip_neighbor
+                if skip is not None:
+                    targets = tuple(t for t in targets if t != skip)
+                if targets:
+                    if wireless:
+                        # One over-the-air transmission for the batch.
+                        sent += 1
+                        wireless_extra += len(targets) - 1
+                    else:
+                        sent += len(targets)
+                    out.append((
+                        ((rank_bound + rank) * nh1 + host_id) * nh1,
+                        host_id, targets, CONVERGECAST,
+                        host._packed if packed_mode
+                        else host._partial_obj,
+                        host.distance, depth + 1))
+                host._reply_to = None
+            elif host._reply_to:
+                agg = (host._packed if packed_mode
+                       else host._partial_obj)
+                distance = host.distance
+                base = ((rank_bound + rank) * nh1 + host_id) * nh1
+                seq = 0
+                for neighbor in sorted(host._reply_to):
+                    # The spec's unicast path re-checks edge liveness
+                    # and records nothing when it fails.
+                    if not has_alive_edge(host_id, neighbor):
+                        continue
+                    sent += 1
+                    out.append((base + seq, host_id, (neighbor,),
+                                CONVERGECAST, agg, distance, depth + 1))
+                    seq += 1
+                host._reply_to = None
+            host._dirty = False
+            host._skip_neighbor = None
+        if sent:
+            lane._send_acc[(now, CONVERGECAST)] += sent
+        if wireless_extra:
+            lane._wireless_groups += wireless_extra

@@ -1,0 +1,378 @@
+"""Coordinator for the sharded lane: gate, pre-pass, fork, merge.
+
+The coordinator turns one primed :class:`~repro.simulation.engine.Simulator`
+into ``K`` lockstep shard runs and folds their results back into a
+single :class:`~repro.simulation.engine.SimulationResult` that is
+bit-identical (value, cost fingerprint, declaration time) to the
+single-process engine.  The sequence:
+
+1. **Gate** -- reuse the vector lane's engagement checks (fixed delay,
+   no tracer, no joins, nothing unexpected queued, adapter-supported
+   hosts), require a range-partitionable network, and for ``K > 1`` the
+   ``fork`` start method (worker arguments reference the live simulator
+   and must not be pickled).
+2. **Drain** -- pull the primed calendar queue's prefix
+   (:meth:`EventQueue.drain_until`) into an explicit plan: exactly one
+   query start at time 0 plus the failure schedule.  Anything else puts
+   the events back (:meth:`EventQueue.ingest_events`) and falls back.
+3. **Activation pre-pass** -- compute every host's global activation
+   rank content-independently on a throwaway network copy.  WILDFIRE
+   activations are caused by Broadcast records only (any Convergecast
+   reaching an inactive alive host is a dirty multicast whose Broadcast
+   sibling reaches that host at the same instant, earlier in FIFO
+   order), so a BFS-with-churn replay of the Broadcast wave yields the
+   exact activation order without knowing any aggregate content.
+4. **RNG pre-draw** -- replay ``combiner.initial`` against the shared
+   run RNG in activation order, recording each host's draws; workers
+   replay their partition's tape, so RNG consumption is bit-exact and
+   the parent's RNG ends in the spec engine's post-run state.
+5. **Run** -- ``K=1`` runs the shard lane in-process (an executable
+   cross-check of the epoch protocol itself); ``K>1`` forks one worker
+   per shard wired with a pipe matrix for the pairwise epoch barriers.
+6. **Merge** -- fold the shards' commutative accounting into the stats
+   sink (per-(tick, kind) send totals, per-host receive counts, drops,
+   depth max), replicate the consumed churn onto the parent's own
+   network, and stamp the declaration clock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from bisect import bisect_right
+from collections import defaultdict
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation.events import Event, EventKind
+from repro.simulation.sharded.adapter import ShardWildfireAdapter
+from repro.simulation.sharded.worker import (
+    _RecordingRng,
+    _ShardLane,
+    _worker_main,
+    local_exchange,
+    make_pipe_exchange,
+)
+
+__all__ = ["run_sharded"]
+
+
+def run_sharded(simulator, horizon: float):
+    """Try to run ``simulator`` on the sharded lane.
+
+    Returns ``(result, None)`` on engagement or ``(None, reason)`` on
+    fallback; a fallback consumes nothing, so the spec loop proceeds
+    untouched.
+    """
+    from repro.simulation import vector_lane
+
+    reason = vector_lane._unsupported_reason(simulator)
+    if reason is not None:
+        return None, reason
+    if simulator._fail_callbacks:
+        return None, "failure callbacks registered"
+    adapter = ShardWildfireAdapter.try_build(
+        simulator.hosts, simulator.network.num_hosts,
+        simulator.querying_host)
+    if adapter is None:
+        return None, "unsupported protocol hosts or combiner"
+    shards = simulator.shards
+    if shards > 1 and "fork" not in multiprocessing.get_all_start_methods():
+        return None, "fork start method unavailable"
+    try:
+        bounds = simulator.network.partition_bounds(shards)
+    except ValueError:
+        return None, "network is not range-partitionable"
+
+    # Extract the primed queue into an explicit plan (restored verbatim
+    # on any surprise -- drain_until/ingest_events round-trip exactly).
+    queue = simulator._queue
+    drained = queue.drain_until(horizon)
+    starts: List[Tuple[float, int]] = []
+    fails: List[Tuple[float, int]] = []
+    recognised = 0
+    for time, entry in drained:
+        if entry.__class__ is Event:
+            if entry.kind is EventKind.QUERY_START:
+                starts.append((time, entry.host))
+                recognised += 1
+            elif entry.kind is EventKind.FAIL:
+                fails.append((time, entry.host))
+                recognised += 1
+    if (recognised != len(drained)
+            or starts != [(0.0, simulator.querying_host)]):
+        queue.ingest_events(drained)
+        return None, "unexpected pre-queued events"
+
+    act_rank, act_order = _activation_prepass(simulator, fails, horizon)
+    draws_by_shard = _predraw(simulator.hosts, act_order, bounds, shards)
+
+    if shards == 1:
+        lane = _ShardLane(simulator, adapter, 0, bounds, act_rank, fails,
+                          horizon)
+        lane.install_replay_rng(draws_by_shard[0])
+        try:
+            lane.run_epochs(local_exchange)
+        finally:
+            lane.restore_rngs()
+        results = [lane.collect_result()]
+        applied = lane.fails_applied
+    else:
+        results = _run_forked(simulator, adapter, shards, bounds, act_rank,
+                              draws_by_shard, fails, horizon)
+        applied = 0  # forked workers mutated copies, not the parent
+    return _merge(simulator, results, fails, applied, bounds, shards), None
+
+
+# ----------------------------------------------------------------------
+# Content-independent activation pre-pass
+# ----------------------------------------------------------------------
+def _activation_prepass(simulator, fails: Sequence[Tuple[float, int]],
+                        horizon: float):
+    """Global activation ranks, computed before any shard runs.
+
+    Replays the Broadcast wave (the only cause of activations) against
+    the churn schedule on a throwaway network copy: a host activates the
+    first instant a Broadcast from an already-activated neighbor reaches
+    it alive before the global deadline, and activation order within an
+    instant is (sender activation rank, destination ascending) -- the
+    spec loop's delivery FIFO order.  Returns ``(act_rank, act_order)``
+    where ``act_rank[h]`` is ``h``'s dense global rank (``None`` if it
+    never activates) and ``act_order`` lists hosts in rank order.
+    """
+    qh = simulator.querying_host
+    delta = simulator.delta
+    gdl = simulator.hosts[qh]._global_deadline
+    net = simulator.network.copy()
+    act_rank: List[Optional[int]] = [None] * net.num_hosts
+    act_order: List[int] = []
+    fail_index = 0
+    num_fails = len(fails)
+
+    # Instant 0.0: the query start precedes any time-0 failures.
+    frontier: List[tuple] = []
+    if net.is_alive(qh):
+        act_rank[qh] = 0
+        act_order.append(qh)
+        targets = net.alive_neighbors_sorted(qh)
+        if targets:
+            frontier.append((qh, targets))
+    while fail_index < num_fails and fails[fail_index][0] <= 0.0:
+        time, host = fails[fail_index]
+        if net.is_alive(host):
+            net.fail_host(host, time)
+        fail_index += 1
+
+    t = 0.0
+    while frontier:
+        t_next = t + delta
+        if t_next > horizon:
+            break
+        while fail_index < num_fails and fails[fail_index][0] < t_next:
+            time, host = fails[fail_index]
+            if net.is_alive(host):
+                net.fail_host(host, time)
+            fail_index += 1
+        t = t_next
+        new_frontier: List[tuple] = []
+        if t < gdl:
+            for sender, dests in frontier:
+                for dest in dests:
+                    if act_rank[dest] is None and net.is_alive(dest):
+                        act_rank[dest] = len(act_order)
+                        act_order.append(dest)
+                        # The fresh activee broadcasts onward to its
+                        # alive neighbors minus its activator -- the
+                        # next instant's Broadcast wave.
+                        targets = tuple(
+                            x for x in net.alive_neighbors_sorted(dest)
+                            if x != sender)
+                        if targets:
+                            new_frontier.append((dest, targets))
+        frontier = new_frontier
+        while fail_index < num_fails and fails[fail_index][0] == t:
+            time, host = fails[fail_index]
+            if net.is_alive(host):
+                net.fail_host(host, time)
+            fail_index += 1
+    return act_rank, act_order
+
+
+def _predraw(hosts, act_order: Sequence[int], bounds: Sequence[int],
+             shards: int) -> List[list]:
+    """Record every activation's RNG draws, bucketed by owning shard.
+
+    Runs ``combiner.initial`` for each activating host in global
+    activation order against the *real* shared run RNG (so the parent's
+    RNG ends in the exact post-run spec state) and segments the tagged
+    draws per host.  A shard's tape is the concatenation of its own
+    hosts' segments in global activation order -- which is exactly the
+    order the shard's local activations occur in, since restriction
+    preserves relative order.
+    """
+    per_shard: List[list] = [[] for _ in range(shards)]
+    if not act_order:
+        return per_shard
+    recorder = _RecordingRng(hosts[act_order[0]].rng)
+    draws = recorder.draws
+    mark = 0
+    for host_id in act_order:
+        host = hosts[host_id]
+        host.combiner.initial(host.value, recorder)
+        if len(draws) > mark:
+            per_shard[bisect_right(bounds, host_id) - 1].extend(
+                draws[mark:])
+            mark = len(draws)
+    return per_shard
+
+
+# ----------------------------------------------------------------------
+# Forked execution (K > 1)
+# ----------------------------------------------------------------------
+def _run_forked(simulator, adapter, shards: int, bounds, act_rank,
+                draws_by_shard, fails, horizon: float) -> List[dict]:
+    from repro.orchestration.executor import _pool_context
+
+    ctx = _pool_context()
+    # pipes[i][j] carries i -> j epoch blobs; result pipes carry one
+    # final dict per worker.  All ends are created before the forks so
+    # every worker inherits its wiring.
+    pipes = [[None] * shards for _ in range(shards)]
+    for i in range(shards):
+        for j in range(shards):
+            if i != j:
+                pipes[i][j] = multiprocessing.Pipe(duplex=False)
+    result_pipes = [multiprocessing.Pipe(duplex=False)
+                    for _ in range(shards)]
+    procs = []
+    for shard in range(shards):
+        senders = [pipes[shard][j][1] if j != shard else None
+                   for j in range(shards)]
+        receivers = [pipes[j][shard][0] if j != shard else None
+                     for j in range(shards)]
+        procs.append(ctx.Process(
+            target=_worker_main,
+            args=(simulator, adapter, shard, shards, bounds, act_rank,
+                  draws_by_shard[shard], fails, horizon, senders,
+                  receivers, result_pipes[shard][1]),
+            daemon=True,
+        ))
+    for proc in procs:
+        proc.start()
+    # Close the parent's copies so a worker crash surfaces as EOF on its
+    # result pipe instead of a hang.
+    for i in range(shards):
+        for j in range(shards):
+            if i != j:
+                pipes[i][j][0].close()
+                pipes[i][j][1].close()
+    for shard in range(shards):
+        result_pipes[shard][1].close()
+
+    readers = {result_pipes[shard][0]: shard for shard in range(shards)}
+    results: List[Optional[dict]] = [None] * shards
+    error: Optional[dict] = None
+    pending = set(readers)
+    while pending and error is None:
+        for conn in mp_connection.wait(list(pending)):
+            shard = readers[conn]
+            try:
+                payload = conn.recv()
+            except EOFError:
+                payload = {"shard": shard,
+                           "error": "worker exited without a result"}
+            pending.discard(conn)
+            if "error" in payload:
+                error = payload
+            else:
+                results[payload["shard"]] = payload
+    if error is not None:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join()
+        raise RuntimeError(
+            f"sharded worker {error['shard']} failed:\n{error['error']}")
+    for proc in procs:
+        proc.join()
+    for conn in readers:
+        conn.close()
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Result merge
+# ----------------------------------------------------------------------
+def _merge(simulator, results: Sequence[Dict[str, Any]],
+           fails: Sequence[Tuple[float, int]], fails_applied: int,
+           bounds, shards: int):
+    """Fold shard results into the parent's sink, network and clock."""
+    from repro.simulation.engine import SimulationResult
+
+    costs = simulator.costs
+    merged_sends: Dict[tuple, int] = defaultdict(int)
+    wireless_groups = 0
+    dropped = 0
+    max_depth = 0
+    last_instant = 0.0
+    value = None
+    worker_metrics = []
+    for res in results:
+        for key, count in res["send_acc"].items():
+            merged_sends[key] += count
+        wireless_groups += res["wireless_groups"]
+        dropped += res["dropped"]
+        if res["max_depth"] > max_depth:
+            max_depth = res["max_depth"]
+        if res["last_instant"] > last_instant:
+            last_instant = res["last_instant"]
+        worker_metrics.append({"shard": res["shard"], **res["metrics"]})
+        if res.get("has_value"):
+            value = res["value"]
+    # Every counter below is a commutative sum (or max), so bulk replay
+    # rebuilds exactly what per-send recording would have -- the same
+    # argument (and the same sink calls) as the vector lane's replay.
+    for (time, kind), count in sorted(merged_sends.items()):
+        costs.record_send_batch(kind, time, count)
+    if wireless_groups:
+        costs.record_wireless_group(wireless_groups)
+    if dropped:
+        costs.dropped_messages += dropped
+    if max_depth > costs.max_chain_depth:
+        costs.max_chain_depth = max_depth
+
+    def _iter_counts():
+        for res in results:
+            lo, _hi, counts = res["counts"]
+            for offset, count in enumerate(counts):
+                if count:
+                    yield lo + offset, count
+
+    costs.record_processed_bulk(_iter_counts())
+
+    # Churn parity: the run consumed these failures (workers applied
+    # them to process-private copies); mirror them onto the parent's
+    # network and hosts so post-run state matches the spec engine.
+    network = simulator.network
+    hosts = simulator.hosts
+    for time, host in fails[fails_applied:]:
+        if network.is_alive(host):
+            network.fail_host(host, time)
+            hosts[host].on_fail(time)
+
+    finished = last_instant
+    if fails and fails[-1][0] > finished:
+        finished = fails[-1][0]
+    simulator.clock._now = finished
+    extra = {"sharded": {
+        "shards": shards,
+        "bounds": list(bounds),
+        "workers": worker_metrics,
+    }}
+    return SimulationResult(
+        value=value,
+        costs=costs,
+        finished_at=finished,
+        querying_host=simulator.querying_host,
+        extra=extra,
+    )

@@ -1,0 +1,527 @@
+"""The per-shard execution lane and worker-process entry point.
+
+One :class:`_ShardLane` drives one shard's slice of a run: it owns the
+shard's flat per-epoch buckets (ranked delivery entries in, canonical
+keyed records out), replicates the global churn schedule onto its
+process-private network copy, and replays the pre-drawn RNG values so
+activation draws are identical to the spec engine no matter which shard
+a host landed on.  The epoch protocol itself (who talks to whom at a
+barrier) lives in the ``exchange`` callable the coordinator injects --
+the same lane runs in-process for ``--shards 1`` and inside a forked
+worker for ``K > 1``.
+
+Determinism rests on three invariants, each enforced loudly:
+
+* every record crossing an epoch barrier carries a canonical integer
+  key (see :mod:`.adapter`) and the exchange assigns dense global ranks
+  by key order, so all shards agree on the spec FIFO order;
+* activation RNG draws are recorded by the coordinator in global
+  activation order and replayed here (:class:`_ReplayRng`); a draw of
+  the wrong type or past the recorded tape means the content-independent
+  activation pre-pass diverged from the run -- impossible by the
+  Broadcast-first argument, so it raises;
+* flush timers always fire at their registration instant, so one flat
+  bucket per epoch suffices (asserted in the adapter).
+"""
+
+from __future__ import annotations
+
+import marshal
+import traceback
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from operator import itemgetter
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation.vector_lane import _LaneContext
+
+__all__ = ["_ShardLane", "_RecordingRng", "_ReplayRng", "_worker_main"]
+
+
+class _RecordingRng:
+    """Wraps the shared run RNG, recording every tagged draw.
+
+    Exposes exactly the two methods combiner ``initial`` hooks use; any
+    other RNG method would make the pre-draw replay incomplete, so it is
+    deliberately absent (an ``AttributeError`` is the fail-loud signal).
+    """
+
+    __slots__ = ("_rng", "draws")
+
+    def __init__(self, rng) -> None:
+        self._rng = rng
+        self.draws: List[Tuple[str, Any]] = []
+
+    def getrandbits(self, bits: int) -> int:
+        value = self._rng.getrandbits(bits)
+        self.draws.append(("g", value))
+        return value
+
+    def random(self) -> float:
+        value = self._rng.random()
+        self.draws.append(("r", value))
+        return value
+
+
+class _ReplayRng:
+    """Replays a recorded draw tape; any divergence raises."""
+
+    __slots__ = ("_draws", "_pos")
+
+    def __init__(self, draws: Sequence[Tuple[str, Any]]) -> None:
+        self._draws = draws
+        self._pos = 0
+
+    def _next(self, tag: str):
+        try:
+            recorded_tag, value = self._draws[self._pos]
+        except IndexError:
+            raise RuntimeError(
+                "sharded lane: RNG replay tape exhausted (activation "
+                "pre-pass diverged from the run)") from None
+        if recorded_tag != tag:
+            raise RuntimeError(
+                f"sharded lane: RNG draw kind mismatch at position "
+                f"{self._pos} (wanted {tag!r}, recorded {recorded_tag!r})")
+        self._pos += 1
+        return value
+
+    def getrandbits(self, bits: int) -> int:
+        return self._next("g")
+
+    def random(self) -> float:
+        return self._next("r")
+
+
+class _ShardLane:
+    """One shard's slice of one sharded-lane run."""
+
+    def __init__(self, simulator, adapter, shard: int,
+                 bounds: Sequence[int], act_rank: Sequence[Optional[int]],
+                 fails: Sequence[Tuple[float, int]], horizon: float) -> None:
+        self.sim = simulator
+        self.adapter = adapter
+        self.shard = shard
+        self.bounds = bounds
+        self.lo = bounds[shard]
+        self.hi = bounds[shard + 1]
+        self.horizon = horizon
+        self.act_rank = act_rank
+        self.fails = fails
+        network = simulator.network
+        n = network.num_hosts
+        self.num_hosts = n
+        self.hosts = simulator.hosts
+        self.network = network
+        self.delta = simulator.delta
+        self.wireless = simulator.wireless
+        self.packed_mode = adapter.packed_mode
+        self.alive_bytes = network._alive
+        # Canonical-key arithmetic base: host ids, per-record sequence
+        # numbers and activation ranks are all < n + 1.
+        self._nh1 = n + 1
+        self._nh1_sq = self._nh1 * self._nh1
+        #: Records emitted this epoch, as canonical
+        #: ``(key, sender, dests, kind, agg, dist, depth)`` tuples
+        #: (``agg`` normalised to marshal-safe int/float/None).
+        self.out_records: List[tuple] = []
+        #: This instant's flush registrations:
+        #: ``(host_id, chain_depth, causing_rank)`` in canonical order.
+        self.timer_bucket: List[tuple] = []
+        #: Global rank of the delivery record currently being processed
+        #: (stamped onto registrations it causes).
+        self._current_rank = 0
+        #: Phase separator for this instant's canonical keys (shared by
+        #: all shards: ``max(num_hosts, records this instant) + 1``).
+        self.rank_bound = n + 1
+        # Receive-side accounting (local host range only), replayed in
+        # bulk by the coordinator.
+        self.counts: List[int] = [0] * n
+        self.dropped = 0
+        self.max_depth = 0
+        self._send_acc: Dict[tuple, int] = defaultdict(int)
+        self._wireless_groups = 0
+        self.nbr_cache: List[Optional[tuple]] = [None] * n
+        self.ctx = _LaneContext(self, simulator)
+        self.last_instant = 0.0
+        self.fails_applied = 0
+        self._saved_rngs: Optional[list] = None
+        # Per-shard observability, surfaced via result.extra["sharded"].
+        self.epochs = 0
+        self.barrier_wait = 0.0
+        self.cross_records_in = 0
+        self.cross_bytes_in = 0
+        self.max_epoch_records = 0
+        self.queue_depth_peak = 0
+
+    # ------------------------------------------------------------------
+    # Submit targets (the _LaneContext / adapter call sites)
+    # ------------------------------------------------------------------
+    def register_timer(self, time: float, host: int, name: str,
+                       data: Any, chain_depth: int) -> None:
+        from repro.protocols.wildfire import FLUSH
+
+        if time != self.last_instant or name != FLUSH or data is not None:
+            raise RuntimeError(
+                "sharded lane: unexpected timer registration "
+                f"({name!r} at {time} vs instant {self.last_instant})")
+        self.timer_bucket.append((host, chain_depth, self._current_rank))
+
+    def submit_multi(self, sender: int, dests: Sequence[int], kind: str,
+                     agg, dist, time: float, chain_depth: int) -> None:
+        """File one Broadcast under its phase-0 canonical key.
+
+        Called from the inherited activation path and the query-start
+        hook; ``dests`` is the sender's alive-neighbor view (ascending),
+        exactly the spec multicast's trusted destination list.  The key
+        is the sender's global activation rank -- broadcasts of one
+        instant are emitted in activation order on every shard count.
+        """
+        acc = self._send_acc
+        if self.wireless:
+            acc[(time, kind)] += 1
+            self._wireless_groups += len(dests) - 1
+        else:
+            acc[(time, kind)] += len(dests)
+        rank = self.act_rank[sender]
+        if rank is None:
+            raise RuntimeError(
+                "sharded lane: broadcast from a host the activation "
+                "pre-pass never ranked")
+        if self.packed_mode and agg is not None and type(agg) is not int:
+            # Query-start payloads carry the sketch object; ship the
+            # packed int so records stay marshal-safe (receivers
+            # normalise either form).
+            agg = agg.packed
+        self.out_records.append(
+            (rank * self._nh1_sq, sender, tuple(dests), kind, agg, dist,
+             chain_depth))
+
+    def submit_single(self, sender: int, dest: int, kind: str, agg,
+                      dist, time: float, chain_depth: int) -> bool:
+        # No real hook ever unicasts in a gated run (replies are inlined
+        # in the adapter); reaching this means the gate was wrong.
+        raise RuntimeError("sharded lane: unexpected unicast submit")
+
+    # ------------------------------------------------------------------
+    # RNG replay
+    # ------------------------------------------------------------------
+    def install_replay_rng(self, draws: Sequence[tuple]) -> None:
+        shim = _ReplayRng(draws)
+        hosts = self.hosts
+        saved = []
+        for host_id in range(self.lo, self.hi):
+            host = hosts[host_id]
+            saved.append(host.rng)
+            host.rng = shim
+        self._saved_rngs = saved
+
+    def restore_rngs(self) -> None:
+        """Undo :meth:`install_replay_rng` (in-process ``K=1`` runs only;
+        forked workers die with their copies)."""
+        saved = self._saved_rngs
+        if saved is None:
+            return
+        hosts = self.hosts
+        for index, host_id in enumerate(range(self.lo, self.hi)):
+            hosts[host_id].rng = saved[index]
+        self._saved_rngs = None
+
+    # ------------------------------------------------------------------
+    # Churn replication
+    # ------------------------------------------------------------------
+    def _apply_fail(self, host: int, time: float) -> None:
+        # Liveness is replicated: every shard applies the full global
+        # churn schedule to its private network copy, so alive bitmaps
+        # agree at every epoch boundary.
+        if self.network.is_alive(host):
+            self.network.fail_host(host, time)
+            self.nbr_cache = [None] * self.num_hosts
+            self.hosts[host].on_fail(time)
+
+    # ------------------------------------------------------------------
+    # Main epoch loop
+    # ------------------------------------------------------------------
+    def run_epochs(self, exchange: Callable[["_ShardLane", float],
+                                            Tuple[list, int]]) -> None:
+        """Drive the run in lockstep ``delta``-wide epochs.
+
+        Instant ordering matches the spec calendar exactly: query start,
+        then failures up to each epoch boundary, then the instant's
+        deliveries (in global rank order), then its flush timers, then
+        failures at the instant itself.  Terminates when a barrier
+        reports zero records in flight globally (all shards see the same
+        total, so all break together) or the next instant would pass the
+        horizon.
+        """
+        import gc
+
+        sim = self.sim
+        adapter = self.adapter
+        delta = self.delta
+        horizon = self.horizon
+        fails = self.fails
+        num_fails = len(fails)
+        fail_index = 0
+        qh = sim.querying_host
+
+        # Instant 0.0: the query start (before any time-0 failures --
+        # QUERY_START outranks FAIL in the calendar's priority order).
+        if self.lo <= qh < self.hi and self.network.is_alive(qh):
+            ctx = self.ctx
+            ctx.host_id = qh
+            ctx.now = 0.0
+            ctx._chain_depth = 0
+            self.hosts[qh].on_query_start(ctx)
+            adapter.refresh_host(qh)
+        while fail_index < num_fails and fails[fail_index][0] <= 0.0:
+            time, host = fails[fail_index]
+            self._apply_fail(host, time)
+            fail_index += 1
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t = 0.0
+            while True:
+                t_next = t + delta
+                if t_next > horizon:
+                    break
+                depth_now = len(self.out_records)
+                if depth_now > self.queue_depth_peak:
+                    self.queue_depth_peak = depth_now
+                entries, total = exchange(self, t_next)
+                if total == 0:
+                    break
+                self.epochs += 1
+                if total > self.max_epoch_records:
+                    self.max_epoch_records = total
+                # Failures strictly inside (t, t_next) happen at their
+                # own instants, before the deliveries at t_next.
+                while (fail_index < num_fails
+                       and fails[fail_index][0] < t_next):
+                    time, host = fails[fail_index]
+                    self._apply_fail(host, time)
+                    fail_index += 1
+                t = t_next
+                self.last_instant = t
+                self.rank_bound = (total if total > self.num_hosts
+                                   else self.num_hosts) + 1
+                if entries:
+                    adapter.process_instant(t, entries, self)
+                bucket = self.timer_bucket
+                if bucket:
+                    self.timer_bucket = []
+                    adapter.process_timer_bucket(t, bucket, self)
+                # Failures at exactly t follow the instant's deliveries
+                # and timers (FAIL has the lowest calendar priority).
+                while (fail_index < num_fails
+                       and fails[fail_index][0] == t):
+                    time, host = fails[fail_index]
+                    self._apply_fail(host, time)
+                    fail_index += 1
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        self.fails_applied = fail_index
+
+    # ------------------------------------------------------------------
+    # Result shipping
+    # ------------------------------------------------------------------
+    def collect_result(self) -> Dict[str, Any]:
+        lo, hi = self.lo, self.hi
+        qh = self.sim.querying_host
+        result: Dict[str, Any] = {
+            "shard": self.shard,
+            "send_acc": dict(self._send_acc),
+            "wireless_groups": self._wireless_groups,
+            "dropped": self.dropped,
+            "max_depth": self.max_depth,
+            "counts": (lo, hi, self.counts[lo:hi]),
+            "last_instant": self.last_instant,
+            "fails_applied": self.fails_applied,
+            "metrics": {
+                "epochs": self.epochs,
+                "barrier_wait_s": round(self.barrier_wait, 6),
+                "cross_records_in": self.cross_records_in,
+                "cross_bytes_in": self.cross_bytes_in,
+                "max_epoch_records": self.max_epoch_records,
+                "queue_depth_peak": self.queue_depth_peak,
+            },
+        }
+        if lo <= qh < hi:
+            result["has_value"] = True
+            result["value"] = self.hosts[qh].local_result()
+        return result
+
+
+# ----------------------------------------------------------------------
+# Epoch exchanges
+# ----------------------------------------------------------------------
+def local_exchange(lane: _ShardLane, t_next: float) -> Tuple[list, int]:
+    """The ``K=1`` barrier: rank this shard's own records canonically."""
+    out = lane.out_records
+    if not out:
+        return [], 0
+    lane.out_records = []
+    out.sort(key=itemgetter(0))
+    entries = [(rank,) + record[1:] for rank, record in enumerate(out)]
+    return entries, len(out)
+
+
+def split_by_shard(records: List[tuple], bounds: Sequence[int],
+                   shards: int) -> List[List[tuple]]:
+    """Split each record's destination list by owning shard.
+
+    Destinations ascend within a record, so each record contributes one
+    contiguous slice per shard; the common whole-record-in-one-shard
+    case is detected with two bisections and no copying.
+    """
+    per_peer: List[List[tuple]] = [[] for _ in range(shards)]
+    for record in records:
+        dests = record[2]
+        first = bisect_right(bounds, dests[0]) - 1
+        if dests[-1] < bounds[first + 1]:
+            per_peer[first].append(record)
+            continue
+        key, sender, _, kind, agg, dist, depth = record
+        start = 0
+        num_dests = len(dests)
+        while start < num_dests:
+            shard = bisect_right(bounds, dests[start]) - 1
+            end = bisect_left(dests, bounds[shard + 1], start, num_dests)
+            per_peer[shard].append(
+                (key, sender, dests[start:end], kind, agg, dist, depth))
+            start = end
+    return per_peer
+
+
+def make_pipe_exchange(shard: int, shards: int, bounds: Sequence[int],
+                       senders: Sequence[Any],
+                       receivers: Sequence[Any]) -> Callable:
+    """Build the multi-process barrier for worker ``shard``.
+
+    ``senders[j]`` / ``receivers[j]`` are this worker's pipe ends to and
+    from peer ``j``.  Each barrier runs three sub-phases:
+
+    1. *rank request*: every spoke sends worker 0 its sorted key list.
+    2. *rank reply*: worker 0 concatenates the K sorted lists, sorts the
+       union once, assigns each sender the dense global ranks of its
+       records (one monotone bisect pass per sender) and ships each
+       sender its rank list.  One global sort and one full-key
+       deserialisation per epoch, instead of one per worker -- on a
+       shared core the broadcast scheme's duplicated ranking work is
+       pure wall-clock.
+    3. *content*: each sender re-keys its records to their global ranks
+       and splits them by destination shard, so multicast slices that
+       land on different shards carry the shared rank with no
+       receiver-side lookup.  Blobs are exchanged pairwise in ascending
+       peer order, the lower id sending first: worker 0's pair is every
+       peer's first pair, so by induction no two workers ever block
+       sending to each other even when a blob exceeds the pipe buffer.
+
+    The hub phases are deadlock-free as well: spokes only send to
+    worker 0 and then block receiving from it, while worker 0 receives
+    from every spoke before it sends anything back.
+    """
+    hub = shard == 0
+
+    def exchange(lane: _ShardLane, t_next: float) -> Tuple[list, int]:
+        out = lane.out_records
+        lane.out_records = []
+        out.sort(key=itemgetter(0))
+        keys = [record[0] for record in out]
+
+        barrier_start = perf_counter()
+        if hub:
+            key_lists: List[list] = [keys]
+            for peer in range(1, shards):
+                blob = receivers[peer].recv_bytes()
+                lane.cross_bytes_in += len(blob)
+                key_lists.append(marshal.loads(blob))
+            all_keys: List[int] = []
+            for peer_keys in key_lists:
+                all_keys.extend(peer_keys)
+            total = len(all_keys)
+            all_keys.sort()
+            rank_lists: List[List[int]] = []
+            for peer_keys in key_lists:
+                rank = 0
+                ranks: List[int] = []
+                append = ranks.append
+                for key in peer_keys:
+                    # Keys are globally unique and every sender's list
+                    # is sorted, so each rank is one monotone bisect; a
+                    # mismatch means the canonical order broke -- fail
+                    # loud rather than deliver out of order.
+                    rank = bisect_left(all_keys, key, rank)
+                    if rank >= total or all_keys[rank] != key:
+                        raise RuntimeError(
+                            "sharded lane: record key missing from the "
+                            "global key order")
+                    append(rank)
+                rank_lists.append(ranks)
+            for peer in range(1, shards):
+                senders[peer].send_bytes(
+                    marshal.dumps((total, rank_lists[peer])))
+            ranks = rank_lists[0]
+        else:
+            senders[0].send_bytes(marshal.dumps(keys))
+            blob = receivers[0].recv_bytes()
+            lane.cross_bytes_in += len(blob)
+            total, ranks = marshal.loads(blob)
+        lane.barrier_wait += perf_counter() - barrier_start
+
+        if total == 0:
+            return [], 0
+        if len(ranks) != len(out):
+            raise RuntimeError(
+                "sharded lane: rank reply does not align with the "
+                "outgoing records")
+        ranked = [(rank,) + record[1:] for rank, record in zip(ranks, out)]
+        per_peer = split_by_shard(ranked, bounds, shards)
+        entries = per_peer[shard]
+        barrier_start = perf_counter()
+        for peer in range(shards):
+            if peer == shard:
+                continue
+            blob = marshal.dumps(per_peer[peer])
+            if shard < peer:
+                senders[peer].send_bytes(blob)
+                incoming = receivers[peer].recv_bytes()
+            else:
+                incoming = receivers[peer].recv_bytes()
+                senders[peer].send_bytes(blob)
+            lane.cross_bytes_in += len(incoming)
+            peer_records = marshal.loads(incoming)
+            entries.extend(peer_records)
+            lane.cross_records_in += len(peer_records)
+        lane.barrier_wait += perf_counter() - barrier_start
+        entries.sort(key=itemgetter(0))
+        return entries, total
+
+    return exchange
+
+
+def _worker_main(simulator, adapter, shard: int, shards: int,
+                 bounds: Sequence[int], act_rank: Sequence[Optional[int]],
+                 draws: Sequence[tuple], fails: Sequence[Tuple[float, int]],
+                 horizon: float, senders, receivers, result_conn) -> None:
+    """Forked worker body: run one shard, ship one result dict."""
+    try:
+        lane = _ShardLane(simulator, adapter, shard, bounds, act_rank,
+                          fails, horizon)
+        lane.install_replay_rng(draws)
+        exchange = make_pipe_exchange(shard, shards, bounds, senders,
+                                      receivers)
+        lane.run_epochs(exchange)
+        result_conn.send(lane.collect_result())
+    except BaseException:
+        try:
+            result_conn.send(
+                {"shard": shard, "error": traceback.format_exc()})
+        except Exception:
+            pass
+    finally:
+        result_conn.close()

@@ -61,13 +61,16 @@ from repro.simulation.events import Event, EventKind
 from repro.simulation.host import HostContext
 
 #: Lane names understood by the engine and every CLI/config surface.
-LANES = ("python", "vector")
+LANES = ("python", "vector", "sharded")
 
 #: Number of times the vector lane actually engaged (for tests: assert
 #: the differential harness exercised the lane, not a silent fallback).
 engagements = 0
 
 #: Why the most recent ``maybe_run`` declined to engage (None = engaged).
+#: Deprecated alias: a module global is clobbered by any other run in the
+#: process; prefer ``SimulationResult.fallback_reason``, which carries the
+#: decision on the run it belongs to.
 last_fallback_reason: Optional[str] = None
 
 

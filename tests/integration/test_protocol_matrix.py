@@ -330,13 +330,13 @@ def test_packed_core_is_event_identical_to_reference_network(
 # it engages for -- same declared value, same full cost-accounting
 # fingerprint, same declaration time.
 # ----------------------------------------------------------------------
-def _run_lane_cell(topology_name, query, churned, lane):
+def _run_lane_cell(topology_name, query, churned, lane, shards=1):
     topology = TOPOLOGIES[topology_name]()
     values = uniform_values(topology.num_hosts, low=1, high=50, seed=SEED)
     churn = _make_churn(topology, churned)
     result = run_protocol(Wildfire(), topology, values, query,
                           querying_host=0, churn=churn, seed=SEED,
-                          lane=lane)
+                          lane=lane, shards=shards)
     return {
         "value": result.value,
         "cost_fingerprint": result.costs.fingerprint(),
@@ -359,6 +359,30 @@ def test_vector_lane_is_event_identical_to_spec_lane(
     assert vector == python, (
         f"vector lane diverged from the spec loop on wildfire/"
         f"{topology_name}/{query}/{'churn' if churned else 'static'}"
+    )
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("churned", [False, True], ids=["static", "churn"])
+@pytest.mark.parametrize("query", ["min", "max", "count", "sum"])
+@pytest.mark.parametrize("topology_name", sorted(TOPOLOGIES))
+def test_sharded_lane_is_event_identical_to_spec_lane(
+        topology_name, query, churned, shards):
+    """The epoch-synchronous sharded lane must reproduce the spec loop
+    event-for-event at every shard count -- K=1 exercises the epoch
+    protocol in-process, K>1 adds the fork/pipe exchange on top."""
+    from repro.simulation import sharded
+
+    python = _run_lane_cell(topology_name, query, churned, "python")
+    before = sharded.engagements
+    result = _run_lane_cell(topology_name, query, churned, "sharded",
+                            shards=shards)
+    assert sharded.engagements == before + 1, (
+        f"sharded lane fell back: {sharded.last_fallback_reason}")
+    assert result == python, (
+        f"sharded lane (K={shards}) diverged from the spec loop on "
+        f"wildfire/{topology_name}/{query}/"
+        f"{'churn' if churned else 'static'}"
     )
 
 

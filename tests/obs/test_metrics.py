@@ -13,6 +13,7 @@ from repro.obs.metrics import (
     collect_queue_metrics,
     collect_run_metrics,
     collect_service_metrics,
+    collect_shard_metrics,
     worker_utilisation,
 )
 from repro.protocols.base import run_protocol
@@ -95,6 +96,35 @@ class TestQueueCollector:
             queue.push(float(i % 11), EventKind.TIMER, host=i,
                        timer_name="t")
         assert sum(w for _, w in queue.iter_pending()) == len(queue)
+
+    def test_window_fields_gauge_when_live_and_skip_when_empty(self):
+        queue = EventQueue(width=2.0)
+        # Empty queue: the horizon fields are None ("no next event" is
+        # not a number) and must be skipped, not gauged.
+        empty = collect_queue_metrics(queue).snapshot()
+        assert "queue.horizon" not in empty
+        assert "queue.current_epoch" not in empty
+        queue.push(5.0, EventKind.TIMER, host=0, timer_name="t")
+        live = collect_queue_metrics(queue).snapshot()
+        assert live["queue.horizon"] == 5.0
+        assert live["queue.current_epoch"] == 2
+
+
+class TestShardCollector:
+    def test_collects_per_shard_lane_metrics(self, topology, values):
+        result = run_protocol(Wildfire(), topology, values, "count",
+                              seed=SEED, lane="sharded", shards=2)
+        assert "sharded" in result.extra
+        snapshot = collect_shard_metrics(result).snapshot()
+        assert snapshot["shard.shards"] == 2
+        for shard in (0, 1):
+            assert snapshot[f"shard.{shard}.epochs"] >= 1
+            assert f"shard.{shard}.barrier_wait_s" in snapshot
+
+    def test_non_sharded_results_fold_nothing(self, topology, values):
+        result = run_protocol(Wildfire(), topology, values, "count",
+                              seed=SEED)
+        assert collect_shard_metrics(result).snapshot() == {}
 
 
 class TestServiceCollector:

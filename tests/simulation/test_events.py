@@ -234,3 +234,131 @@ class TestTieBreakingRegression:
                 assert (got.time, got.priority, got.host) == (
                     expected[0], expected[1], expected[3])
             assert not reference
+
+
+class TestOccupancyWindow:
+    """``occupancy()``'s horizon/current_epoch fields must be *exact*
+    under any interleaving of push / pop / cancel -- they are the window
+    the sharded lane's barrier scheduler reasons about, so an off-by-one
+    (a cancelled straggler counting, a drained slot lingering) would
+    mis-place an epoch barrier."""
+
+    def test_empty_queue_reports_no_window(self):
+        occupancy = EventQueue().occupancy()
+        assert occupancy["horizon"] is None
+        assert occupancy["current_epoch"] is None
+
+    def test_window_tracks_pushes(self):
+        queue = EventQueue(width=2.0)
+        queue.push(3.0, EventKind.TIMER, host=0, timer_name="t")
+        queue.push(7.5, EventKind.TIMER, host=1, timer_name="t")
+        occupancy = queue.occupancy()
+        assert occupancy["horizon"] == 7.5
+        assert occupancy["current_epoch"] == int(3.0 / 2.0)
+
+    def test_pop_advances_the_window_front(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.TIMER, host=0, timer_name="t")
+        queue.push(2.0, EventKind.TIMER, host=1, timer_name="t")
+        queue.pop()
+        occupancy = queue.occupancy()
+        assert occupancy["horizon"] == 2.0
+        assert occupancy["current_epoch"] == 2
+
+    def test_cancelled_events_never_count(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, EventKind.TIMER, host=0, timer_name="t")
+        tail = queue.push(9.0, EventKind.TIMER, host=1, timer_name="t")
+        queue.cancel(tail)
+        occupancy = queue.occupancy()
+        # The cancelled 9.0 straggler must not stretch the horizon.
+        assert occupancy["horizon"] == 1.0
+        assert occupancy["current_epoch"] == 1
+        queue.cancel(keep)
+        occupancy = queue.occupancy()
+        assert occupancy["horizon"] is None
+        assert occupancy["current_epoch"] is None
+
+    def test_fuzz_exact_under_push_pop_cancel_interleaving(self):
+        import random as stdlib_random
+
+        rng = stdlib_random.Random(99)
+        for width in (1.0, 2.5):
+            queue = EventQueue(width=width)
+            live = []  # (time, event) pairs still live in the queue
+            for _ in range(400):
+                action = rng.random()
+                if action < 0.5 or not live:
+                    time = float(rng.randrange(0, 40)) / 4.0
+                    event = queue.push(time, EventKind.TIMER,
+                                       host=rng.randrange(8),
+                                       timer_name="t")
+                    live.append((time, event))
+                elif action < 0.75:
+                    popped = queue.pop()
+                    expected_time, _ = min(live, key=lambda p: p[0])
+                    assert popped.time == expected_time
+                    for index, (_, event) in enumerate(live):
+                        if event is popped:
+                            live.pop(index)
+                            break
+                else:
+                    index = rng.randrange(len(live))
+                    _, event = live.pop(index)
+                    queue.cancel(event)
+                occupancy = queue.occupancy()
+                if not live:
+                    assert occupancy["horizon"] is None
+                    assert occupancy["current_epoch"] is None
+                else:
+                    times = [t for t, _ in live]
+                    assert occupancy["horizon"] == max(times)
+                    assert (occupancy["current_epoch"]
+                            == int(min(times) / width))
+
+
+class TestDrainIngestRoundTrip:
+    """``drain_until`` + ``ingest_events`` must round-trip exactly --
+    the sharded coordinator drains the primed queue to inspect it and
+    pushes it back verbatim whenever it declines to engage."""
+
+    def _primed_queue(self):
+        queue = EventQueue()
+        queue.push(0.0, EventKind.QUERY_START, host=3)
+        queue.push(1.5, EventKind.FAIL, host=4)
+        queue.push_deliver(1.0, make_message(sender=1, dest=2))
+        queue.push_multicast(1.0, 0, (5, 6), "kind", {"x": 1}, 0.5, 2)
+        queue.push(2.0, EventKind.TIMER, host=7, timer_name="flush",
+                   data=(None, 0))
+        return queue
+
+    def _drain_signature(self, queue):
+        out = []
+        while True:
+            front = queue.pop_due(None)
+            if front is None:
+                return out
+            time, entry = front
+            if isinstance(entry, Message):
+                out.append((time, "msg", entry.sender, entry.dest,
+                            entry.kind, entry.chain_depth))
+            else:
+                out.append((time, entry.kind, entry.host,
+                            entry.timer_name))
+
+    def test_round_trip_preserves_drain_order(self):
+        drained = self._primed_queue().drain_until(None)
+        assert len(drained) == 6  # the multicast expands to two messages
+        restored = self._primed_queue()
+        batch = restored.drain_until(None)
+        restored.ingest_events(batch)
+        assert (self._drain_signature(restored)
+                == self._drain_signature(self._primed_queue()))
+
+    def test_drain_until_respects_the_horizon(self):
+        queue = self._primed_queue()
+        drained = queue.drain_until(1.0)
+        assert [time for time, _ in drained] == [0.0, 1.0, 1.0, 1.0]
+        assert len(queue) == 2  # the 1.5 FAIL and the 2.0 timer stay
+        occupancy = queue.occupancy()
+        assert occupancy["horizon"] == 2.0

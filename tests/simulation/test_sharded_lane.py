@@ -1,0 +1,198 @@
+"""The sharded execution lane: engagement, fallback, shard invariance.
+
+The heavyweight locks live in the integration matrix (python-vs-sharded
+differential over the full protocol matrix) and in the shard-smoke
+bench; this file pins the lane's *contract*: results are bit-identical
+(value, cost fingerprint, declaration time) at every shard count
+including the in-process ``K=1`` shard, engagement is observable, and
+unsupported runs fall back to the executable-spec loop with a recorded
+reason -- both on the module global and on the per-run
+``SimulationResult.fallback_reason`` field.
+"""
+
+import pytest
+
+from repro.obs.trace import Tracer
+from repro.protocols.base import prepare_protocol_run, run_protocol
+from repro.protocols.spanning_tree import SpanningTree
+from repro.protocols.wildfire import Wildfire
+from repro.simulation import sharded
+from repro.simulation.churn import ChurnSchedule, JoinSpec
+from repro.simulation.engine import Simulator
+from repro.simulation.vector_lane import validate_lane
+from repro.topology.grid import grid_topology
+from repro.topology.random_graph import random_topology
+from repro.workloads.values import uniform_values
+
+SEED = 11
+
+
+def _snapshot(result):
+    return {
+        "value": result.value,
+        "fingerprint": result.costs.fingerprint(),
+        "declared_at": result.finished_at,
+    }
+
+
+def _run(lane, shards=1, query="count", churn=None, wireless=False,
+         delay=None, tracer=None, protocol=None, stats="full",
+         querying_host=0, num_hosts=30):
+    topology = random_topology(num_hosts, avg_degree=3.0, seed=SEED)
+    values = uniform_values(len(topology), low=1, high=50, seed=SEED)
+    result = run_protocol(
+        protocol or Wildfire(), topology, values, query,
+        querying_host=querying_host, churn=churn, wireless=wireless,
+        seed=SEED, delay=delay, tracer=tracer, stats=stats, lane=lane,
+        shards=shards)
+    return _snapshot(result)
+
+
+# ----------------------------------------------------------------------
+# Lane validation / plumbing
+# ----------------------------------------------------------------------
+def test_validate_lane_accepts_sharded():
+    assert validate_lane("sharded") == "sharded"
+
+
+def test_simulator_rejects_non_positive_shards():
+    topology = grid_topology(3)
+    prepared = prepare_protocol_run(
+        Wildfire(), topology, [1.0] * len(topology), "min",
+        querying_host=0, seed=SEED)
+    with pytest.raises(ValueError, match="shards must be at least 1"):
+        Simulator(network=topology.to_network(), hosts=prepared.hosts,
+                  querying_host=0, shards=0)
+
+
+# ----------------------------------------------------------------------
+# Shard invariance: K in {1, 2, 4} all match the spec loop
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("query", ["min", "max", "count", "sum"])
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_lane_is_bit_identical(query, shards):
+    churn = ChurnSchedule(failures=[(1.0, 7), (2.0, 3), (3.0, 11)])
+    before = sharded.engagements
+    python = _run("python", query=query, churn=churn)
+    assert sharded.engagements == before  # spec lane never engages
+    result = _run("sharded", shards=shards, query=query, churn=churn)
+    assert sharded.engagements == before + 1
+    assert sharded.last_fallback_reason is None
+    assert result == python
+
+
+@pytest.mark.parametrize("shards", [1, 3])
+def test_sharded_lane_identical_under_wireless_and_streaming(shards):
+    python = _run("python", query="count", wireless=True, stats="streaming")
+    assert _run("sharded", shards=shards, query="count", wireless=True,
+                stats="streaming") == python
+
+
+def test_sharded_lane_identical_with_failure_at_time_zero():
+    churn = ChurnSchedule(failures=[(0.0, 5)])
+    assert (_run("sharded", shards=2, query="min", churn=churn)
+            == _run("python", query="min", churn=churn))
+
+
+def test_sharded_lane_identical_when_querying_host_dies():
+    # The querying host's shard loses its value owner mid-run; the
+    # declared value must still match the spec loop's (the spec also
+    # reads the dead host's frozen partial).
+    churn = ChurnSchedule(failures=[(2.0, 0)])
+    for shards in (1, 2, 4):
+        assert (_run("sharded", shards=shards, churn=churn)
+                == _run("python", churn=churn))
+
+
+def test_more_shards_than_hosts_still_identical():
+    # Empty shards participate in every barrier and own no hosts.
+    assert (_run("sharded", shards=12, num_hosts=8, query="sum")
+            == _run("python", num_hosts=8, query="sum"))
+
+
+def test_lane_used_records_sharded():
+    topology = grid_topology(4)
+    prepared = prepare_protocol_run(
+        Wildfire(), topology, [1.0] * len(topology), "min",
+        querying_host=0, seed=SEED)
+    simulator = Simulator(
+        network=topology.to_network(), hosts=prepared.hosts,
+        querying_host=0, max_time=prepared.termination * 4 + 16,
+        lane="sharded", shards=2)
+    result = simulator.run(until=prepared.termination)
+    assert simulator.lane_used == "sharded"
+    assert result.fallback_reason is None
+    info = result.extra["sharded"]
+    assert info["shards"] == 2
+    assert len(info["workers"]) == 2
+    assert [w["shard"] for w in info["workers"]] == [0, 1]
+    assert all(w["epochs"] >= 1 for w in info["workers"])
+
+
+# ----------------------------------------------------------------------
+# Fallback gating: unsupported runs use the spec loop, with a reason
+# ----------------------------------------------------------------------
+def _assert_falls_back(reason, **kwargs):
+    before = sharded.engagements
+    result = _run("sharded", shards=2, **kwargs)
+    assert sharded.engagements == before
+    assert sharded.last_fallback_reason == reason
+    assert result == _run("python", **kwargs)
+
+
+def test_falls_back_on_variable_delay_model():
+    _assert_falls_back("variable delay model", delay="uniform:0.25,1.0")
+
+
+def test_falls_back_when_tracer_attached():
+    before = sharded.engagements
+    result = _run("sharded", shards=2, tracer=Tracer())
+    assert sharded.engagements == before
+    assert sharded.last_fallback_reason == "tracer attached"
+    assert result == _run("python", tracer=Tracer())
+
+
+def test_falls_back_on_join_churn():
+    churn = ChurnSchedule(failures=[(2.0, 4)],
+                          joins=[JoinSpec(3.0, (0, 1))])
+    _assert_falls_back("join churn scheduled", churn=churn)
+
+
+def test_falls_back_on_unsupported_combiner():
+    _assert_falls_back("unsupported protocol hosts or combiner",
+                       query="avg")
+
+
+def test_falls_back_on_foreign_protocol_hosts():
+    _assert_falls_back("unsupported protocol hosts or combiner",
+                       protocol=SpanningTree(), query="count")
+
+
+def test_fallback_reason_rides_the_simulation_result():
+    # The per-run field (satellite of the sharded-lane PR): the reason
+    # must reach the caller on the result itself, not only through the
+    # deprecated module global.
+    topology = random_topology(20, avg_degree=3.0, seed=SEED)
+    values = uniform_values(len(topology), low=1, high=50, seed=SEED)
+    result = run_protocol(
+        Wildfire(), topology, values, "count", querying_host=0,
+        seed=SEED, delay="uniform:0.25,1.0", lane="sharded", shards=2)
+    assert result.fallback_reason == "variable delay model"
+    engaged = run_protocol(
+        Wildfire(), topology, values, "count", querying_host=0,
+        seed=SEED, lane="sharded", shards=2)
+    assert engaged.fallback_reason is None
+    spec = run_protocol(
+        Wildfire(), topology, values, "count", querying_host=0,
+        seed=SEED, lane="python")
+    assert spec.fallback_reason is None
+
+
+def test_vector_fallback_reason_rides_the_simulation_result():
+    topology = random_topology(20, avg_degree=3.0, seed=SEED)
+    values = uniform_values(len(topology), low=1, high=50, seed=SEED)
+    result = run_protocol(
+        Wildfire(), topology, values, "avg", querying_host=0,
+        seed=SEED, lane="vector")
+    assert (result.fallback_reason
+            == "unsupported protocol hosts or combiner")
