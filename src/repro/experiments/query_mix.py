@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.experiments.scale_bench import _build_topology
 from repro.obs.metrics import collect_service_metrics
+from repro.obs.stream import current_rss_mb
 from repro.service import QueryService
 from repro.simulation.churn import ChurnSchedule, uniform_failure_schedule
 from repro.topology.base import Topology
@@ -36,6 +37,8 @@ def run_query_mix(
     tracer=None,
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     progress_interval: Optional[float] = None,
+    metrics_interval: Optional[float] = None,
+    metrics_stream=None,
     shards: int = 1,
     _session_slice: Optional[tuple] = None,
     **mix_overrides,
@@ -67,6 +70,17 @@ def run_query_mix(
             pop the exact same event sequence as one drain, so results
             are bit-identical with or without progress reporting.
         progress_interval: simulated seconds per progress slice.
+        metrics_interval: simulated seconds between live metrics
+            samples; enables the same sliced drive as ``progress``
+            (bit-identical results) with a full
+            :func:`~repro.obs.metrics.collect_service_metrics` snapshot
+            appended to ``metrics_stream`` after every slice.  Sampling
+            at slice boundaries -- never from a thread -- keeps the
+            reads race-free against the engine's own mutation.
+        metrics_stream: a
+            :class:`~repro.obs.stream.MetricsStreamWriter` (anything
+            with a ``sample(payload)`` method) receiving the live
+            snapshots; required when ``metrics_interval`` is set.
         shards: partition the mix by query id across this many worker
             processes, each driving its own engine over an identically
             seeded copy of the network.  Sessions are private and churn
@@ -90,10 +104,12 @@ def run_query_mix(
     if shards > 1:
         if _session_slice is not None:
             raise ValueError("worker slices cannot themselves shard")
-        if tracer is not None or progress is not None:
+        if (tracer is not None or progress is not None
+                or metrics_stream is not None):
             raise ValueError(
-                "sharded query mixes cannot carry a tracer or progress "
-                "callback across process boundaries; run with shards=1")
+                "sharded query mixes cannot carry a tracer, progress "
+                "callback or metrics stream across process boundaries; "
+                "run with shards=1")
         if prebuilt_topology is not None:
             raise ValueError(
                 "sharded query mixes rebuild the topology per worker; "
@@ -149,24 +165,38 @@ def run_query_mix(
                    "report_index": submission.report_index},
             query_id=qid,
         )
-    if progress is None:
+    if metrics_interval is not None and metrics_stream is None:
+        raise ValueError("metrics_interval needs a metrics_stream to "
+                         "write to")
+    if progress is None and metrics_stream is None:
         report = service.run()
     else:
         engine = service.engine
-        interval = (progress_interval if progress_interval
+        candidates = [i for i in (progress_interval, metrics_interval)
+                      if i]
+        interval = (min(candidates) if candidates
                     else max(duration / 10.0, 1.0))
         horizon = 0.0
         while engine.pending_events():
             horizon += interval
             service.run(until=horizon)
-            progress({
+            snapshot = {
                 "time": min(horizon, engine.clock.now),
                 "active_sessions": engine.active_sessions,
                 "pending_events": engine.pending_events(),
                 "messages_sent": engine.messages_sent,
                 "late_messages": engine.late_messages,
                 "retired": len(engine.retired_order),
-            })
+            }
+            if progress is not None:
+                progress(snapshot)
+            if metrics_stream is not None:
+                sample = collect_service_metrics(service)
+                sample["service.sim_time"] = snapshot["time"]
+                rss = current_rss_mb()
+                if rss is not None:
+                    sample["process.rss_mb"] = rss
+                metrics_stream.sample(sample)
         report = service.run()
 
     late_by_query = service.engine.late_by_query

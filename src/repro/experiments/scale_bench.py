@@ -149,8 +149,13 @@ def run_scale_benchmark(
     gen_seconds = timer.seconds("generate_topology")
     run_seconds = timer.seconds("simulate")
 
+    # Opt-in lanes may decline the run; the row records both what was
+    # *asked for* (``lane``) and what actually *ran* (``lane_used``),
+    # plus the machine-readable reason when they differ.
+    fallback_reason = result.fallback_reason
+    lane_used = "python" if fallback_reason is not None else lane
     messages = result.costs.messages_sent
-    return {
+    row = {
         "hosts": topo.num_hosts,
         "topology": topology if prebuilt_topology is None else topo.name,
         "protocol": protocol,
@@ -159,6 +164,8 @@ def run_scale_benchmark(
         "stats": stats,
         "delay": delay,
         "lane": lane,
+        "lane_used": lane_used,
+        "fallback_reason": fallback_reason,
         "shards": shards,
         "value": result.value,
         "d_hat": result.d_hat,
@@ -173,6 +180,14 @@ def run_scale_benchmark(
         "peak_rss_mb": peak_rss_mb(),
         "accounting_bytes": result.costs.footprint_bytes(),
     }
+    sharded_info = (result.extra or {}).get("sharded")
+    if sharded_info is not None:
+        # The coordinator's per-shard block (worker metrics + the
+        # epoch/barrier timeline) rides along verbatim so ``repro obs
+        # report`` can read straggler attribution straight off a saved
+        # bench artifact.
+        row["sharded"] = sharded_info
+    return row
 
 
 def run_service_benchmark(

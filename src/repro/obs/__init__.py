@@ -8,6 +8,13 @@ from structures the engines already maintain; profiling wraps a run
 from the outside.  With everything disabled the kernel's event loop
 executes the exact same instruction stream as before this package
 existed, and the golden seeded snapshots stay bit-identical.
+
+The distributed pieces keep the same contract per worker: sharded-lane
+workers trace into private rings the coordinator merges into one
+multi-process trace (:meth:`RingTracer.ingest_process`), the
+epoch/barrier wall-clock timeline lands in
+:class:`~repro.obs.timeline.ShardTimeline`, and live metrics stream out
+through :mod:`repro.obs.stream` while a run is still in flight.
 """
 
 from repro.obs.metrics import (
@@ -18,9 +25,20 @@ from repro.obs.metrics import (
     collect_queue_metrics,
     collect_run_metrics,
     collect_service_metrics,
+    collect_shard_metrics,
     worker_utilisation,
 )
 from repro.obs.profiling import PhaseTimer, ProfileCapture
+from repro.obs.stream import (
+    MetricsStreamWriter,
+    PeriodicSampler,
+    ShardProgressBoard,
+    current_rss_mb,
+    default_progress_board,
+    progress_board,
+    set_progress_board,
+)
+from repro.obs.timeline import ShardTimeline
 from repro.obs.provenance import (
     EstimateProvenance,
     ProvenanceTracer,
@@ -44,9 +62,18 @@ __all__ = [
     "collect_queue_metrics",
     "collect_run_metrics",
     "collect_service_metrics",
+    "collect_shard_metrics",
     "worker_utilisation",
     "PhaseTimer",
     "ProfileCapture",
+    "MetricsStreamWriter",
+    "PeriodicSampler",
+    "ShardProgressBoard",
+    "ShardTimeline",
+    "current_rss_mb",
+    "default_progress_board",
+    "progress_board",
+    "set_progress_board",
     "EstimateProvenance",
     "ProvenanceTracer",
     "run_protocol_with_provenance",

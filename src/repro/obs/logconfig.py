@@ -53,10 +53,14 @@ def configure(verbosity: int = 0, stream=None) -> logging.Logger:
     logger.setLevel(level)
     target = stream if stream is not None else sys.stderr
     # Replace (don't stack) the handler this module manages, so repeated
-    # main() calls in one process never duplicate output lines.
+    # main() calls in one process never duplicate output lines -- and
+    # close the orphan so it also releases its resources (an injected
+    # test stream, the handler's I/O lock).  StreamHandler.close never
+    # closes the underlying stream, so sys.stderr survives.
     for handler in list(logger.handlers):
         if getattr(handler, "_repro_cli", False):
             logger.removeHandler(handler)
+            handler.close()
     handler = logging.StreamHandler(target)
     handler._repro_cli = True  # type: ignore[attr-defined]
     handler.setFormatter(logging.Formatter("%(message)s"))

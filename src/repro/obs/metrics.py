@@ -187,7 +187,10 @@ def collect_shard_metrics(result, registry: Optional[MetricsRegistry] = None,
     from any other lane folds nothing.  Emits one gauge per shard per
     numeric metric (``shard.2.barrier_wait_s``, ...) plus the shard
     count, so barrier skew and exchange volume show up next to the run
-    metrics in the same snapshot.
+    metrics in the same snapshot.  When the block carries the per-epoch
+    ``timeline``, aggregate health gauges ride along too: per-shard
+    compute totals, barrier-overhead fractions, straggler counts, and
+    the worst epoch's skew.
     """
     registry = registry if registry is not None else MetricsRegistry()
     info = getattr(result, "extra", None) or {}
@@ -201,6 +204,23 @@ def collect_shard_metrics(result, registry: Optional[MetricsRegistry] = None,
             if key == "shard" or not isinstance(value, (int, float)):
                 continue
             registry.gauge(f"{prefix}.{shard}.{key}").set(value)
+    timeline = sharded.get("timeline")
+    if timeline:
+        from repro.obs.timeline import ShardTimeline
+
+        health = ShardTimeline(sharded["shards"], timeline).health()
+        registry.gauge(f"{prefix}.epochs").set(health["epochs"])
+        worst = health["worst_epoch"]
+        if worst is not None:
+            registry.gauge(f"{prefix}.worst_epoch").set(worst["epoch"])
+            registry.gauge(f"{prefix}.worst_skew_s").set(worst["skew_s"])
+        for k in range(health["shards"]):
+            gauge = registry.gauge
+            gauge(f"{prefix}.{k}.compute_s").set(health["compute_s"][k])
+            gauge(f"{prefix}.{k}.barrier_overhead").set(
+                health["barrier_overhead"][k])
+            gauge(f"{prefix}.{k}.straggler_epochs").set(
+                health["straggler_epochs"][k])
     return registry
 
 

@@ -1,0 +1,250 @@
+"""Live metrics streaming: JSON Lines samples while a run is in flight.
+
+The metrics layer so far was end-of-run only: a 60-minute sharded run
+emitted nothing until it finished.  This module adds the in-flight
+counterpart, in three independently usable pieces:
+
+* :class:`MetricsStreamWriter` -- an append-only JSON Lines sink: one
+  ``meta`` header line, one ``sample`` line per snapshot (monotonic
+  ``seq`` plus wall-clock ``elapsed_s``), an optional ``final`` line.
+  Each line is flushed as written, so ``tail -f`` on the file follows a
+  live run.
+* :class:`PeriodicSampler` -- a daemon thread that invokes a callback
+  every ``interval`` wall-clock seconds until stopped; the thread only
+  *reads* (pull-based metrics, the shared progress board), so the run
+  being sampled stays bit-identical -- the same argument as the tracer's
+  observe-only contract.
+* :class:`ShardProgressBoard` -- a tiny fork-shared array of per-shard
+  ``(epoch, simulated time)`` cells.  Workers store their slot once per
+  epoch (two plain float stores, no locks: one writer per slot, readers
+  tolerate tearing between the two fields); the sampler thread in the
+  coordinator reads all slots for the per-shard progress gauges the
+  ISSUE's long-run monitoring asks for.  Bound process-wide via
+  :func:`set_progress_board`, mirroring ``set_default_tracer``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, Optional
+
+__all__ = [
+    "MetricsStreamWriter",
+    "PeriodicSampler",
+    "ShardProgressBoard",
+    "current_rss_mb",
+    "default_progress_board",
+    "set_progress_board",
+    "progress_board",
+]
+
+
+def current_rss_mb() -> Optional[float]:
+    """The process's *current* resident set size in MiB (None off-Linux).
+
+    The scale benchmarks report the ``VmHWM`` high-water mark; a live
+    stream wants the instantaneous ``VmRSS`` so memory growth (and
+    release) shows up as a time series.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return round(int(line.split()[1]) / 1024.0, 1)
+    except OSError:  # pragma: no cover - non-Linux platform
+        pass
+    return None
+
+
+class MetricsStreamWriter:
+    """Append-only JSON Lines metrics stream with a metadata header.
+
+    Line shapes (``sort_keys`` for stable artifacts)::
+
+        {"type": "meta", "stream": "metrics", ...caller metadata}
+        {"type": "sample", "seq": 0, "elapsed_s": 0.5, ...payload}
+        {"type": "final", "seq": N, "elapsed_s": T, ...payload}
+
+    ``seq`` is 0-based and strictly increasing; ``elapsed_s`` is
+    wall-clock seconds since the writer was opened.  The reserved keys
+    (``type``/``seq``/``elapsed_s``) win over payload keys of the same
+    name so a malformed payload cannot corrupt the framing.
+    """
+
+    __slots__ = ("path", "_handle", "_seq", "_start")
+
+    def __init__(self, path: str,
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        self.path = path
+        self._handle = open(path, "w")
+        self._seq = 0
+        self._start = perf_counter()
+        header = dict(meta or {})
+        header["type"] = "meta"
+        header.setdefault("stream", "metrics")
+        self._write(header)
+
+    @property
+    def samples_written(self) -> int:
+        return self._seq
+
+    def _write(self, row: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+        # Flush per line: the whole point is that the file is readable
+        # while the run is still in flight.
+        self._handle.flush()
+
+    def _emit(self, kind: str, payload: Optional[Dict[str, Any]]) -> None:
+        row = dict(payload or {})
+        row["type"] = kind
+        row["seq"] = self._seq
+        row["elapsed_s"] = round(perf_counter() - self._start, 3)
+        self._seq += 1
+        self._write(row)
+
+    def sample(self, payload: Optional[Dict[str, Any]] = None) -> None:
+        """Append one ``sample`` line."""
+        self._emit("sample", payload)
+
+    def final(self, payload: Optional[Dict[str, Any]] = None) -> None:
+        """Append the closing ``final`` line (end-of-run summary)."""
+        self._emit("final", payload)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "MetricsStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PeriodicSampler:
+    """Invoke ``callback()`` every ``interval`` wall seconds until stopped.
+
+    The callback runs on a daemon thread; an exception stops the
+    sampling loop and is re-raised from :meth:`stop` (a silent dead
+    sampler would masquerade as "the run emitted nothing").  ``stop``
+    fires one last immediate callback by default so short runs (shorter
+    than one interval) still produce at least one sample.
+    """
+
+    def __init__(self, interval: float, callback: Callable[[], None]) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval = float(interval)
+        self._callback = callback
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self._callback()
+            except BaseException as exc:  # noqa: BLE001 - re-raised in stop()
+                self._error = exc
+                return
+
+    def start(self) -> "PeriodicSampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+            self._thread = None
+        if self._error is not None:
+            error = self._error
+            self._error = None
+            raise error
+        if final_sample:
+            self._callback()
+
+    def __enter__(self) -> "PeriodicSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On an exception in the body, drop the final sample and swallow
+        # any sampler error -- the body's exception is the real story.
+        try:
+            self.stop(final_sample=exc_type is None)
+        except BaseException:
+            if exc_type is None:
+                raise
+
+
+class ShardProgressBoard:
+    """Fork-shared per-shard ``(epoch, simulated time)`` progress cells."""
+
+    __slots__ = ("shards", "cells")
+
+    def __init__(self, shards: int) -> None:
+        from multiprocessing.sharedctypes import RawArray
+
+        if shards < 1:
+            raise ValueError("a progress board needs at least one shard")
+        self.shards = int(shards)
+        #: Flat doubles: ``cells[2k]`` = epochs completed by shard ``k``,
+        #: ``cells[2k + 1]`` = its last barrier's simulated time.  A
+        #: RawArray (no lock) survives ``fork`` by inheritance -- exactly
+        #: the start method the sharded lane is gated to.
+        self.cells = RawArray("d", 2 * self.shards)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The board as plain lists (JSON-safe, read without locking)."""
+        cells = self.cells
+        return {
+            "shards": self.shards,
+            "epochs": [int(cells[2 * k]) for k in range(self.shards)],
+            "sim_time": [round(cells[2 * k + 1], 6)
+                         for k in range(self.shards)],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Process-wide board binding (mirrors trace.set_default_tracer)
+# ---------------------------------------------------------------------------
+#: The process-wide progress board; ``None`` = no live progress wanted.
+#: The sharded coordinator resolves this once per run, before forking.
+_progress_board: Optional[ShardProgressBoard] = None
+
+
+def default_progress_board() -> Optional[ShardProgressBoard]:
+    """The process-wide progress board (``None`` = disabled)."""
+    return _progress_board
+
+
+def set_progress_board(
+        board: Optional[ShardProgressBoard]) -> Optional[ShardProgressBoard]:
+    """Bind the process-wide progress board; returns the previous one."""
+    global _progress_board
+    if board is not None and not isinstance(board, ShardProgressBoard):
+        raise TypeError(
+            f"expected a ShardProgressBoard or None, got {board!r}")
+    previous = _progress_board
+    _progress_board = board
+    return previous
+
+
+@contextmanager
+def progress_board(
+        board: Optional[ShardProgressBoard]
+) -> Iterator[Optional[ShardProgressBoard]]:
+    """Bind ``board`` as the process default for the ``with`` body."""
+    previous = set_progress_board(board)
+    try:
+        yield board
+    finally:
+        set_progress_board(previous)

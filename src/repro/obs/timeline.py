@@ -1,0 +1,213 @@
+"""Epoch/barrier timeline of a sharded-lane run, with straggler attribution.
+
+The sharded lane advances in lockstep ``delta``-wide epochs; every epoch
+each worker spends wall-clock in two places -- the pairwise barrier
+exchange and the local compute over the instant's deliveries/timers --
+and the *slowest* shard of an epoch sets the epoch's length for everyone
+(the barrier is synchronous).  The coordinator already folds per-shard
+end-of-run counters into ``extra["sharded"]``; this module holds the
+per-epoch samples the workers now record alongside them and turns the
+raw samples into the two views the ROADMAP's multi-core validation item
+asks for:
+
+* :meth:`ShardTimeline.skew_report` -- one row per epoch naming the
+  straggler shard, the compute skew (max - min compute seconds across
+  shards) and the epoch's barrier-overhead fraction;
+* :meth:`ShardTimeline.health` -- aggregate per-shard compute/barrier
+  totals, barrier-overhead fractions and straggler counts, plus the
+  single worst epoch.
+
+A sample is one plain dict (JSON-safe, exactly what travels over the
+worker result pipe and lands in run artifacts)::
+
+    {"shard": 2, "epoch": 7, "t": 8.0, "wall_start": 0.0123,
+     "exchange_s": 0.0009, "compute_s": 0.0041,
+     "barrier_wait_s": 0.0006, "cross_records": 118, "queue_depth": 240}
+
+``wall_start`` is seconds since the coordinator's pre-fork
+``perf_counter()`` base -- on Linux ``perf_counter`` is
+``CLOCK_MONOTONIC``, which forked children share, so per-shard spans are
+directly comparable and the merged Perfetto trace shows the *actual*
+overlap of compute and barriers across cores.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ShardTimeline"]
+
+#: The numeric fields every timeline sample carries.
+SAMPLE_FIELDS = ("shard", "epoch", "t", "wall_start", "exchange_s",
+                 "compute_s", "barrier_wait_s", "cross_records",
+                 "queue_depth")
+
+
+class ShardTimeline:
+    """Per-shard per-epoch wall-clock samples of one sharded-lane run."""
+
+    __slots__ = ("shards", "samples")
+
+    def __init__(self, shards: int, samples: Sequence[Dict[str, Any]]):
+        if shards < 1:
+            raise ValueError("a timeline needs at least one shard")
+        self.shards = int(shards)
+        self.samples: List[Dict[str, Any]] = sorted(
+            (dict(sample) for sample in samples),
+            key=lambda s: (s["epoch"], s["shard"]))
+
+    # ------------------------------------------------------------------
+    # Construction from run artifacts
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_run(cls, run: Any) -> Optional["ShardTimeline"]:
+        """Build a timeline from a run result or a JSON artifact.
+
+        Accepts a :class:`~repro.simulation.engine.SimulationResult` /
+        :class:`~repro.protocols.base.ProtocolRunResult` (anything with
+        an ``extra`` attribute), a raw ``extra``-style dict, or a whole
+        ``repro bench --json`` trajectory payload -- the first
+        ``{"sharded": {... "timeline": [...]}}`` block found by a
+        recursive walk wins.  Returns ``None`` when the artifact carries
+        no sharded timeline (e.g. the run fell back to the spec lane).
+        """
+        payload = getattr(run, "extra", run)
+        block = _find_sharded_block(payload)
+        if block is None or not block.get("timeline"):
+            return None
+        return cls(block["shards"], block["timeline"])
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def epochs(self) -> int:
+        """Number of distinct epochs sampled."""
+        return len({sample["epoch"] for sample in self.samples})
+
+    def _by_epoch(self) -> Dict[int, List[Dict[str, Any]]]:
+        grouped: Dict[int, List[Dict[str, Any]]] = {}
+        for sample in self.samples:
+            grouped.setdefault(sample["epoch"], []).append(sample)
+        return grouped
+
+    def skew_report(self) -> List[Dict[str, Any]]:
+        """One row per epoch: straggler shard, compute skew, barrier cost.
+
+        The straggler is the shard with the largest compute time (ties
+        break to the lower shard id -- deterministic output); ``skew_s``
+        is max - min compute across shards, the wall-clock every other
+        shard spent blocked waiting for the straggler at the next
+        barrier.  ``barrier_frac`` is the epoch's summed barrier-wait
+        over its summed (exchange + compute) wall-clock: the fraction of
+        the epoch's total core-seconds the barrier protocol cost.
+        """
+        rows: List[Dict[str, Any]] = []
+        for epoch, group in sorted(self._by_epoch().items()):
+            computes = [(s["compute_s"], s["shard"]) for s in group]
+            slowest = max(computes, key=lambda cs: (cs[0], -cs[1]))
+            busy = sum(s["exchange_s"] + s["compute_s"] for s in group)
+            barrier = sum(s["barrier_wait_s"] for s in group)
+            rows.append({
+                "epoch": epoch,
+                "t": group[0]["t"],
+                "straggler": slowest[1],
+                "compute_max_s": round(max(c for c, _ in computes), 6),
+                "compute_min_s": round(min(c for c, _ in computes), 6),
+                "skew_s": round(max(c for c, _ in computes)
+                                - min(c for c, _ in computes), 6),
+                "barrier_wait_s": round(barrier, 6),
+                "barrier_frac": round(barrier / busy, 4) if busy else 0.0,
+                "cross_records": sum(s["cross_records"] for s in group),
+            })
+        return rows
+
+    def health(self) -> Dict[str, Any]:
+        """Aggregate per-shard totals and the top-line overhead summary.
+
+        ``barrier_overhead`` is each shard's total barrier-wait over its
+        total busy (exchange + compute) wall-clock; ``straggler_epochs``
+        counts how often each shard was the epoch's straggler.  The
+        ``worst_epoch`` entry repeats that epoch's skew row so a report
+        reader sees the single most skewed moment without scanning.
+        """
+        compute = [0.0] * self.shards
+        exchange = [0.0] * self.shards
+        barrier = [0.0] * self.shards
+        for sample in self.samples:
+            shard = sample["shard"]
+            compute[shard] += sample["compute_s"]
+            exchange[shard] += sample["exchange_s"]
+            barrier[shard] += sample["barrier_wait_s"]
+        straggler_epochs = [0] * self.shards
+        report = self.skew_report()
+        worst = None
+        for row in report:
+            straggler_epochs[row["straggler"]] += 1
+            if worst is None or row["skew_s"] > worst["skew_s"]:
+                worst = row
+        overhead = [
+            round(barrier[s] / (exchange[s] + compute[s]), 4)
+            if (exchange[s] + compute[s]) > 0 else 0.0
+            for s in range(self.shards)
+        ]
+        return {
+            "shards": self.shards,
+            "epochs": len(report),
+            "compute_s": [round(v, 6) for v in compute],
+            "barrier_wait_s": [round(v, 6) for v in barrier],
+            "barrier_overhead": overhead,
+            "straggler_epochs": straggler_epochs,
+            "worst_epoch": worst,
+        }
+
+    # ------------------------------------------------------------------
+    # Perfetto spans
+    # ------------------------------------------------------------------
+    def spans_by_shard(self) -> List[List[tuple]]:
+        """Per-shard ``(name, start_s, duration_s, args)`` wall spans.
+
+        One ``barrier``/``epoch`` span pair per sample, in the format
+        :meth:`RingTracer.ingest_process` files under a process track:
+        the barrier span covers the exchange (rank + content phases) and
+        the epoch span the local compute that follows it.
+        """
+        per_shard: List[List[tuple]] = [[] for _ in range(self.shards)]
+        for sample in self.samples:
+            shard = sample["shard"]
+            start = sample["wall_start"]
+            exchange_s = sample["exchange_s"]
+            per_shard[shard].append((
+                f"barrier e{sample['epoch']}", start, exchange_s,
+                {"epoch": sample["epoch"], "t": sample["t"],
+                 "barrier_wait_s": sample["barrier_wait_s"],
+                 "cross_records": sample["cross_records"]}))
+            per_shard[shard].append((
+                f"epoch e{sample['epoch']}", start + exchange_s,
+                sample["compute_s"],
+                {"epoch": sample["epoch"], "t": sample["t"],
+                 "queue_depth": sample["queue_depth"]}))
+        return per_shard
+
+
+def _find_sharded_block(payload: Any) -> Optional[Dict[str, Any]]:
+    """Depth-first search for a coordinator ``sharded`` block.
+
+    Recognises the block by shape (``shards`` plus ``timeline``) rather
+    than by key alone, so a trajectory row that merely *names* a
+    ``sharded`` column cannot shadow the real thing.
+    """
+    if isinstance(payload, dict):
+        block = payload.get("sharded")
+        if (isinstance(block, dict) and "shards" in block
+                and isinstance(block.get("timeline"), list)):
+            return block
+        for value in payload.values():
+            found = _find_sharded_block(value)
+            if found is not None:
+                return found
+    elif isinstance(payload, (list, tuple)):
+        for value in payload:
+            found = _find_sharded_block(value)
+            if found is not None:
+                return found
+    return None

@@ -27,6 +27,19 @@ metadata header line; :meth:`RingTracer.export_chrome` writes the Chrome
 trace-event format (``{"traceEvents": [...]}``), which loads directly in
 Perfetto / ``chrome://tracing`` -- simulation seconds are mapped onto
 microseconds, hosts onto threads, sessions onto async spans.
+
+Multi-process merge
+-------------------
+A distributed run (the sharded lane) traces in every worker and merges
+in the coordinator: each worker ships its ring's raw tuples plus exact
+counts over its result pipe, and the parent tracer files them with
+:meth:`RingTracer.ingest_process` under a named *process track*.  The
+Chrome export then renders one Perfetto process per shard (host events
+on its own pid, named via ``M`` metadata events), plus one extra
+process of wall-clock epoch/barrier spans -- the view that shows the
+barrier protocol's actual cross-core overlap.  Ingested counts fold
+into the parent's exact counts, so ``counts["send"]`` remains the
+run-wide total regardless of which process recorded the event.
 """
 
 from __future__ import annotations
@@ -118,7 +131,8 @@ class RingTracer(Tracer):
     """
 
     __slots__ = ("capacity", "sampling", "_ring", "_state",
-                 "_send_state", "_deliver_state", "_timer_state")
+                 "_send_state", "_deliver_state", "_timer_state",
+                 "_processes")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
                  sampling: Optional[Mapping[str, int]] = None) -> None:
@@ -141,6 +155,9 @@ class RingTracer(Tracer):
         self._send_state = self._state["send"]
         self._deliver_state = self._state["deliver"]
         self._timer_state = self._state["timer"]
+        #: Ingested child-process tracks (sharded workers), in ingest
+        #: order: ``{"label", "records", "counts", "spans"}`` dicts.
+        self._processes: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -225,6 +242,53 @@ class RingTracer(Tracer):
             self._ring.append(("phase", start, duration, name, detail))
 
     # ------------------------------------------------------------------
+    # Multi-process merge
+    # ------------------------------------------------------------------
+    def raw_records(self) -> List[Tuple]:
+        """The resident ring as raw record tuples, oldest first.
+
+        The tuples are plain ints/floats/strings, so a forked worker can
+        ship them over a result pipe and the coordinator can hand them
+        to :meth:`ingest_process` unchanged.
+        """
+        return list(self._ring)
+
+    def merge_counts(self, counts: Mapping[str, int]) -> None:
+        """Fold another tracer's exact per-kind counts into this one."""
+        for kind, value in counts.items():
+            state = self._state.get(kind)
+            if state is None:
+                state = self._state[kind] = [
+                    0, self.sampling.get(kind, 1), 1]
+            state[0] += value
+
+    def ingest_process(self, label: str, records: List[Tuple],
+                       counts: Optional[Mapping[str, int]] = None,
+                       spans: Optional[List[Tuple]] = None) -> None:
+        """Attach one child process's trace as a named track.
+
+        ``records`` are raw ring tuples (:meth:`raw_records`) recorded
+        in the child; ``counts`` its exact per-kind counts, folded into
+        this tracer's own so run-wide totals stay exact; ``spans`` an
+        optional list of wall-clock ``(name, start_s, duration_s, args)``
+        tuples (epoch/barrier sections) rendered as complete spans on a
+        dedicated timeline process in the Chrome export.
+        """
+        self._processes.append({
+            "label": str(label),
+            "records": list(records),
+            "counts": dict(counts or {}),
+            "spans": list(spans or ()),
+        })
+        if counts:
+            self.merge_counts(counts)
+
+    @property
+    def processes(self) -> List[Dict[str, Any]]:
+        """Ingested process tracks (label/records/counts/spans dicts)."""
+        return list(self._processes)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -236,12 +300,21 @@ class RingTracer(Tracer):
 
     def summary(self) -> Dict[str, Any]:
         """Exact per-kind counts plus ring occupancy/sampling config."""
-        return {
+        summary = {
             "counts": {k: self.counts[k] for k in sorted(self.counts)},
             "recorded": len(self._ring),
             "capacity": self.capacity,
             "sampling": {k: self.sampling[k] for k in sorted(self.sampling)},
         }
+        if self._processes:
+            summary["processes"] = [
+                {"label": proc["label"],
+                 "recorded": len(proc["records"]),
+                 "counts": {k: proc["counts"][k]
+                            for k in sorted(proc["counts"])}}
+                for proc in self._processes
+            ]
+        return summary
 
     @staticmethod
     def _as_dict(record: Tuple) -> Dict[str, Any]:
@@ -288,7 +361,9 @@ class RingTracer(Tracer):
     def export_jsonl(self, path: str) -> int:
         """Write a metadata header plus one JSON object per record.
 
-        Returns the number of records written (header excluded).
+        Ingested process tracks follow the main ring, each record tagged
+        with its track label (``"track": "shard 2"``).  Returns the
+        number of records written (header excluded).
         """
         with open(path, "w") as handle:
             header = dict(self.summary())
@@ -299,6 +374,13 @@ class RingTracer(Tracer):
                 handle.write(json.dumps(self._as_dict(record),
                                         sort_keys=True) + "\n")
                 n += 1
+            for proc in self._processes:
+                label = proc["label"]
+                for record in proc["records"]:
+                    row = self._as_dict(record)
+                    row["track"] = label
+                    handle.write(json.dumps(row, sort_keys=True) + "\n")
+                    n += 1
         return n
 
     def export_chrome(self, path: str) -> int:
@@ -308,23 +390,69 @@ class RingTracer(Tracer):
         hosts become threads of pid 0, point events are thread-scoped
         instants, sessions become async ``b``/``e`` spans keyed by query
         id, and wall-clock phases become complete (``X``) spans on their
-        own pid.  Returns the number of trace events written.
+        own pid.  Ingested process tracks (sharded workers) land on pids
+        2, 3, ... -- one Perfetto process per shard, named via ``M``
+        metadata events -- and their wall-clock epoch/barrier spans
+        share one extra timeline process with one thread per shard.
+        Returns the number of trace events written.
         """
         events: List[Dict[str, Any]] = []
         scale = 1e6  # simulation seconds -> trace microseconds
-        for record in self._ring:
+        self._append_record_events(events, self._ring, 0, scale)
+        for index, proc in enumerate(self._processes):
+            pid = 2 + index
+            events.append({
+                "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                "args": {"name": proc["label"]}})
+            self._append_record_events(events, proc["records"], pid, scale)
+        if self._processes:
+            # One shared wall-clock timeline process: thread k carries
+            # shard k's epoch/barrier complete spans, so Perfetto shows
+            # the actual cross-core overlap on adjacent rows.
+            timeline_pid = 2 + len(self._processes)
+            events.append({
+                "ph": "M", "pid": timeline_pid, "tid": 0,
+                "name": "process_name",
+                "args": {"name": "epoch barriers (wall clock)"}})
+            for index, proc in enumerate(self._processes):
+                if proc["spans"]:
+                    events.append({
+                        "ph": "M", "pid": timeline_pid, "tid": index,
+                        "name": "thread_name",
+                        "args": {"name": proc["label"]}})
+                for name, start, duration, args in proc["spans"]:
+                    events.append({
+                        "ph": "X", "pid": timeline_pid, "tid": index,
+                        "ts": start * scale, "dur": duration * scale,
+                        "cat": ("barrier" if name.startswith("barrier")
+                                else "epoch"),
+                        "name": name, "args": dict(args or {})})
+        with open(path, "w") as handle:
+            json.dump({"traceEvents": events, "displayTimeUnit": "ms",
+                       "metadata": self.summary()}, handle)
+            handle.write("\n")
+        return len(events)
+
+    def _append_record_events(self, events: List[Dict[str, Any]],
+                              records, pid: int, scale: float) -> None:
+        """Convert raw ring tuples to trace events on process ``pid``.
+
+        Wall-clock ``phase`` records always land on pid 1 (they are
+        process-global sections, not per-shard activity).
+        """
+        for record in records:
             row = self._as_dict(record)
             kind = row["type"]
             if kind == "send":
                 events.append({
-                    "ph": "i", "s": "t", "pid": 0, "tid": row["sender"],
+                    "ph": "i", "s": "t", "pid": pid, "tid": row["sender"],
                     "ts": row["time"] * scale, "cat": "message",
                     "name": f"send {row['kind']}",
                     "args": {"dest": row["dest"], "count": row["count"],
                              "query_id": row["query_id"]}})
             elif kind == "deliver":
                 events.append({
-                    "ph": "i", "s": "t", "pid": 0, "tid": row["dest"],
+                    "ph": "i", "s": "t", "pid": pid, "tid": row["dest"],
                     "ts": row["time"] * scale, "cat": "message",
                     "name": f"deliver {row['kind']}",
                     "args": {"sender": row["sender"],
@@ -333,26 +461,26 @@ class RingTracer(Tracer):
                              "query_id": row["query_id"]}})
             elif kind == "timer":
                 events.append({
-                    "ph": "i", "s": "t", "pid": 0, "tid": row["host"],
+                    "ph": "i", "s": "t", "pid": pid, "tid": row["host"],
                     "ts": row["time"] * scale, "cat": "timer",
                     "name": f"timer {row['name']}",
                     "args": {"query_id": row["query_id"]}})
             elif kind in ("drop", "late"):
                 events.append({
-                    "ph": "i", "s": "t", "pid": 0, "tid": row["dest"],
+                    "ph": "i", "s": "t", "pid": pid, "tid": row["dest"],
                     "ts": row["time"] * scale, "cat": "message",
                     "name": kind,
                     "args": {"query_id": row["query_id"]}})
             elif kind in ("fail", "join"):
                 events.append({
-                    "ph": "i", "s": "g", "pid": 0, "tid": row["host"],
+                    "ph": "i", "s": "g", "pid": pid, "tid": row["host"],
                     "ts": row["time"] * scale, "cat": "churn",
                     "name": f"{kind} host {row['host']}", "args": {}})
             elif kind == "session":
                 event = row["event"]
                 phase = {"launch": "b", "declare": "e",
                          "failed": "e"}.get(event)
-                base = {"pid": 0, "tid": 0, "ts": row["time"] * scale,
+                base = {"pid": pid, "tid": 0, "ts": row["time"] * scale,
                         "cat": "session", "id": row["query_id"],
                         "name": f"query {row['query_id']}"}
                 if phase is None:
@@ -372,11 +500,6 @@ class RingTracer(Tracer):
                     "name": row["name"],
                     "args": ({} if row.get("detail") is None
                              else {"detail": row["detail"]})})
-        with open(path, "w") as handle:
-            json.dump({"traceEvents": events, "displayTimeUnit": "ms",
-                       "metadata": self.summary()}, handle)
-            handle.write("\n")
-        return len(events)
 
 
 # ---------------------------------------------------------------------------

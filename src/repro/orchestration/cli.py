@@ -13,6 +13,11 @@ Exposed both as ``python -m repro`` and as the ``repro`` console script:
     repro bench --hosts 1000 --profile              # cProfile the kernel
     repro serve --hosts 10000 --qps 5 --duration 200 --stats streaming
                                        # multi-tenant query service
+    repro bench --lane sharded --shards 4 --trace-out trace.json
+                                       # merged per-shard Perfetto trace
+    repro bench --lane sharded --shards 4 --metrics-out live.jsonl
+                                       # live metrics stream (tail -f)
+    repro obs report bench.json        # epoch/barrier straggler report
     repro delay-sweep --size 200 --departures 0 10  # validity vs delay
     repro cache ls                     # list cached results
     repro cache clear 3fa9c1           # evict one spec (cache-key prefix)
@@ -126,6 +131,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--label", default=None,
                        help="trajectory label for --json (default: "
                             "'cli' plus the cell parameters)")
+    bench.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="stream live metrics (per-shard epoch "
+                            "progress, resident set size) to PATH as "
+                            "JSON Lines while the sweep runs; each line "
+                            "is flushed, so `tail -f` follows the run")
+    bench.add_argument("--metrics-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock seconds between live metrics "
+                            "samples (default 1.0; needs --metrics-out)")
 
     serve = sub.add_parser(
         "serve",
@@ -178,7 +192,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the service metrics snapshot (engine "
                             "tallies, queue occupancy, per-tenant "
-                            "breakdown) to PATH as JSON")
+                            "breakdown) to PATH as JSON; with "
+                            "--metrics-interval the file becomes a JSON "
+                            "Lines stream of live snapshots instead")
+    serve.add_argument("--metrics-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="simulated seconds between live metrics "
+                            "snapshots appended to --metrics-out while "
+                            "the mix runs (results stay bit-identical; "
+                            "needs --metrics-out, incompatible with "
+                            "--shards > 1)")
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="record a sampled structured trace of the "
                             "service run (.jsonl = JSON Lines; else "
@@ -207,6 +230,24 @@ def _build_parser() -> argparse.ArgumentParser:
                             "contribution set and add lost_alive_mean / "
                             "lost_churn_mean columns (records every "
                             "delivery; experiment scale only)")
+
+    obs = sub.add_parser(
+        "obs", help="observability reports over saved run artifacts")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="epoch/barrier timeline of a sharded-lane run: per-epoch "
+             "straggler attribution and barrier-overhead fractions from "
+             "any JSON artifact carrying the coordinator's timeline "
+             "(repro bench --json, a saved result); .jsonl paths are "
+             "summarised as live metrics streams instead")
+    obs_report.add_argument("artifact", metavar="PATH",
+                            help="a run/bench JSON artifact with a "
+                                 "sharded timeline, or a --metrics-out "
+                                 "JSON Lines stream")
+    obs_report.add_argument("--epochs", type=int, default=12, metavar="N",
+                            help="cap the per-epoch table at the N most "
+                                 "skewed epochs (default 12; 0 = all)")
 
     cache = sub.add_parser("cache", help="inspect or evict cached results")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -377,6 +418,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.obs.trace import RingTracer
 
         tracer = RingTracer()
+    if args.metrics_interval is not None and not args.metrics_out:
+        print("--metrics-interval needs --metrics-out PATH to stream to",
+              file=sys.stderr)
+        return 2
+    sampler = None
+    stream = None
+    prev_board = None
+    if args.metrics_out:
+        from repro.obs.stream import (
+            MetricsStreamWriter,
+            PeriodicSampler,
+            ShardProgressBoard,
+            current_rss_mb,
+            set_progress_board,
+        )
+
+        interval = (args.metrics_interval
+                    if args.metrics_interval is not None else 1.0)
+        if interval <= 0:
+            print("--metrics-interval must be positive", file=sys.stderr)
+            return 2
+        # The board is fork-shared: sharded workers store their
+        # (epoch, simulated time) once per epoch, and the sampler
+        # thread here only *reads*, so the run stays bit-identical.
+        board = ShardProgressBoard(args.shards)
+        prev_board = set_progress_board(board)
+        stream = MetricsStreamWriter(args.metrics_out, meta={
+            "command": "bench", "lane": args.lane, "shards": args.shards,
+            "hosts": list(args.hosts), "interval_s": interval})
+
+        def _live_payload():
+            payload = {"progress": board.snapshot()}
+            rss = current_rss_mb()
+            if rss is not None:
+                payload["process.rss_mb"] = rss
+            return payload
+
+        sampler = PeriodicSampler(
+            interval, lambda: stream.sample(_live_payload())).start()
     try:
         if capture is not None:
             capture.start()
@@ -406,6 +486,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     finally:
         if capture is not None:
             capture.stop()
+        if sampler is not None:
+            try:
+                sampler.stop(final_sample=False)
+                stream.final(_live_payload())
+            finally:
+                set_progress_board(prev_board)
+                stream.close()
+                log.info("wrote %s live metrics samples to %s",
+                         stream.samples_written, args.metrics_out)
     if capture is not None:
         if args.profile_out:
             capture.dump(args.profile_out)
@@ -415,14 +504,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.profile:
             # Top cumulative-time functions, for hunting the next hot path.
             capture.print_stats(25)
+    # An opt-in lane that declined a run is worth a loud line: the user
+    # asked for (say) a sharded traced run and silently got the spec
+    # loop's numbers instead.  The reason is machine-readable in the
+    # row; here it is surfaced at warning level so --quiet still shows
+    # it.
+    for row in rows:
+        if row.get("fallback_reason") is not None:
+            log.warning(
+                "lane %r fell back to the python spec loop at %s hosts: %s",
+                args.lane, row["hosts"], row["fallback_reason"])
     if tracer is not None:
         _export_trace(tracer, args.trace_out)
     lane_label = (f"{args.lane} lane x{args.shards}"
                   if args.lane == "sharded" else f"{args.lane} lane")
-    print(format_table(rows, title=f"Kernel scale benchmark "
-                                   f"({args.protocol} / {args.topology} / "
-                                   f"{args.aggregate} / {args.delay} delay / "
-                                   f"{args.stats} stats / {lane_label})"))
+    # Nested structures (the sharded timeline block) belong in the JSON
+    # artifacts; the printed table stays scalar, and the fallback column
+    # only appears when some row actually fell back.
+    all_engaged = all(row.get("fallback_reason") is None for row in rows)
+    printable = []
+    for row in rows:
+        shown = {key: value for key, value in row.items()
+                 if not isinstance(value, (dict, list))}
+        if all_engaged:
+            shown.pop("fallback_reason", None)
+        printable.append(shown)
+    print(format_table(printable,
+                       title=f"Kernel scale benchmark "
+                             f"({args.protocol} / {args.topology} / "
+                             f"{args.aggregate} / {args.delay} delay / "
+                             f"{args.stats} stats / {lane_label})"))
     if args.json and payload is not None:
         label = args.label or (
             f"cli {args.protocol}/{args.topology}/{args.aggregate}")
@@ -483,6 +594,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "%s retired", snap["time"], snap["active_sessions"],
             snap["pending_events"], snap["messages_sent"],
             snap["retired"])
+    metrics_stream = None
+    if args.metrics_interval is not None:
+        if args.metrics_interval <= 0:
+            print("--metrics-interval must be positive", file=sys.stderr)
+            return 2
+        if not args.metrics_out:
+            print("--metrics-interval needs --metrics-out PATH to stream "
+                  "to", file=sys.stderr)
+            return 2
+        from repro.obs.stream import MetricsStreamWriter
+
+        metrics_stream = MetricsStreamWriter(args.metrics_out, meta={
+            "command": "serve", "hosts": args.hosts, "qps": args.qps,
+            "duration": args.duration, "seed": args.seed,
+            "interval_s": args.metrics_interval})
     try:
         mix = QueryMixConfig(
             qps=args.qps, duration=args.duration,
@@ -502,12 +628,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mix=mix,
             tracer=tracer,
             progress=progress,
+            metrics_interval=args.metrics_interval,
+            metrics_stream=metrics_stream,
             shards=args.shards,
         )
     except (KeyError, ValueError) as exc:
+        if metrics_stream is not None:
+            metrics_stream.close()
         message = exc.args[0] if exc.args else str(exc)
         print(str(message), file=sys.stderr)
         return 2
+    if metrics_stream is not None:
+        # The stream ends with the end-of-run snapshot, so a consumer
+        # that only tails the file still sees the authoritative totals.
+        metrics_stream.final(result["metrics"])
+        metrics_stream.close()
+        log.info("streamed %s live metrics samples to %s",
+                 metrics_stream.samples_written, args.metrics_out)
     rows = result["rows"]
     summary = result["summary"]
     if args.rows > 0 and rows:
@@ -538,7 +675,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 json.dump(result, handle, indent=1, sort_keys=True)
                 handle.write("\n")
             log.info("wrote full report to %s", args.json)
-        if args.metrics_out:
+        if args.metrics_out and metrics_stream is None:
             with open(args.metrics_out, "w") as handle:
                 json.dump(result["metrics"], handle, indent=1,
                           sort_keys=True)
@@ -546,6 +683,128 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             log.info("wrote metrics snapshot to %s", args.metrics_out)
     if tracer is not None:
         _export_trace(tracer, args.trace_out)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.tables import format_table
+
+    if args.epochs < 0:
+        print("--epochs must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        if args.artifact.endswith(".jsonl"):
+            return _report_metrics_stream(args.artifact, args.epochs)
+        with open(args.artifact) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        print(f"cannot read {args.artifact}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"{args.artifact} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.obs.timeline import ShardTimeline
+
+    timeline = ShardTimeline.from_run(payload)
+    if timeline is None:
+        print(f"{args.artifact} carries no sharded epoch timeline; "
+              f"produce one with repro bench --lane sharded --json "
+              f"(a run that fell back to the spec loop records none)",
+              file=sys.stderr)
+        return 2
+    report = timeline.skew_report()
+    rows = report
+    note = ""
+    if args.epochs and len(report) > args.epochs:
+        # Keep the most skewed epochs, re-sorted chronologically -- the
+        # reader wants the bad moments, in order.
+        worst = sorted(report, key=lambda r: r["skew_s"],
+                       reverse=True)[:args.epochs]
+        rows = sorted(worst, key=lambda r: r["epoch"])
+        note = (f" -- {args.epochs} most skewed of "
+                f"{len(report)} epochs")
+    print(format_table(
+        rows, title=f"Epoch/barrier timeline ({timeline.shards} shards"
+                    f"{note})"))
+    health = timeline.health()
+    shard_rows = [{
+        "shard": k,
+        "compute_s": health["compute_s"][k],
+        "barrier_wait_s": health["barrier_wait_s"][k],
+        "barrier_overhead": health["barrier_overhead"][k],
+        "straggler_epochs": health["straggler_epochs"][k],
+    } for k in range(health["shards"])]
+    print(format_table(shard_rows, title="Per-shard totals"))
+    worst = health["worst_epoch"]
+    if worst is not None:
+        print(f"worst epoch: {worst['epoch']} (t={worst['t']}) -- shard "
+              f"{worst['straggler']} straggled by {worst['skew_s']}s, "
+              f"barrier fraction {worst['barrier_frac']:.1%}")
+    return 0
+
+
+def _report_metrics_stream(path: str, limit: int) -> int:
+    """Summarise a ``--metrics-out`` JSON Lines stream as tables."""
+    import json
+
+    from repro.experiments.tables import format_table
+
+    meta = None
+    samples = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError as exc:
+                print(f"{path}:{number}: bad JSON line: {exc}",
+                      file=sys.stderr)
+                return 2
+            if row.get("type") == "meta":
+                meta = row
+            else:
+                samples.append(row)
+    if not samples:
+        print(f"{path} holds no metrics samples", file=sys.stderr)
+        return 2
+    if meta is not None:
+        described = {key: value for key, value in sorted(meta.items())
+                     if key != "type" and not isinstance(value,
+                                                         (dict, list))}
+        print("stream: " + ", ".join(f"{key}={value}"
+                                     for key, value in described.items()))
+    shown = samples[-limit:] if limit else samples
+
+    def _flat(row):
+        out = {key: value for key, value in row.items()
+               if not isinstance(value, (dict, list))}
+        progress = row.get("progress")
+        if isinstance(progress, dict):
+            # The bench stream's per-shard board: one epochs/t column
+            # pair per shard so progress skew reads across the row.
+            pairs = zip(progress.get("epochs", ()),
+                        progress.get("sim_time", ()))
+            for shard, (epochs, sim_time) in enumerate(pairs):
+                out[f"shard{shard}.epochs"] = epochs
+                out[f"shard{shard}.t"] = sim_time
+        return out
+
+    printable = [_flat(row) for row in shown]
+    skipped = len(samples) - len(shown)
+    suffix = f" -- last {len(shown)} of {len(samples)}" if skipped else ""
+    print(format_table(
+        printable, title=f"Live metrics samples{suffix}"))
     return 0
 
 
@@ -629,6 +888,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
         if args.command == "delay-sweep":
             return _cmd_delay_sweep(args)
         if args.command == "cache":

@@ -34,6 +34,7 @@ from typing import Any, List, Sequence
 from repro.protocols.wildfire import (
     BROADCAST,
     CONVERGECAST,
+    FLUSH,
     WildfireVectorAdapter,
 )
 
@@ -66,6 +67,11 @@ class ShardWildfireAdapter(WildfireVectorAdapter):
         packed_mode = self.packed_mode
         dropped = 0
         max_depth = lane.max_depth
+        # Per-worker tracing: one pointer check per delivery, exactly
+        # the spec engine's zero-cost-when-disabled discipline.  Under
+        # the fixed-delay gate every delivery was sent one delta ago.
+        tracer = lane.tracer
+        sent_at = now - lane.delta
         for rank, sender, dests, kind, incoming, dist, depth in entries:
             lane._current_rank = rank
             if kind != CONVERGECAST and kind != BROADCAST:
@@ -76,8 +82,13 @@ class ShardWildfireAdapter(WildfireVectorAdapter):
                     if alive[dest]:
                         counts[dest] += 1
                         delivered = True
+                        if tracer is not None:
+                            tracer.deliver(now, sender, dest, kind,
+                                           depth, sent_at)
                     else:
                         dropped += 1
+                        if tracer is not None:
+                            tracer.drop(now, dest)
                 if delivered and depth > max_depth:
                     max_depth = depth
                 continue
@@ -90,9 +101,16 @@ class ShardWildfireAdapter(WildfireVectorAdapter):
             for dest in dests:
                 if not alive[dest]:
                     dropped += 1
+                    if tracer is not None:
+                        tracer.drop(now, dest)
                     continue
                 counts[dest] += 1
                 delivered = True
+                if tracer is not None:
+                    # Recorded before the handler body runs, the spec
+                    # loop's deliver-then-dispatch order.
+                    tracer.deliver(now, sender, dest, kind, depth,
+                                   sent_at)
                 deadline = deadlines[dest]
                 if deadline is None:  # inactive
                     if now >= gdl:
@@ -189,9 +207,14 @@ class ShardWildfireAdapter(WildfireVectorAdapter):
         rank_bound = lane.rank_bound
         sent = 0
         wireless_extra = 0
+        tracer = lane.tracer
         for host_id, depth, rank in bucket:
             if not alive[host_id]:
                 continue  # dead hosts' timers expire silently
+            if tracer is not None:
+                # The spec loop records every fired timer on an alive
+                # host before its handler runs.
+                tracer.timer(now, host_id, FLUSH)
             # -- inlined WildfireHost.on_timer(FLUSH) ------------------
             host = hosts[host_id]
             host._flush_pending = False
@@ -215,6 +238,11 @@ class ShardWildfireAdapter(WildfireVectorAdapter):
                         wireless_extra += len(targets) - 1
                     else:
                         sent += len(targets)
+                    if tracer is not None:
+                        # submit_multicast's record: dest -1, width as
+                        # the count.
+                        tracer.send(now, host_id, -1, CONVERGECAST,
+                                    len(targets))
                     out.append((
                         ((rank_bound + rank) * nh1 + host_id) * nh1,
                         host_id, targets, CONVERGECAST,
@@ -234,6 +262,8 @@ class ShardWildfireAdapter(WildfireVectorAdapter):
                     if not has_alive_edge(host_id, neighbor):
                         continue
                     sent += 1
+                    if tracer is not None:
+                        tracer.send(now, host_id, neighbor, CONVERGECAST)
                     out.append((base + seq, host_id, (neighbor,),
                                 CONVERGECAST, agg, distance, depth + 1))
                     seq += 1

@@ -41,6 +41,7 @@ import multiprocessing
 from bisect import bisect_right
 from collections import defaultdict
 from multiprocessing import connection as mp_connection
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.simulation.events import Event, EventKind
@@ -63,11 +64,20 @@ def run_sharded(simulator, horizon: float):
     fallback; a fallback consumes nothing, so the spec loop proceeds
     untouched.
     """
+    from repro.obs.trace import RingTracer
     from repro.simulation import vector_lane
 
-    reason = vector_lane._unsupported_reason(simulator)
+    reason = vector_lane._unsupported_reason(simulator, allow_tracer=True)
     if reason is not None:
         return None, reason
+    tracer = simulator.tracer
+    if tracer is not None and type(tracer) is not RingTracer:
+        # Workers trace into fresh rings and the coordinator merges raw
+        # ring tuples; a third-party tracer subclass could observe state
+        # the result pipe cannot carry, so only the exact RingTracer is
+        # supported (anything else falls back to the spec loop, which
+        # calls every hook in-process).
+        return None, "unsupported tracer (sharded tracing needs RingTracer)"
     if simulator._fail_callbacks:
         return None, "failure callbacks registered"
     adapter = ShardWildfireAdapter.try_build(
@@ -106,9 +116,27 @@ def run_sharded(simulator, horizon: float):
     act_rank, act_order = _activation_prepass(simulator, fails, horizon)
     draws_by_shard = _predraw(simulator.hosts, act_order, bounds, shards)
 
+    # Tracing config travels as plain data: every worker (forked or the
+    # K=1 in-process lane) builds a *fresh* RingTracer from it, so the
+    # parent ring never sees partial per-shard state and the merged
+    # output has one "shard k" track for every K.
+    trace_conf = ((tracer.capacity, dict(tracer.sampling))
+                  if tracer is not None else None)
+    from repro.obs.stream import default_progress_board
+    board = default_progress_board()
+    cells = (board.cells if board is not None and board.shards >= shards
+             else None)
+    # One wall-clock origin for every shard's timeline/trace timestamps:
+    # perf_counter() is CLOCK_MONOTONIC on Linux, comparable across
+    # forked children.
+    wall_base = perf_counter()
+
     if shards == 1:
+        child_tracer = (RingTracer(trace_conf[0], trace_conf[1])
+                        if trace_conf is not None else None)
         lane = _ShardLane(simulator, adapter, 0, bounds, act_rank, fails,
-                          horizon)
+                          horizon, tracer=child_tracer, wall_base=wall_base,
+                          progress_cells=cells)
         lane.install_replay_rng(draws_by_shard[0])
         try:
             lane.run_epochs(local_exchange)
@@ -118,7 +146,8 @@ def run_sharded(simulator, horizon: float):
         applied = lane.fails_applied
     else:
         results = _run_forked(simulator, adapter, shards, bounds, act_rank,
-                              draws_by_shard, fails, horizon)
+                              draws_by_shard, fails, horizon, trace_conf,
+                              wall_base, cells)
         applied = 0  # forked workers mutated copies, not the parent
     return _merge(simulator, results, fails, applied, bounds, shards), None
 
@@ -229,7 +258,8 @@ def _predraw(hosts, act_order: Sequence[int], bounds: Sequence[int],
 # Forked execution (K > 1)
 # ----------------------------------------------------------------------
 def _run_forked(simulator, adapter, shards: int, bounds, act_rank,
-                draws_by_shard, fails, horizon: float) -> List[dict]:
+                draws_by_shard, fails, horizon: float, trace_conf,
+                wall_base: float, progress_cells) -> List[dict]:
     from repro.orchestration.executor import _pool_context
 
     ctx = _pool_context()
@@ -252,8 +282,9 @@ def _run_forked(simulator, adapter, shards: int, bounds, act_rank,
         procs.append(ctx.Process(
             target=_worker_main,
             args=(simulator, adapter, shard, shards, bounds, act_rank,
-                  draws_by_shard[shard], fails, horizon, senders,
-                  receivers, result_pipes[shard][1]),
+                  draws_by_shard[shard], fails, horizon, trace_conf,
+                  wall_base, progress_cells, senders, receivers,
+                  result_pipes[shard][1]),
             daemon=True,
         ))
     for proc in procs:
@@ -317,7 +348,9 @@ def _merge(simulator, results: Sequence[Dict[str, Any]],
     last_instant = 0.0
     value = None
     worker_metrics = []
+    timeline: List[Dict[str, Any]] = []
     for res in results:
+        timeline.extend(res.get("timeline", ()))
         for key, count in res["send_acc"].items():
             merged_sends[key] += count
         wireless_groups += res["wireless_groups"]
@@ -368,7 +401,27 @@ def _merge(simulator, results: Sequence[Dict[str, Any]],
         "shards": shards,
         "bounds": list(bounds),
         "workers": worker_metrics,
+        "timeline": timeline,
     }}
+
+    # Cross-shard trace merge: fold every worker's ring (raw tuples over
+    # the result pipe) into the parent tracer as one process track per
+    # shard, with its epoch/barrier wall-clock spans alongside.  Counts
+    # merge into the parent's exact counters, so ``counts["send"]`` is
+    # the run-wide total even for records the rings sampled away.
+    tracer = simulator.tracer
+    if tracer is not None:
+        from repro.obs.timeline import ShardTimeline
+
+        spans = ShardTimeline(shards, timeline).spans_by_shard()
+        for res in results:
+            trace = res.get("trace")
+            if trace is None:
+                continue
+            tracer.ingest_process(
+                f"shard {res['shard']}", trace["records"],
+                counts=trace["counts"],
+                spans=spans[res["shard"]])
     return SimulationResult(
         value=value,
         costs=costs,

@@ -99,7 +99,9 @@ class _ShardLane:
 
     def __init__(self, simulator, adapter, shard: int,
                  bounds: Sequence[int], act_rank: Sequence[Optional[int]],
-                 fails: Sequence[Tuple[float, int]], horizon: float) -> None:
+                 fails: Sequence[Tuple[float, int]], horizon: float,
+                 tracer=None, wall_base: float = 0.0,
+                 progress_cells=None) -> None:
         self.sim = simulator
         self.adapter = adapter
         self.shard = shard
@@ -154,6 +156,19 @@ class _ShardLane:
         self.cross_bytes_in = 0
         self.max_epoch_records = 0
         self.queue_depth_peak = 0
+        #: This worker's own tracer (a fresh per-process RingTracer, or
+        #: None).  Hot paths guard every hook with one pointer check --
+        #: the spec engine's zero-cost-when-disabled contract, per shard.
+        self.tracer = tracer
+        #: Wall-clock origin shared by all shards (the coordinator's
+        #: pre-fork ``perf_counter()``; CLOCK_MONOTONIC survives fork).
+        self.wall_base = wall_base
+        #: Fork-shared progress doubles (``ShardProgressBoard.cells``)
+        #: or None; this shard owns slots ``[2*shard, 2*shard + 1]``.
+        self.progress_cells = progress_cells
+        #: Per-epoch ``(epoch, t, wall_start, exchange_s, compute_s,
+        #: barrier_wait_s, cross_records, queue_depth)`` samples.
+        self.timeline: List[tuple] = []
 
     # ------------------------------------------------------------------
     # Submit targets (the _LaneContext / adapter call sites)
@@ -184,6 +199,11 @@ class _ShardLane:
             self._wireless_groups += len(dests) - 1
         else:
             acc[(time, kind)] += len(dests)
+        tracer = self.tracer
+        if tracer is not None:
+            # The spec engine's submit_multicast record: one send with
+            # dest -1 and the multicast width as its count.
+            tracer.send(time, sender, -1, kind, len(dests))
         rank = self.act_rank[sender]
         if rank is None:
             raise RuntimeError(
@@ -238,6 +258,11 @@ class _ShardLane:
         if self.network.is_alive(host):
             self.network.fail_host(host, time)
             self.nbr_cache = [None] * self.num_hosts
+            if self.tracer is not None and self.lo <= host < self.hi:
+                # Only the owning shard records the churn event: every
+                # shard replays the full schedule, and K copies of one
+                # failure would break the merged trace's exact counts.
+                self.tracer.fail(time, host)
             self.hosts[host].on_fail(time)
 
     # ------------------------------------------------------------------
@@ -282,6 +307,13 @@ class _ShardLane:
 
         gc_was_enabled = gc.isenabled()
         gc.disable()
+        # Timeline instrumentation is always on: three perf_counter()
+        # calls and one tuple per epoch (epochs number in the tens to
+        # hundreds), invisible next to one barrier's pipe round-trip.
+        timeline = self.timeline
+        wall_base = self.wall_base
+        cells = self.progress_cells
+        slot = 2 * self.shard
         try:
             t = 0.0
             while True:
@@ -291,7 +323,11 @@ class _ShardLane:
                 depth_now = len(self.out_records)
                 if depth_now > self.queue_depth_peak:
                     self.queue_depth_peak = depth_now
+                barrier_before = self.barrier_wait
+                cross_before = self.cross_records_in
+                wall_start = perf_counter()
                 entries, total = exchange(self, t_next)
+                wall_mid = perf_counter()
                 if total == 0:
                     break
                 self.epochs += 1
@@ -321,6 +357,17 @@ class _ShardLane:
                     time, host = fails[fail_index]
                     self._apply_fail(host, time)
                     fail_index += 1
+                timeline.append((
+                    self.epochs, t, wall_start - wall_base,
+                    wall_mid - wall_start, perf_counter() - wall_mid,
+                    self.barrier_wait - barrier_before,
+                    self.cross_records_in - cross_before, depth_now))
+                if cells is not None:
+                    # Two unsynchronised float stores: one writer per
+                    # slot, and the sampler thread tolerates reading
+                    # between them (progress is advisory, not exact).
+                    cells[slot] = float(self.epochs)
+                    cells[slot + 1] = t
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -349,7 +396,23 @@ class _ShardLane:
                 "max_epoch_records": self.max_epoch_records,
                 "queue_depth_peak": self.queue_depth_peak,
             },
+            "timeline": [
+                {"shard": self.shard, "epoch": epoch, "t": t,
+                 "wall_start": round(wall_start, 6),
+                 "exchange_s": round(exchange_s, 6),
+                 "compute_s": round(compute_s, 6),
+                 "barrier_wait_s": round(barrier_s, 6),
+                 "cross_records": cross, "queue_depth": depth}
+                for (epoch, t, wall_start, exchange_s, compute_s,
+                     barrier_s, cross, depth) in self.timeline
+            ],
         }
+        tracer = self.tracer
+        if tracer is not None:
+            # Raw ring tuples plus exact counts: everything the parent's
+            # RingTracer.ingest_process needs, all pickle-safe scalars.
+            result["trace"] = {"records": tracer.raw_records(),
+                               "counts": dict(tracer.counts)}
         if lo <= qh < hi:
             result["has_value"] = True
             result["value"] = self.hosts[qh].local_result()
@@ -507,11 +570,26 @@ def make_pipe_exchange(shard: int, shards: int, bounds: Sequence[int],
 def _worker_main(simulator, adapter, shard: int, shards: int,
                  bounds: Sequence[int], act_rank: Sequence[Optional[int]],
                  draws: Sequence[tuple], fails: Sequence[Tuple[float, int]],
-                 horizon: float, senders, receivers, result_conn) -> None:
-    """Forked worker body: run one shard, ship one result dict."""
+                 horizon: float, trace_conf, wall_base: float,
+                 progress_cells, senders, receivers, result_conn) -> None:
+    """Forked worker body: run one shard, ship one result dict.
+
+    ``trace_conf`` is ``(capacity, sampling)`` when the run is traced:
+    the worker binds a *fresh* RingTracer mirroring the parent's
+    configuration (never the inherited parent ring, which may hold a
+    previous run's records) and ships its raw tuples in the result.
+    """
     try:
+        tracer = None
+        if trace_conf is not None:
+            from repro.obs.trace import RingTracer
+
+            capacity, sampling = trace_conf
+            tracer = RingTracer(capacity, sampling)
         lane = _ShardLane(simulator, adapter, shard, bounds, act_rank,
-                          fails, horizon)
+                          fails, horizon, tracer=tracer,
+                          wall_base=wall_base,
+                          progress_cells=progress_cells)
         lane.install_replay_rng(draws)
         exchange = make_pipe_exchange(shard, shards, bounds, senders,
                                       receivers)

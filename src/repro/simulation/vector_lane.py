@@ -127,11 +127,18 @@ class _LaneContext(HostContext):
                                   data, self._chain_depth)
 
 
-def _unsupported_reason(simulator) -> Optional[str]:
-    """Why this run cannot use the vector lane (None = it can)."""
+def _unsupported_reason(simulator, allow_tracer: bool = False
+                        ) -> Optional[str]:
+    """Why this run cannot use the vector lane (None = it can).
+
+    The sharded lane shares these checks but traces per worker and
+    merges rings in its coordinator, so it passes ``allow_tracer=True``
+    (and applies its own tracer-type gate); the vector lane itself still
+    rejects any attached tracer.
+    """
     if simulator.delay_model is not None:
         return "variable delay model"
-    if simulator.tracer is not None:
+    if simulator.tracer is not None and not allow_tracer:
         return "tracer attached"
     if simulator._churn.joins:
         return "join churn scheduled"

@@ -41,8 +41,10 @@ def test_sharded_mix_matches_single_process(single_process_result, shards):
 
 
 def test_sharded_mix_rejects_unshippable_arguments():
-    with pytest.raises(ValueError, match="tracer or progress"):
+    with pytest.raises(ValueError, match="progress"):
         run_query_mix(**BASE, shards=2, progress=lambda snap: None)
+    with pytest.raises(ValueError, match="metrics stream"):
+        run_query_mix(**BASE, shards=2, metrics_stream=object())
     with pytest.raises(ValueError, match="at least 1"):
         run_query_mix(**BASE, shards=0)
 

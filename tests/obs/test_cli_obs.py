@@ -133,3 +133,135 @@ class TestDelaySweepProvenance:
         assert main(["--quiet", "delay-sweep", "--size", "40",
                      "--delays", "fixed", "-t", "1"]) == 0
         assert "lost_alive_mean" not in capsys.readouterr().out
+
+
+class TestDistributedTraceArtifacts:
+    def test_sharded_trace_out_merges_per_shard_tracks(self, tmp_path):
+        trace = tmp_path / "shards.json"
+        assert main(["bench", "--hosts", "400", "--topology", "random",
+                     "--lane", "sharded", "--shards", "2",
+                     "--trace-out", str(trace)]) == 0
+        with open(trace) as handle:
+            events = json.load(handle)["traceEvents"]
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert {"shard 0", "shard 1",
+                "epoch barriers (wall clock)"} <= names
+        cats = {e.get("cat") for e in events if e["ph"] == "X"}
+        assert {"barrier", "epoch"} <= cats
+
+    def test_gated_fallback_logs_warning(self, tmp_path, capsys):
+        # A sharded run gated off (variable delay) still completes on
+        # the spec loop, but the fallback is surfaced loudly -- even
+        # under --quiet -- and the printed table shows the reason.
+        assert main(["--quiet", "bench", "--hosts", "200",
+                     "--topology", "random", "--lane", "sharded",
+                     "--shards", "2", "--delay", "uniform:0.2,0.9"]) == 0
+        captured = capsys.readouterr()
+        assert "fell back to the python spec loop" in captured.err
+        assert "variable delay model" in captured.err
+        assert "fallback_reason" in captured.out
+
+    def test_engaged_run_prints_no_fallback_column(self, capsys):
+        assert main(["--quiet", "bench", "--hosts", "200",
+                     "--topology", "random", "--lane", "sharded",
+                     "--shards", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "fell back" not in captured.err
+        assert "fallback_reason" not in captured.out
+        assert "lane_used" in captured.out
+
+
+class TestMetricsStreaming:
+    def test_bench_metrics_out_streams_progress_jsonl(self, tmp_path):
+        stream = tmp_path / "live.jsonl"
+        assert main(["bench", "--hosts", "400", "--topology", "random",
+                     "--lane", "sharded", "--shards", "2",
+                     "--metrics-out", str(stream),
+                     "--metrics-interval", "0.05"]) == 0
+        rows = [json.loads(line)
+                for line in stream.read_text().splitlines()]
+        assert rows[0]["type"] == "meta"
+        assert rows[0]["lane"] == "sharded"
+        assert rows[-1]["type"] == "final"
+        final = rows[-1]
+        assert final["progress"]["shards"] == 2
+        assert all(epochs >= 1 for epochs in final["progress"]["epochs"])
+        seqs = [row["seq"] for row in rows[1:]]
+        assert seqs == sorted(seqs)
+
+    def test_bench_metrics_interval_requires_out(self, capsys):
+        assert main(["bench", "--hosts", "200",
+                     "--metrics-interval", "1"]) == 2
+        assert "--metrics-out" in capsys.readouterr().err
+
+    def test_serve_metrics_interval_streams_snapshots(self, tmp_path):
+        stream = tmp_path / "serve.jsonl"
+        assert main(["serve", "--hosts", "120", "--qps", "0.5",
+                     "--duration", "8", "--max-queries", "4",
+                     "--rows", "0", "--metrics-out", str(stream),
+                     "--metrics-interval", "2"]) == 0
+        rows = [json.loads(line)
+                for line in stream.read_text().splitlines()]
+        assert rows[0]["type"] == "meta"
+        samples = [row for row in rows if row["type"] == "sample"]
+        assert samples
+        assert all("service.sim_time" in row for row in samples)
+        assert rows[-1]["type"] == "final"
+        assert rows[-1]["service.messages_sent"] > 0
+
+    def test_serve_streaming_keeps_digest_identical(self, tmp_path,
+                                                    capsys):
+        def _digest(*extra):
+            args = ["--quiet", "serve", "--hosts", "120", "--qps", "0.5",
+                    "--duration", "8", "--max-queries", "4", "--rows", "0"]
+            assert main(list(args) + list(extra)) == 0
+            out = capsys.readouterr().out
+            return out[out.index("determinism_digest"):].split()[1]
+
+        streamed = _digest("--metrics-out", str(tmp_path / "s.jsonl"),
+                           "--metrics-interval", "1")
+        assert streamed == _digest()
+
+
+class TestObsReport:
+    def _bench_artifact(self, tmp_path):
+        path = tmp_path / "bench.json"
+        assert main(["--quiet", "bench", "--hosts", "400",
+                     "--topology", "random", "--lane", "sharded",
+                     "--shards", "2", "--json", str(path)]) == 0
+        return path
+
+    def test_report_prints_straggler_table(self, tmp_path, capsys):
+        path = self._bench_artifact(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Epoch/barrier timeline (2 shards" in out
+        assert "straggler" in out
+        assert "barrier_frac" in out
+        assert "Per-shard totals" in out
+        assert "worst epoch:" in out
+
+    def test_report_rejects_artifact_without_timeline(self, tmp_path,
+                                                      capsys):
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps({"rows": [{"hosts": 10}]}))
+        assert main(["obs", "report", str(path)]) == 2
+        assert "no sharded epoch timeline" in capsys.readouterr().err
+
+    def test_report_summarises_metrics_stream(self, tmp_path, capsys):
+        stream = tmp_path / "live.jsonl"
+        assert main(["--quiet", "serve", "--hosts", "120", "--qps", "0.5",
+                     "--duration", "8", "--max-queries", "4",
+                     "--rows", "0", "--metrics-out", str(stream),
+                     "--metrics-interval", "2"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "stream: " in out
+        assert "Live metrics samples" in out
+
+    def test_report_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,75 @@
+"""Idempotency of the CLI logging configuration.
+
+``configure`` must be safe to call any number of times in one process
+(CLI re-entry, embedding apps, tests): exactly one managed handler on
+the ``repro`` logger afterwards, no duplicated output lines, and the
+replaced handler closed so its resources are released.
+"""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logconfig import ROOT_LOGGER_NAME, configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    yield
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True
+
+
+def _cli_handlers():
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    return [h for h in logger.handlers
+            if getattr(h, "_repro_cli", False)]
+
+
+class TestIdempotency:
+    def test_repeated_configure_keeps_one_handler(self):
+        for _ in range(5):
+            configure(0)
+        assert len(_cli_handlers()) == 1
+
+    def test_no_duplicate_lines_after_reconfigure(self):
+        stream = io.StringIO()
+        configure(0, stream=stream)
+        configure(0, stream=stream)
+        get_logger().info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_replaced_handler_is_closed(self):
+        configure(0, stream=io.StringIO())
+        old = _cli_handlers()[0]
+        closed = []
+        original_close = old.close
+        old.close = lambda: (closed.append(True), original_close())
+        configure(0, stream=io.StringIO())
+        assert closed == [True]
+        assert old not in _cli_handlers()
+
+    def test_foreign_handlers_survive_reconfigure(self):
+        logger = logging.getLogger(ROOT_LOGGER_NAME)
+        foreign = logging.NullHandler()
+        logger.addHandler(foreign)
+        configure(0)
+        configure(0)
+        assert foreign in logger.handlers
+        assert len(_cli_handlers()) == 1
+
+
+class TestLevels:
+    @pytest.mark.parametrize("verbosity,level", [
+        (-1, logging.WARNING), (0, logging.INFO), (1, logging.DEBUG),
+        (2, logging.DEBUG),
+    ])
+    def test_verbosity_maps_to_level(self, verbosity, level):
+        assert configure(verbosity).level == level
+
+    def test_propagation_is_disabled(self):
+        assert configure(0).propagate is False

@@ -1,0 +1,131 @@
+"""Unit tests for the epoch/barrier timeline views.
+
+Synthetic samples with known skews pin the straggler attribution,
+tie-breaks, overhead fractions and artifact-walking construction;
+integration against a real sharded run lives in
+``tests/simulation/test_sharded_lane.py``.
+"""
+
+import pytest
+
+from repro.obs.timeline import SAMPLE_FIELDS, ShardTimeline
+
+
+def _sample(shard, epoch, **overrides):
+    base = {
+        "shard": shard, "epoch": epoch, "t": float(epoch),
+        "wall_start": epoch * 0.01 + shard * 0.001,
+        "exchange_s": 0.001, "compute_s": 0.004,
+        "barrier_wait_s": 0.0005, "cross_records": 10,
+        "queue_depth": 20,
+    }
+    base.update(overrides)
+    assert set(base) == set(SAMPLE_FIELDS)
+    return base
+
+
+@pytest.fixture
+def timeline():
+    # Epoch 1: shard 1 straggles (0.009 vs 0.004); epoch 2: a tie.
+    return ShardTimeline(2, [
+        _sample(0, 1),
+        _sample(1, 1, compute_s=0.009, barrier_wait_s=0.0),
+        _sample(0, 2),
+        _sample(1, 2),
+    ])
+
+
+class TestConstruction:
+    def test_rejects_non_positive_shards(self):
+        with pytest.raises(ValueError):
+            ShardTimeline(0, [])
+
+    def test_sorts_samples_by_epoch_then_shard(self):
+        scrambled = ShardTimeline(2, [
+            _sample(1, 2), _sample(0, 1), _sample(1, 1), _sample(0, 2)])
+        keys = [(s["epoch"], s["shard"]) for s in scrambled.samples]
+        assert keys == [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_from_run_walks_nested_artifacts(self, timeline):
+        block = {"shards": 2, "timeline": timeline.samples}
+        # A bench trajectory payload: the block sits rows-deep.
+        artifact = {"trajectory": [
+            {"label": "x", "rows": [{"hosts": 10, "sharded": block}]}]}
+        found = ShardTimeline.from_run(artifact)
+        assert found is not None
+        assert found.shards == 2
+        assert len(found.samples) == 4
+
+    def test_from_run_returns_none_without_timeline(self):
+        assert ShardTimeline.from_run({"rows": [1, 2]}) is None
+        # A block that merely *names* sharded but has the wrong shape.
+        assert ShardTimeline.from_run(
+            {"sharded": {"shards": 2, "workers": []}}) is None
+
+    def test_from_run_accepts_result_objects(self, timeline):
+        class Result:
+            extra = {"sharded": {"shards": 2,
+                                 "timeline": timeline.samples}}
+
+        assert ShardTimeline.from_run(Result()).epochs() == 2
+
+
+class TestSkewReport:
+    def test_names_the_straggler_and_skew(self, timeline):
+        rows = timeline.skew_report()
+        assert [row["epoch"] for row in rows] == [1, 2]
+        first = rows[0]
+        assert first["straggler"] == 1
+        assert first["compute_max_s"] == pytest.approx(0.009)
+        assert first["skew_s"] == pytest.approx(0.005)
+        assert first["cross_records"] == 20
+
+    def test_ties_break_to_the_lower_shard(self, timeline):
+        rows = timeline.skew_report()
+        tie = rows[1]
+        assert tie["straggler"] == 0
+        assert tie["skew_s"] == pytest.approx(0.0)
+
+    def test_barrier_frac_is_barrier_over_busy(self, timeline):
+        first = timeline.skew_report()[0]
+        busy = 0.001 + 0.004 + 0.001 + 0.009
+        assert first["barrier_wait_s"] == pytest.approx(0.0005)
+        assert first["barrier_frac"] == pytest.approx(
+            round(0.0005 / busy, 4))
+
+
+class TestHealth:
+    def test_aggregates_per_shard_totals(self, timeline):
+        health = timeline.health()
+        assert health["shards"] == 2
+        assert health["epochs"] == 2
+        assert health["compute_s"][0] == pytest.approx(0.008)
+        assert health["compute_s"][1] == pytest.approx(0.013)
+        assert health["straggler_epochs"] == [1, 1]
+        assert health["worst_epoch"]["epoch"] == 1
+
+    def test_empty_timeline_health_is_all_zero(self):
+        health = ShardTimeline(2, []).health()
+        assert health["epochs"] == 0
+        assert health["worst_epoch"] is None
+        assert health["barrier_overhead"] == [0.0, 0.0]
+
+
+class TestSpans:
+    def test_barrier_and_epoch_spans_tile_each_sample(self, timeline):
+        spans = timeline.spans_by_shard()
+        assert len(spans) == 2
+        assert len(spans[0]) == 4  # two samples x (barrier + epoch)
+        barrier = spans[0][0]
+        epoch = spans[0][1]
+        assert barrier[0] == "barrier e1"
+        assert epoch[0] == "epoch e1"
+        # The epoch span starts exactly where the barrier span ends.
+        assert epoch[1] == pytest.approx(barrier[1] + barrier[2])
+        assert barrier[3]["epoch"] == 1
+        assert "queue_depth" in epoch[3]
+
+    def test_spans_are_monotone_per_shard(self, timeline):
+        for shard_spans in timeline.spans_by_shard():
+            starts = [span[1] for span in shard_spans]
+            assert starts == sorted(starts)

@@ -185,3 +185,132 @@ class TestDefaultBinding:
             set_default_tracer(object())
         previous = set_default_tracer(None)
         assert previous is None
+
+
+class TestExporterEdgeCases:
+    def test_empty_ring_exports_header_only_jsonl(self, tmp_path):
+        tracer = RingTracer()
+        path = tmp_path / "empty.jsonl"
+        assert tracer.export_jsonl(str(path)) == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        header = json.loads(lines[0])
+        assert header["type"] == "meta"
+        assert header["counts"] == {}
+
+    def test_empty_ring_exports_loadable_chrome_json(self, tmp_path):
+        tracer = RingTracer()
+        path = tmp_path / "empty.json"
+        assert tracer.export_chrome(str(path)) == 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["traceEvents"] == []
+        assert payload["metadata"]["counts"] == {}
+
+    def test_heavily_sampled_ring_keeps_exact_counts(self, tmp_path):
+        # Sampling thins the *ring*, never the counters: with a step
+        # larger than the event volume almost nothing is resident, yet
+        # the exported metadata still reports every hook invocation.
+        step = 10 ** 6
+        tracer = RingTracer(sampling={"send": step, "deliver": step,
+                                      "timer": step, "drop": step})
+        for i in range(500):
+            tracer.send(float(i), 0, 1, "Aggregate")
+            tracer.deliver(float(i), 0, 1, "Aggregate", 1)
+            tracer.timer(float(i), 1, "flush")
+            tracer.drop(float(i), 2)
+        assert dict(tracer.counts) == {
+            "send": 500, "deliver": 500, "timer": 500, "drop": 500}
+        assert len(tracer) == 4  # the first event of each kind
+        path = tmp_path / "sampled.jsonl"
+        written = tracer.export_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert written == 4
+        assert len(lines) == 5
+        header = json.loads(lines[0])
+        assert header["counts"] == dict(tracer.counts)
+        chrome = tmp_path / "sampled.json"
+        tracer.export_chrome(str(chrome))
+        with open(chrome) as handle:
+            payload = json.load(handle)
+        assert payload["metadata"]["counts"] == dict(tracer.counts)
+
+
+class TestProcessMerge:
+    def _child(self, shard, base):
+        # An empty sampling map means every kind records at step 1, so
+        # the expected resident counts are exact.
+        child = RingTracer(capacity=64, sampling={})
+        for i in range(4):
+            t = base + float(i)
+            child.send(t, shard, -1, "Aggregate", count=3)
+            child.deliver(t + 0.5, shard, shard + 1, "Aggregate", 1, t)
+        child.timer(base + 4.0, shard, "flush")
+        return child
+
+    def test_ingest_folds_counts_and_tracks(self):
+        parent = RingTracer()
+        for shard in range(2):
+            child = self._child(shard, base=float(shard))
+            parent.ingest_process(f"shard {shard}", child.raw_records(),
+                                  counts=dict(child.counts))
+        # Multicast sends count their fan-out (width 3 x 4 per child).
+        assert dict(parent.counts) == {"send": 24, "deliver": 8, "timer": 2}
+        assert [p["label"] for p in parent.processes] == [
+            "shard 0", "shard 1"]
+        summary = parent.summary()
+        assert [p["recorded"] for p in summary["processes"]] == [9, 9]
+
+    def test_merged_chrome_round_trips_with_monotonic_tracks(
+            self, tmp_path):
+        parent = RingTracer()
+        spans = [("barrier e1", 0.001, 0.002, {"epoch": 1}),
+                 ("epoch e1", 0.003, 0.004, {"epoch": 1})]
+        for shard in range(3):
+            child = self._child(shard, base=float(shard))
+            parent.ingest_process(f"shard {shard}", child.raw_records(),
+                                  counts=dict(child.counts),
+                                  spans=spans)
+        path = tmp_path / "merged.json"
+        written = parent.export_chrome(str(path))
+        with open(path) as handle:
+            payload = json.load(handle)
+        events = payload["traceEvents"]
+        assert len(events) == written
+        names = {e["pid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert set(names.values()) == {
+            "shard 0", "shard 1", "shard 2",
+            "epoch barriers (wall clock)"}
+        # Per-(pid, tid) track timestamps must be monotone or Perfetto
+        # rejects the trace.
+        tracks = {}
+        for event in events:
+            if event["ph"] == "M":
+                continue
+            tracks.setdefault((event["pid"], event.get("tid")),
+                              []).append(event["ts"])
+        assert tracks, "merged trace renders real events"
+        for stamps in tracks.values():
+            assert stamps == sorted(stamps)
+        span_events = [e for e in events if e["ph"] == "X"
+                       and e["cat"] in ("barrier", "epoch")]
+        assert len(span_events) == 3 * len(spans)
+
+    def test_merged_jsonl_labels_every_process_record(self, tmp_path):
+        parent = RingTracer()
+        parent.send(0.0, 0, 1, "Aggregate")  # parent's own ring
+        child = self._child(0, base=0.0)
+        parent.ingest_process("shard 0", child.raw_records(),
+                              counts=dict(child.counts))
+        path = tmp_path / "merged.jsonl"
+        written = parent.export_jsonl(str(path))
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["type"] == "meta"
+        body = rows[1:]
+        assert len(body) == written
+        tracked = [row for row in body if "track" in row]
+        assert len(tracked) == 9
+        assert {row["track"] for row in tracked} == {"shard 0"}
+        untracked = [row for row in body if "track" not in row]
+        assert len(untracked) == 1  # the parent's own send

@@ -12,7 +12,7 @@ reason -- both on the module global and on the per-run
 
 import pytest
 
-from repro.obs.trace import Tracer
+from repro.obs.trace import RingTracer, Tracer
 from repro.protocols.base import prepare_protocol_run, run_protocol
 from repro.protocols.spanning_tree import SpanningTree
 from repro.protocols.wildfire import Wildfire
@@ -129,6 +129,41 @@ def test_lane_used_records_sharded():
     assert all(w["epochs"] >= 1 for w in info["workers"])
 
 
+def test_sharded_result_carries_epoch_timeline():
+    from repro.obs.timeline import SAMPLE_FIELDS, ShardTimeline
+
+    topology = random_topology(30, avg_degree=3.0, seed=SEED)
+    values = uniform_values(len(topology), low=1, high=50, seed=SEED)
+    result = run_protocol(
+        Wildfire(), topology, values, "count", querying_host=0,
+        seed=SEED, lane="sharded", shards=2)
+    assert result.fallback_reason is None
+    samples = result.extra["sharded"]["timeline"]
+    assert samples, "an engaged run records at least one epoch sample"
+    for sample in samples:
+        assert set(sample) == set(SAMPLE_FIELDS)
+        assert sample["exchange_s"] >= 0.0
+        assert sample["compute_s"] >= 0.0
+        assert sample["barrier_wait_s"] >= 0.0
+    # Each shard's samples cover the same epochs (lockstep barriers),
+    # and wall starts are monotone within a shard.
+    by_shard = {}
+    for sample in samples:
+        by_shard.setdefault(sample["shard"], []).append(sample)
+    assert set(by_shard) == {0, 1}
+    epoch_sets = [sorted(s["epoch"] for s in group)
+                  for group in by_shard.values()]
+    assert epoch_sets[0] == epoch_sets[1]
+    for group in by_shard.values():
+        starts = [s["wall_start"] for s in group]
+        assert starts == sorted(starts)
+    timeline = ShardTimeline.from_run(result)
+    assert timeline is not None
+    assert timeline.epochs() == len(epoch_sets[0])
+    report = timeline.skew_report()
+    assert all(row["straggler"] in (0, 1) for row in report)
+
+
 # ----------------------------------------------------------------------
 # Fallback gating: unsupported runs use the spec loop, with a reason
 # ----------------------------------------------------------------------
@@ -144,12 +179,38 @@ def test_falls_back_on_variable_delay_model():
     _assert_falls_back("variable delay model", delay="uniform:0.25,1.0")
 
 
-def test_falls_back_when_tracer_attached():
+def test_falls_back_on_non_ring_tracer():
+    # Per-worker tracing merges raw RingTracer rings over the result
+    # pipe; a foreign tracer subclass could observe state the pipe
+    # cannot carry, so anything but the exact RingTracer falls back.
     before = sharded.engagements
     result = _run("sharded", shards=2, tracer=Tracer())
     assert sharded.engagements == before
-    assert sharded.last_fallback_reason == "tracer attached"
+    assert (sharded.last_fallback_reason
+            == "unsupported tracer (sharded tracing needs RingTracer)")
     assert result == _run("python", tracer=Tracer())
+
+
+def test_ring_tracer_engages_and_stays_bit_identical():
+    # The tentpole contract: a traced sharded run engages the lane and
+    # the digests stay bit-identical to the untraced run, while the
+    # merged trace carries one process track per shard with the exact
+    # run-wide hook counts.
+    churn = ChurnSchedule(failures=[(1.0, 7), (2.0, 3)])
+    spec_tracer = RingTracer(capacity=100_000)
+    spec = _run("python", churn=churn, tracer=spec_tracer)
+    for shards in (1, 2, 4):
+        tracer = RingTracer(capacity=100_000)
+        before = sharded.engagements
+        traced = _run("sharded", shards=shards, churn=churn, tracer=tracer)
+        assert sharded.engagements == before + 1
+        assert sharded.last_fallback_reason is None
+        assert traced == spec
+        assert traced == _run("sharded", shards=shards, churn=churn)
+        assert dict(tracer.counts) == dict(spec_tracer.counts)
+        assert ([p["label"] for p in tracer.processes]
+                == [f"shard {k}" for k in range(shards)])
+        assert all(p["records"] for p in tracer.processes)
 
 
 def test_falls_back_on_join_churn():
