@@ -36,6 +36,18 @@ NUMERIC_POINT_FIELDS = (
     "answered", "run_seconds", "gen_seconds", "queries_per_second",
     "messages", "messages_per_second", "peak_rss_mb", "accounting_bytes",
     "shards", "value", "d_hat", "computation_cost", "time_cost", "seed",
+    "offered_qps", "shed", "deferred", "degraded", "cache_hits",
+    "cache_hit_rate", "msgs_per_query", "elapsed_s", "wall_s_per_query",
+    "wall_qps", "knee_qps", "capacity_qps",
+)
+
+#: Every row of a qps-vs-latency sweep (``run_qps_sweep``) must carry
+#: exactly these measurements; a point missing its latency column would
+#: silently break the knee comparison across PRs.
+QPS_SWEEP_ROW_FIELDS = (
+    "offered_qps", "queries", "answered", "shed", "deferred", "degraded",
+    "cache_hits", "cache_hit_rate", "messages", "msgs_per_query",
+    "elapsed_s", "wall_s_per_query", "wall_qps",
 )
 
 
@@ -82,6 +94,20 @@ def test_trajectory_points_are_well_formed():
                     assert isinstance(row[key], (int, float)), (
                         f"point {index} row field {key!r} is not numeric")
             _check_lane_fields(row, f"point {index}")
+            _check_qps_sweep_fields(row, f"point {index}")
+
+
+def _check_qps_sweep_fields(row, where):
+    """A row that claims to be a sweep point carries the full set."""
+    if "offered_qps" not in row:
+        return
+    for key in QPS_SWEEP_ROW_FIELDS:
+        assert isinstance(row.get(key), (int, float)), (
+            f"{where}: qps-sweep row at offered_qps="
+            f"{row['offered_qps']!r} needs numeric {key!r}, got "
+            f"{row.get(key)!r}")
+    assert isinstance(row.get("share_floods"), bool), (
+        f"{where}: qps-sweep rows must flag share_floods")
 
 
 def _check_lane_fields(row, where):

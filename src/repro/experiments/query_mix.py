@@ -40,6 +40,8 @@ def run_query_mix(
     metrics_interval: Optional[float] = None,
     metrics_stream=None,
     shards: int = 1,
+    share_floods: bool = False,
+    admission=None,
     _session_slice: Optional[tuple] = None,
     **mix_overrides,
 ) -> Dict[str, Any]:
@@ -88,6 +90,16 @@ def run_query_mix(
             the recomputed determinism digest -- is bit-identical to the
             single-process run; service-level tallies are merged by
             :func:`repro.service.engine.merge_shard_summaries`.
+        share_floods: enable the cross-tenant shared-flood cache.
+            Content-derived seeds make every per-query result
+            bit-identical with sharing on or off; only the message
+            totals (and the digest-independent service tallies) shrink.
+        admission: an :class:`~repro.service.AdmissionConfig` arming
+            the overload control loop (picklable, so it ships to shard
+            workers unchanged).  Note that admission decisions read
+            live engine state, so a sharded drive -- where each worker
+            sees only its slice of the load -- can shed a different set
+            of queries than the single-process run.
         _session_slice: internal ``(worker, shards)`` filter -- submit
             only queries whose id lands on this worker (ids are pinned
             so per-session seeds match the unsharded run).
@@ -118,6 +130,7 @@ def run_query_mix(
             shards=int(shards), num_hosts=num_hosts, topology=topology,
             qps=qps, duration=duration, seed=seed, stats=stats,
             delay=delay, departures=departures, mix=mix,
+            share_floods=share_floods, admission=admission,
             mix_overrides=mix_overrides)
 
     if prebuilt_topology is not None:
@@ -144,7 +157,7 @@ def run_query_mix(
 
     service = QueryService(
         topo, values, churn=churn, seed=seed, stats=stats, delay=delay,
-        tracer=tracer)
+        tracer=tracer, share_floods=share_floods, admission=admission)
     for index, submission in enumerate(submissions):
         # Ids are pinned explicitly (1-based submission order, exactly
         # what auto-assignment would hand out) so a shard worker that
@@ -221,6 +234,7 @@ def run_query_mix(
         "stats": stats,
         "delay": delay or "fixed",
         "departures": departures,
+        "share_floods": bool(share_floods),
         "determinism_digest": digest.hexdigest(),
     })
     return {"rows": rows, "summary": summary,
@@ -245,6 +259,8 @@ def _run_sharded_query_mix(
     delay: Optional[str],
     departures: int,
     mix: Optional[QueryMixConfig],
+    share_floods: bool,
+    admission,
     mix_overrides: Dict[str, Any],
 ) -> Dict[str, Any]:
     """Partition the mix by query id over a worker pool and merge.
@@ -266,6 +282,7 @@ def _run_sharded_query_mix(
             "num_hosts": num_hosts, "topology": topology, "qps": qps,
             "duration": duration, "seed": seed, "stats": stats,
             "delay": delay, "departures": departures, "mix": mix,
+            "share_floods": share_floods, "admission": admission,
             "_session_slice": (worker, shards),
             "mix_overrides": mix_overrides,
         }
@@ -295,4 +312,83 @@ def _run_sharded_query_mix(
             "service.shards": shards,
             "per_shard": [result["metrics"] for result in shard_results],
         },
+    }
+
+
+def run_qps_sweep(
+    qps_values,
+    num_hosts: int = 500,
+    topology: str = "gnutella",
+    duration: float = 30.0,
+    seed: int = 0,
+    stats: str = "streaming",
+    share_floods: bool = False,
+    mix: Optional[QueryMixConfig] = None,
+    knee_slowdown: float = 1.5,
+    **mix_overrides,
+) -> Dict[str, Any]:
+    """Offered-qps vs service-latency sweep: where is the saturation knee?
+
+    Drives the same mix shape at each offered rate (the mix's own
+    ``qps``/``duration`` are overridden per point) and reports, per
+    point, the wall-clock cost per query and the throughput actually
+    achieved.  The **knee** is the highest offered rate whose wall-clock
+    seconds per query stay within ``knee_slowdown`` x the lowest offered
+    rate's -- past it, added load buys latency instead of throughput.
+    With the shared-flood cache on, duplicate floods collapse into
+    subscriptions, so the same substrate absorbs a higher offered rate
+    before the knee: the knee moves right.
+
+    Returns ``{"rows": [...], "knee_qps": ..., "capacity_qps": ...,
+    "share_floods": ...}``; rows carry the fields
+    ``benchmarks/test_bench_schema.py`` locks.
+    """
+    from dataclasses import replace
+
+    qps_values = sorted(float(q) for q in qps_values)
+    if not qps_values:
+        raise ValueError("qps sweep needs at least one offered rate")
+    base_mix = mix if mix is not None else QueryMixConfig(
+        qps=qps_values[0], duration=duration)
+    rows: List[Dict[str, Any]] = []
+    for offered in qps_values:
+        point_mix = replace(base_mix, qps=offered, duration=duration)
+        result = run_query_mix(
+            num_hosts=num_hosts, topology=topology, qps=offered,
+            duration=duration, seed=seed, stats=stats, mix=point_mix,
+            share_floods=share_floods, **mix_overrides)
+        summary = result["summary"]
+        queries = summary["queries"]
+        elapsed = summary["elapsed_seconds"]
+        rows.append({
+            "offered_qps": offered,
+            "queries": queries,
+            "answered": summary["answered"],
+            "shed": summary.get("shed", 0),
+            "deferred": summary.get("deferred", 0),
+            "degraded": summary.get("degraded", 0),
+            "cache_hits": summary.get("cache_hits", 0),
+            "cache_hit_rate": round(
+                summary.get("cache_hits", 0) / queries, 4) if queries
+                else 0.0,
+            "messages": summary["messages_sent"],
+            "msgs_per_query": round(
+                summary["messages_sent"] / queries, 1) if queries
+                else 0.0,
+            "elapsed_s": elapsed,
+            "wall_s_per_query": round(
+                elapsed / queries, 6) if queries else 0.0,
+            "wall_qps": summary["queries_per_second"],
+            "share_floods": bool(share_floods),
+        })
+    baseline = rows[0]["wall_s_per_query"] or 1e-9
+    knee = rows[0]["offered_qps"]
+    for row in rows:
+        if row["wall_s_per_query"] <= knee_slowdown * baseline:
+            knee = row["offered_qps"]
+    return {
+        "rows": rows,
+        "knee_qps": knee,
+        "capacity_qps": max(row["wall_qps"] for row in rows),
+        "share_floods": bool(share_floods),
     }

@@ -248,6 +248,28 @@ def collect_service_metrics(service) -> Dict[str, Any]:
             if s.status.value == "pending"))
     collect_queue_metrics(engine._queue, registry, prefix="service.queue")
 
+    # Control-plane gauges (only when the hooks are installed, so
+    # pre-sharing snapshots keep their exact key set).
+    sharing = engine.sharing
+    if sharing is not None:
+        registry.counter("service.cache.hits").inc(sharing.hits)
+        registry.counter("service.cache.leads").inc(sharing.leads)
+        registry.gauge("service.cache.inflight").set(
+            sharing.inflight_computations)
+        registry.gauge("service.cache.recent_answers").set(
+            sharing.recent_answers)
+        registry.gauge("service.cache.hit_rate").set(
+            round(sharing.hit_rate, 4))
+    admission = engine.admission
+    if admission is not None:
+        registry.counter("service.admission.shed").inc(admission.shed)
+        registry.counter("service.admission.degraded").inc(
+            admission.degraded)
+        registry.counter("service.admission.deferrals").inc(
+            admission.defer_events)
+        registry.gauge("service.admission.deferred_pending").set(
+            admission.deferred_pending)
+
     residency = registry.histogram("service.session_residency")
     tenants: Dict[str, Dict[str, Any]] = {}
     pending_by_query = engine.queue_depth_by_session()

@@ -37,6 +37,7 @@ __all__ = [
     "ShardProgressBoard",
     "current_rss_mb",
     "default_progress_board",
+    "read_metrics_stream",
     "set_progress_board",
     "progress_board",
 ]
@@ -122,6 +123,52 @@ class MetricsStreamWriter:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def read_metrics_stream(path: str) -> Dict[str, Any]:
+    """Parse a :class:`MetricsStreamWriter` file, tolerating a torn tail.
+
+    A stream written by an interrupted run is *valid up to its last
+    line*: every line was flushed whole except possibly the one being
+    written when the process died.  This reader therefore drops a
+    non-JSON **last** line (reporting it via ``truncated``) instead of
+    failing, while a bad line anywhere *before* the end still raises
+    ``ValueError`` -- that is real corruption, not interruption.
+
+    Returns a dict with:
+
+    * ``meta`` -- the header row (``None`` if the run died before it);
+    * ``rows`` -- every non-meta row, in order (samples and final);
+    * ``has_final`` -- whether a ``final`` frame closed the stream;
+    * ``truncated`` -- ``(line_number, error)`` for a dropped torn tail,
+      else ``None``.
+    """
+    meta: Optional[Dict[str, Any]] = None
+    rows = []
+    truncated = None
+    with open(path) as handle:
+        numbered = [(number, line.strip())
+                    for number, line in enumerate(handle, start=1)
+                    if line.strip()]
+    for index, (number, line) in enumerate(numbered):
+        try:
+            row = json.loads(line)
+        except ValueError as exc:
+            if index == len(numbered) - 1:
+                truncated = (number, str(exc))
+                break
+            raise ValueError(
+                f"{path}:{number}: bad JSON line: {exc}") from exc
+        if row.get("type") == "meta" and meta is None:
+            meta = row
+        else:
+            rows.append(row)
+    return {
+        "meta": meta,
+        "rows": rows,
+        "has_final": any(row.get("type") == "final" for row in rows),
+        "truncated": truncated,
+    }
 
 
 class PeriodicSampler:

@@ -206,6 +206,39 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="record a sampled structured trace of the "
                             "service run (.jsonl = JSON Lines; else "
                             "Chrome trace-event JSON for Perfetto)")
+    serve.add_argument("--share-floods", choices=("on", "off"),
+                       default="off",
+                       help="cross-tenant shared-flood cache: sessions "
+                            "whose computation key matches an in-flight "
+                            "computation subscribe to it instead of "
+                            "flooding; per-query results are "
+                            "bit-identical either way (default off)")
+    serve.add_argument("--shed-policy", choices=("shed", "defer",
+                                                 "degrade"), default=None,
+                       help="admission-control policy for overloaded "
+                            "submissions: reject (shed), requeue with a "
+                            "deadline (defer), or answer from the "
+                            "recent-answer cache with a staleness tag "
+                            "(degrade); arming any admission limit "
+                            "defaults this to shed")
+    serve.add_argument("--max-qps", type=float, default=None,
+                       help="admission limit: launches per simulated "
+                            "second (sliding window)")
+    serve.add_argument("--max-active", type=int, default=None,
+                       help="admission limit: concurrently running "
+                            "sessions")
+    serve.add_argument("--tenant-budget", type=int, default=None,
+                       metavar="MSGS",
+                       help="admission limit: per-tenant message budget "
+                            "(continuous streams pool theirs)")
+    serve.add_argument("--defer-retry", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="simulated seconds between defer retries "
+                            "(default 2.0)")
+    serve.add_argument("--defer-deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="how long a deferred query may wait before "
+                            "being shed (default 30.0)")
 
     sweep = sub.add_parser(
         "delay-sweep",
@@ -609,6 +642,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "command": "serve", "hosts": args.hosts, "qps": args.qps,
             "duration": args.duration, "seed": args.seed,
             "interval_s": args.metrics_interval})
+    admission = None
+    if (args.shed_policy is not None or args.max_qps is not None
+            or args.max_active is not None
+            or args.tenant_budget is not None):
+        from repro.service import AdmissionConfig
+
+        try:
+            admission = AdmissionConfig(
+                policy=args.shed_policy or "shed",
+                max_qps=args.max_qps,
+                max_active_sessions=args.max_active,
+                tenant_message_budget=args.tenant_budget,
+                defer_retry=args.defer_retry,
+                defer_deadline=args.defer_deadline,
+            )
+        except ValueError as exc:
+            if metrics_stream is not None:
+                metrics_stream.close()
+            print(str(exc), file=sys.stderr)
+            return 2
     try:
         mix = QueryMixConfig(
             qps=args.qps, duration=args.duration,
@@ -631,6 +684,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics_interval=args.metrics_interval,
             metrics_stream=metrics_stream,
             shards=args.shards,
+            share_floods=args.share_floods == "on",
+            admission=admission,
         )
     except (KeyError, ValueError) as exc:
         if metrics_stream is not None:
@@ -753,29 +808,25 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
 
 
 def _report_metrics_stream(path: str, limit: int) -> int:
-    """Summarise a ``--metrics-out`` JSON Lines stream as tables."""
-    import json
+    """Summarise a ``--metrics-out`` JSON Lines stream as tables.
 
+    Streams from interrupted runs are first-class: a torn last line is
+    dropped with a warning, a stream with no ``final`` frame prints the
+    partial tables it has, and a meta-only stream reports the header --
+    all exit 0.  Only real corruption (a bad line before the end) and a
+    stream with nothing readable at all stay exit 2.
+    """
     from repro.experiments.tables import format_table
+    from repro.obs.stream import read_metrics_stream
 
-    meta = None
-    samples = []
-    with open(path) as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except ValueError as exc:
-                print(f"{path}:{number}: bad JSON line: {exc}",
-                      file=sys.stderr)
-                return 2
-            if row.get("type") == "meta":
-                meta = row
-            else:
-                samples.append(row)
-    if not samples:
+    stream = read_metrics_stream(path)
+    meta = stream["meta"]
+    samples = stream["rows"]
+    if stream["truncated"] is not None:
+        number, error = stream["truncated"]
+        print(f"{path}:{number}: dropped torn last line (interrupted "
+              f"run): {error}", file=sys.stderr)
+    if meta is None and not samples:
         print(f"{path} holds no metrics samples", file=sys.stderr)
         return 2
     if meta is not None:
@@ -784,6 +835,13 @@ def _report_metrics_stream(path: str, limit: int) -> int:
                                                          (dict, list))}
         print("stream: " + ", ".join(f"{key}={value}"
                                      for key, value in described.items()))
+    if not samples:
+        print("no metrics samples yet -- the run was interrupted before "
+              "its first sample")
+        return 0
+    if not stream["has_final"]:
+        print("stream has no final frame (interrupted run) -- totals "
+              "below are the last live sample")
     shown = samples[-limit:] if limit else samples
 
     def _flat(row):

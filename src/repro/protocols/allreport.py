@@ -186,6 +186,12 @@ class AllReport(Protocol):
         if not 0.0 < report_probability <= 1.0:
             raise ValueError("report_probability must be in (0, 1]")
         self.report_probability = report_probability
+        # At p = 1.0 every host reports regardless of its coin flips, so
+        # the run is seed-independent; any true sampling is not.
+        self.stochastic = report_probability < 1.0
+
+    def config_spec(self) -> tuple:
+        return (self.report_probability,)
 
     def create_hosts(
         self,

@@ -66,6 +66,21 @@ class Protocol(abc.ABC):
     #: meaningful answers for count/sum/avg.
     requires_duplicate_insensitive: bool = False
 
+    #: Whether the protocol's message schedule itself consumes the run RNG
+    #: (beyond combiner state), so its declared result can depend on the
+    #: seed even with an exact combiner under fixed delay.  Protocols whose
+    #: stochasticity depends on configuration set this per instance.
+    stochastic: bool = False
+
+    def config_spec(self) -> tuple:
+        """Digest-relevant constructor configuration not already in ``name``.
+
+        The shared-flood cache keys computations on ``(name, *config_spec())``
+        so two same-name protocol objects configured differently (e.g.
+        ALLREPORT at different report probabilities) never share a flood.
+        """
+        return ()
+
     @abc.abstractmethod
     def create_hosts(
         self,

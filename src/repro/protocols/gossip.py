@@ -151,10 +151,15 @@ class PushSumGossip(Protocol):
     name = "push-sum-gossip"
     requires_duplicate_insensitive = False
 
+    stochastic = True  # random neighbor choice every round
+
     def __init__(self, num_rounds: int = 50) -> None:
         if num_rounds < 1:
             raise ValueError("num_rounds must be at least 1")
         self.num_rounds = num_rounds
+
+    def config_spec(self) -> tuple:
+        return (self.num_rounds,)
 
     def create_hosts(
         self,

@@ -74,6 +74,14 @@ class RandomizedReport(Protocol):
         self.zeta = zeta
         self.expected_size = expected_size
         self.report_probability = report_probability
+        # With the probability left to the epsilon/zeta derivation the
+        # resolved value depends on the run-time topology size, so the
+        # protocol is conservatively stochastic unless pinned to 1.0.
+        self.stochastic = report_probability != 1.0
+
+    def config_spec(self) -> tuple:
+        return (self.epsilon, self.zeta, self.expected_size,
+                self.report_probability)
 
     def create_hosts(
         self,

@@ -13,7 +13,13 @@ not concurrent query load.  This subsystem is the missing layer:
   query id carried in every :class:`~repro.simulation.messages.Message`;
 * :class:`~repro.service.session.QuerySession` -- per-query protocol
   state, seed stream, cost sink and virtual clock, which together make a
-  query's result bit-identical to a solo run regardless of interleaving.
+  query's result bit-identical to a solo run regardless of interleaving;
+* :class:`~repro.service.sharing.SharedFloodCache` -- the cross-tenant
+  shared-flood cache: sessions whose computation key matches an
+  in-flight computation subscribe to it instead of flooding;
+* :class:`~repro.service.admission.AdmissionController` -- the overload
+  control loop (shed / defer / degrade) driven by the live per-tenant
+  queue-depth, late-delivery and budget signals.
 
 The open-world workload side (Poisson arrivals, mixed protocols, mixed
 one-shot/continuous queries) lives in
@@ -21,6 +27,7 @@ one-shot/continuous queries) lives in
 :mod:`repro.experiments.query_mix`, and the CLI in ``repro serve``.
 """
 
+from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.engine import MuxEngine
 from repro.service.service import QueryService, ServiceReport
 from repro.service.session import (
@@ -29,8 +36,16 @@ from repro.service.session import (
     QueryStatus,
     SessionContext,
 )
+from repro.service.sharing import (
+    SharedComputation,
+    SharedFloodCache,
+    computation_key,
+    consensus_seed,
+)
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
     "MuxEngine",
     "QueryService",
     "ServiceReport",
@@ -38,4 +53,8 @@ __all__ = [
     "QuerySession",
     "QueryStatus",
     "SessionContext",
+    "SharedComputation",
+    "SharedFloodCache",
+    "computation_key",
+    "consensus_seed",
 ]

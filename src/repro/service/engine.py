@@ -92,6 +92,12 @@ class MuxEngine:
         self.retired_order: List[int] = []
         self.late_by_query: Dict[int, int] = {}
         self.tracer = tracer if tracer is not None else default_tracer()
+        # Optional control-plane hooks, installed by the service:
+        # a SharedFloodCache and/or an AdmissionController.  Both sit on
+        # the QUERY_START dispatch path only -- the hot message/timer
+        # loop is untouched when they are off.
+        self.sharing = None
+        self.admission = None
 
     # ------------------------------------------------------------------
     # Session scheduling
@@ -364,7 +370,7 @@ class MuxEngine:
             # so every running query's state is final -- declare them all.
             for qid in list(active):
                 session = active.pop(qid)
-                session.finalize()
+                self._finalize_session(session)
                 self.retired_order.append(qid)
                 if tracer is not None:
                     tracer.session(session.termination, qid, "declare",
@@ -379,11 +385,19 @@ class MuxEngine:
         _, qid = heapq.heappop(self._ends_heap)
         session = self._active.pop(qid, None)
         if session is not None:
-            session.finalize()
+            self._finalize_session(session)
             self.retired_order.append(qid)
             if self.tracer is not None:
                 self.tracer.session(session.termination, qid, "declare",
                                     session.value)
+
+    def _finalize_session(self, session: QuerySession) -> None:
+        """Declare a session and run the control-plane retirement hooks."""
+        session.finalize()
+        if self.sharing is not None:
+            self.sharing.on_retired(session)
+        if self.admission is not None:
+            self.admission.charge(session)
 
     def _schedule_churn(self) -> None:
         for time, host in self._churn.failures:
@@ -398,6 +412,29 @@ class MuxEngine:
         kind = event.kind
         if kind is EventKind.QUERY_START:
             session = event.data
+            sharing = self.sharing
+            if sharing is not None:
+                comp = sharing.try_subscribe(session, time)
+                if comp is not None:
+                    # Shared-flood hit: ride the in-flight computation
+                    # instead of launching another flood.  The session
+                    # still occupies a demux slot until its own deadline
+                    # so retirement order and residency stay faithful.
+                    sharing.hits += 1
+                    session.attach_shared(comp, time)
+                    self._active[session.qid] = session
+                    if len(self._active) > self.max_active_sessions:
+                        self.max_active_sessions = len(self._active)
+                    heapq.heappush(self._ends_heap,
+                                   (session.ends_at, session.qid))
+                    if self.tracer is not None:
+                        self.tracer.session(
+                            0.0, session.qid, "subscribe",
+                            f"leader={comp.leader.qid}")
+                    return
+            admission = self.admission
+            if admission is not None and admission.decide(self, session, time):
+                return
             try:
                 launched = session.launch(self, time)
             except Exception as exc:
@@ -417,6 +454,10 @@ class MuxEngine:
                     self.max_active_sessions = len(self._active)
                 heapq.heappush(self._ends_heap,
                                (session.ends_at, session.qid))
+                if admission is not None:
+                    admission.note_admitted(time, session)
+                if sharing is not None:
+                    sharing.register(session)
                 if self.tracer is not None:
                     self.tracer.session(0.0, session.qid, "launch",
                                         session.protocol.name)
@@ -434,7 +475,10 @@ class MuxEngine:
             if self.tracer is not None:
                 self.tracer.fail(time, host)
             for session in self._active.values():
-                if time <= session.ends_at:
+                # Subscribers hold no host table (their leader's hosts
+                # see the failure); the subscription quiet-window gate
+                # guarantees no churn falls inside their window anyway.
+                if time <= session.ends_at and session.hosts is not None:
                     session.hosts[host].on_fail(time - session.t0)
         elif kind is EventKind.JOIN:
             neighbors = [
@@ -490,6 +534,10 @@ def merge_shard_summaries(summaries: Sequence[Mapping[str, Any]],
                 "late_messages", "dropped_messages", "events_processed",
                 "peak_active_sessions"):
         merged[key] = sum(s[key] for s in summaries)
+    # Control-plane tallies (absent from pre-sharing summaries).
+    for key in ("shed", "deferred", "degraded", "cache_hits", "deferrals"):
+        if any(key in s for s in summaries):
+            merged[key] = sum(s.get(key, 0) for s in summaries)
     merged["finished_at"] = max(s["finished_at"] for s in summaries)
     merged["elapsed_seconds"] = round(
         sum(s["elapsed_seconds"] for s in summaries), 4)
@@ -503,7 +551,12 @@ def merge_shard_summaries(summaries: Sequence[Mapping[str, Any]],
         key: late_by_query[key]
         for key in sorted(late_by_query, key=int)
     }
-    declared = [row for row in rows if row.get("declared_at") is not None]
+    # Degraded answers carry a declared_at (the instant they were served
+    # from the recent-answer store) but never occupied a demux slot, so
+    # they are not part of the engine's retirement order.
+    declared = [row for row in rows
+                if row.get("declared_at") is not None
+                and not row.get("degraded")]
     declared.sort(key=lambda row: (row["declared_at"], row["query_id"]))
     merged["retired_order"] = [row["query_id"] for row in declared]
     merged["retired"] = len(merged["retired_order"])

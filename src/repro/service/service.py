@@ -12,9 +12,12 @@ over it through the :class:`~repro.service.engine.MuxEngine`:
 >>> service.poll(q1).value            # doctest: +SKIP
 
 Determinism contract: each session's seed is derived from the service
-seed and the session id (or passed explicitly), and every source of
-randomness a query touches -- sketch initialisation, protocol coin
-flips, stochastic link delays -- draws from session-private streams.
+seed and the query's *content* (or passed explicitly) -- two tenants
+submitting the same aggregate draw the same streams and receive the
+same answer, the consensus-answer property the shared-flood cache
+builds on -- and every source of randomness a query touches -- sketch
+initialisation, protocol coin flips, stochastic link delays -- draws
+from session-private streams.
 Re-running the same submission sequence therefore reproduces every
 query's value and per-query cost accounting bit-for-bit, regardless of
 how the queries interleave on the shared substrate; and a query run solo
@@ -43,8 +46,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.protocols.base import Protocol, protocol_from_spec, resolve_d_hat
 from repro.queries.query import AggregateQuery
+from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.engine import MuxEngine
 from repro.service.session import QueryOutcome, QuerySession, QueryStatus
+from repro.service.sharing import (SharedFloodCache, computation_key,
+                                   consensus_seed, delay_is_stochastic)
 from repro.simulation.churn import ChurnSchedule
 from repro.simulation.host import ProtocolHost
 from repro.simulation.stats import validate_stats_mode
@@ -77,6 +83,17 @@ class ServiceReport:
             and left the demux table.
         late_by_query: late-delivery count per query id (queries with
             no late deliveries are absent).
+        shed: queries terminally rejected by admission control.
+        deferred: queries currently requeued by the defer policy
+            (zero after a run to drain: every deferral ends in a launch
+            or a shed).
+        degraded: queries answered from the recent-answer store with a
+            staleness tag (counted inside ``answered`` too -- they did
+            declare a value).
+        cache_hits: sessions that subscribed to an in-flight shared
+            flood instead of flooding themselves.
+        deferrals: individual defer events (one query can defer several
+            times before launching or being shed).
     """
 
     outcomes: List[QueryOutcome] = field(default_factory=list)
@@ -89,6 +106,11 @@ class ServiceReport:
     peak_active_sessions: int = 0
     retired_order: List[int] = field(default_factory=list)
     late_by_query: Dict[int, int] = field(default_factory=dict)
+    shed: int = 0
+    deferred: int = 0
+    degraded: int = 0
+    cache_hits: int = 0
+    deferrals: int = 0
 
     @property
     def answered(self) -> int:
@@ -118,6 +140,11 @@ class ServiceReport:
             "retired_order": list(self.retired_order),
             "late_by_query": {str(qid): count for qid, count
                               in sorted(self.late_by_query.items())},
+            "shed": self.shed,
+            "deferred": self.deferred,
+            "degraded": self.degraded,
+            "cache_hits": self.cache_hits,
+            "deferrals": self.deferrals,
         }
 
 
@@ -131,8 +158,9 @@ class QueryService:
         delta: per-hop delay bound for every session's timer math.
         churn: service-wide failure/join schedule (applied once, seen by
             every session that overlaps it).
-        seed: service seed; per-query seeds derive from it (see
-            :meth:`derive_seed`).
+        seed: service seed; per-query seeds derive from it and the
+            query's content (see
+            :func:`~repro.service.sharing.consensus_seed`).
         stats: per-query cost accounting mode (``"full"`` or
             ``"streaming"``); every session gets its own private sink.
         delay: realised link-delay model spec shared by all sessions
@@ -147,6 +175,14 @@ class QueryService:
         max_time: engine runaway backstop.
         tracer: structured trace sink handed to the engine (``None``
             resolves the process default once at construction).
+        share_floods: enable the cross-tenant shared-flood cache --
+            sessions whose computation key matches an in-flight
+            computation subscribe to it instead of flooding (results
+            are bit-identical either way; see
+            :mod:`repro.service.sharing`).
+        admission: an :class:`~repro.service.admission.AdmissionConfig`
+            arming the overload control loop (``None`` admits
+            everything, the pre-control behaviour).
     """
 
     def __init__(
@@ -162,6 +198,8 @@ class QueryService:
         d_hat: Optional[int] = None,
         max_time: float = 1_000_000.0,
         tracer=None,
+        share_floods: bool = False,
+        admission: Optional[AdmissionConfig] = None,
     ) -> None:
         if len(values) < topology.num_hosts:
             raise ValueError("need one attribute value per host")
@@ -180,16 +218,29 @@ class QueryService:
         self._sessions: Dict[int, QuerySession] = {}
         self._next_qid = 1
         self._elapsed_total = 0.0
+        self.share_floods = bool(share_floods)
+        self._delay_stochastic = delay_is_stochastic(delay, self.delta)
+        # The cache also backs the degrade policy's recent-answer store,
+        # so it exists (with subscription off) when only degrading.
+        if self.share_floods or (admission is not None
+                                 and admission.policy == "degrade"):
+            self.engine.sharing = SharedFloodCache(
+                self.churn, subscribe=self.share_floods)
+        if admission is not None:
+            self.engine.admission = AdmissionController(admission)
 
     # ------------------------------------------------------------------
     # Tenant API
     # ------------------------------------------------------------------
     def derive_seed(self, query_id: int) -> int:
-        """The session seed for ``query_id`` under the service seed.
+        """An id-derived session seed under the service seed.
 
         String seeding hashes with SHA-512 under the hood, so the streams
         of different sessions (and of the same session id under different
-        service seeds) are independent and version-stable.
+        service seeds) are independent and version-stable.  This is *not*
+        the submit-path default (that is the content-derived consensus
+        seed); pass ``seed=service.derive_seed(qid)`` explicitly to give
+        a session an id-private stream.
         """
         return random.Random(
             f"{self.seed}:query:{query_id}").getrandbits(64)
@@ -214,8 +265,10 @@ class QueryService:
         The query launches at engine time ``at`` (protocol state is built
         lazily at that instant) and declares at ``at + T`` where ``T`` is
         the protocol's nominal termination time.  ``seed`` defaults to
-        :meth:`derive_seed` of the assigned id; pass it explicitly to
-        replay a session solo.
+        the *content-derived* consensus seed (identical submissions get
+        identical seeds, hence identical answers -- see
+        :func:`~repro.service.sharing.consensus_seed`); pass it
+        explicitly to replay a session solo or to force private streams.
 
         ``query_id`` pins the session id instead of taking the next free
         one -- the sharded service drive uses this so a worker holding
@@ -258,24 +311,41 @@ class QueryService:
             if qid in self._sessions:
                 raise ValueError(f"query id {qid} is already in use")
             self._next_qid = max(self._next_qid, qid + 1)
+        # Resolve what the run will actually use so the consensus seed
+        # and the computation key see the same inputs as the launch.
+        resolved_combiner = (combiner if combiner is not None else
+                             protocol.default_combiner(
+                                 query, repetitions=repetitions))
+        resolved_d_hat = self.d_hat if d_hat is None else int(d_hat)
+        if seed is None:
+            seed = consensus_seed(self.seed, protocol, query,
+                                  querying_host, resolved_combiner,
+                                  resolved_d_hat)
         session = QuerySession(
             qid=qid,
             protocol=protocol,
             query=query,
             querying_host=querying_host,
-            seed=self.derive_seed(qid) if seed is None else seed,
+            seed=seed,
             launch_at=float(at),
             topology=self.topology,
             values=self.values,
             repetitions=repetitions,
             combiner=combiner,
-            d_hat=self.d_hat if d_hat is None else d_hat,
+            d_hat=resolved_d_hat,
             stats=self.stats_mode,
             delay=self.delay_spec,
             join_factory=join_factory,
             stream=stream,
             extra=extra,
         )
+        if self.engine.sharing is not None and join_factory is None:
+            # A join factory customises per-session behaviour the key
+            # cannot capture, so such sessions never share.
+            session.share_key = computation_key(
+                protocol, query, querying_host, resolved_combiner,
+                resolved_d_hat, self.delay_spec, seed,
+                delay_stochastic=self._delay_stochastic)
         self._sessions[qid] = session
         self.engine.schedule_session(session)
         tracer = self.engine.tracer
@@ -297,10 +367,11 @@ class QueryService:
         driving a query nobody can ever read.
         """
         session = self._sessions[query_id]
-        if session.status not in (QueryStatus.DONE, QueryStatus.FAILED):
+        if session.status not in (QueryStatus.DONE, QueryStatus.FAILED,
+                                  QueryStatus.SHED):
             raise ValueError(
-                f"query {query_id} is {session.status.value}; only done or "
-                f"failed queries can be retired"
+                f"query {query_id} is {session.status.value}; only done, "
+                f"failed or shed queries can be retired"
             )
         outcome = self._sessions.pop(query_id).outcome()
         tracer = self.engine.tracer
@@ -314,8 +385,9 @@ class QueryService:
         start = _time.perf_counter()
         finished = engine.run(until=until)
         self._elapsed_total += _time.perf_counter() - start
+        outcomes = [s.outcome() for s in self._sessions.values()]
         return ServiceReport(
-            outcomes=[s.outcome() for s in self._sessions.values()],
+            outcomes=outcomes,
             finished_at=finished,
             elapsed=self._elapsed_total,
             messages_sent=engine.messages_sent,
@@ -325,6 +397,16 @@ class QueryService:
             peak_active_sessions=engine.max_active_sessions,
             retired_order=list(engine.retired_order),
             late_by_query=dict(engine.late_by_query),
+            shed=sum(1 for o in outcomes
+                     if o.status is QueryStatus.SHED),
+            deferred=sum(1 for o in outcomes
+                         if o.status is QueryStatus.DEFERRED),
+            degraded=sum(1 for o in outcomes
+                         if o.extra.get("degraded")),
+            cache_hits=(engine.sharing.hits
+                        if engine.sharing is not None else 0),
+            deferrals=(engine.admission.defer_events
+                       if engine.admission is not None else 0),
         )
 
     def outcomes(self) -> List[QueryOutcome]:

@@ -41,6 +41,8 @@ class QueryStatus(enum.Enum):
     RUNNING = "running"    # protocol instances live on the shared network
     DONE = "done"          # declared a value at its termination time
     FAILED = "failed"      # querying host was dead at the launch instant
+    SHED = "shed"          # rejected by admission control (terminal)
+    DEFERRED = "deferred"  # requeued by admission control (transient)
 
 
 @dataclass
@@ -118,6 +120,8 @@ class QuerySession:
         # launch-time state
         "status", "hosts", "sink", "sample", "delay_model", "d_hat",
         "termination", "t0", "ends_at", "value", "declared_at",
+        # shared-flood cache wiring
+        "share_key", "shared_from",
     )
 
     def __init__(
@@ -167,6 +171,11 @@ class QuerySession:
         self.ends_at = float("inf")
         self.value: Optional[float] = None
         self.declared_at: Optional[float] = None
+        # Set by the service when flood sharing is on: the session's
+        # computation key, and (after subscription) the in-flight
+        # computation this session rides instead of flooding itself.
+        self.share_key = None
+        self.shared_from = None
 
     # ------------------------------------------------------------------
     # Lifecycle (driven by the engine)
@@ -216,6 +225,29 @@ class QuerySession:
         self.status = QueryStatus.RUNNING
         return True
 
+    def attach_shared(self, comp, now: float) -> None:
+        """Go live as a *subscriber* of an in-flight shared computation.
+
+        The session builds no protocol state of its own: its horizon
+        arithmetic is copied from the leader (a key match guarantees the
+        leader resolved the same ``d_hat``, hence the same termination
+        time), its virtual clock starts at its own launch instant, and
+        its declared value and cost sink are forked from the leader at
+        finalize time.  Only per-tenant bookkeeping is private -- which
+        is the whole point of the shared-flood cache.
+        """
+        leader = comp.leader
+        self.query = leader.query
+        self.d_hat = leader.d_hat
+        self.termination = leader.termination
+        self.t0 = now
+        self.ends_at = now + self.termination
+        self.status = QueryStatus.RUNNING
+        self.shared_from = comp
+        self.extra["cache_hit"] = True
+        self.extra["shared_with"] = leader.qid
+        comp.subscribers.append(self.qid)
+
     def _joined_host(self, host_id: int) -> ProtocolHost:
         if self.join_factory is not None:
             return self.join_factory(host_id)
@@ -229,6 +261,15 @@ class QuerySession:
     def finalize(self) -> None:
         """Declare the query's value and release its protocol state."""
         if self.status is not QueryStatus.RUNNING:
+            return
+        if self.shared_from is not None:
+            # Subscriber: fork the declared value and a private copy of
+            # the leader's cost accounting (bit-identical to the solo
+            # run this session would have executed -- see sharing.py).
+            self.value, self.sink = self.shared_from.resolve()
+            self.declared_at = self.ends_at
+            self.status = QueryStatus.DONE
+            self.shared_from = None
             return
         assert self.hosts is not None
         self.value = self.hosts[self.querying_host].local_result()

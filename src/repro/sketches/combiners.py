@@ -46,6 +46,13 @@ class Combiner(abc.ABC, Generic[State]):
     #: True when combine(a, a) == a for all states (safe for WILDFIRE).
     duplicate_insensitive: bool = False
 
+    #: True when ``initial`` consumes randomness (the FM sketch family),
+    #: i.e. when the declared answer depends on the run seed.  The
+    #: service's shared-flood cache keys on this: seed-insensitive runs
+    #: (exact combiners under fixed delay) produce bit-identical results
+    #: regardless of seed, so their computation keys omit the seed.
+    stochastic: bool = False
+
     #: Short name used in reports and experiment tables.
     name: str = "combiner"
 
@@ -173,6 +180,7 @@ class FMCountCombiner(Combiner[FMSketch]):
     """Duplicate-insensitive count using Flajolet-Martin sketches."""
 
     duplicate_insensitive = True
+    stochastic = True
     name = "count-fm"
     #: State is a single packed bitmask int (enables protocol fast paths).
     packed_state = True
@@ -203,6 +211,7 @@ class FMSumCombiner(Combiner[FMSketch]):
     """Duplicate-insensitive sum: each host contributes ``value`` elements."""
 
     duplicate_insensitive = True
+    stochastic = True
     name = "sum-fm"
     #: State is a single packed bitmask int (enables protocol fast paths).
     packed_state = True
@@ -242,6 +251,7 @@ class FMAverageCombiner(Combiner[_FMAverageState]):
     """Duplicate-insensitive average as the ratio of FM sum and FM count."""
 
     duplicate_insensitive = True
+    stochastic = True
     name = "avg-fm"
 
     def __init__(self, repetitions: int = 8, num_bits: int = DEFAULT_NUM_BITS) -> None:

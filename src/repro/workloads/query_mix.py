@@ -30,6 +30,8 @@ __all__ = [
     "QuerySubmission",
     "QueryMixConfig",
     "generate_query_mix",
+    "duplicate_heavy_mix",
+    "adversarial_overload_mix",
     "DEFAULT_PROTOCOL_MIX",
     "DEFAULT_AGGREGATE_MIX",
 ]
@@ -97,6 +99,19 @@ class QueryMixConfig:
             reports of one stream (0 = strictly periodic).
         max_queries: hard cap on the number of submissions (earliest
             kept); ``None`` = unbounded.
+        hot_fraction: probability that an arrival is redirected to one
+            of ``hot_targets`` pre-drawn (protocol, aggregate, host)
+            triples -- the duplicate-heavy knob: redirected arrivals
+            submit *identical* queries, which is what the shared-flood
+            cache deduplicates.  0 (the default) leaves the schedule
+            bit-identical to the pre-knob generator.
+        hot_targets: size of the hot-triple pool.
+        burst_every: inject a synchronised burst every this many
+            simulated seconds (``None`` = no bursts) -- the adversarial
+            overload knob: bursts arrive faster than any admission
+            window can drain.
+        burst_size: one-shot submissions per burst (drawn from the hot
+            pool when one exists, else from the mixes).
     """
 
     qps: float = 1.0
@@ -110,6 +125,10 @@ class QueryMixConfig:
     reports: int = 3
     think_time: float = 0.0
     max_queries: Optional[int] = None
+    hot_fraction: float = 0.0
+    hot_targets: int = 3
+    burst_every: Optional[float] = None
+    burst_size: int = 0
 
     def __post_init__(self) -> None:
         if self.qps <= 0:
@@ -130,6 +149,56 @@ class QueryMixConfig:
             raise ValueError("think_time cannot be negative")
         if self.max_queries is not None and self.max_queries < 1:
             raise ValueError("max_queries must be at least 1")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.hot_targets < 1:
+            raise ValueError("hot_targets must be at least 1")
+        if self.burst_every is not None:
+            if self.burst_every <= 0:
+                raise ValueError("burst_every must be positive")
+            if self.burst_size < 1:
+                raise ValueError("bursts need burst_size >= 1")
+
+
+def duplicate_heavy_mix(**overrides) -> QueryMixConfig:
+    """A mix dominated by identical WILDFIRE floods.
+
+    Most arrivals are redirected to a two-triple hot pool, so the bulk
+    of the load is the same expensive flood submitted again and again --
+    the workload the shared-flood cache is built for, and the one the
+    qps-vs-latency knee sweep measures.
+    """
+    config = dict(
+        protocol_mix={"wildfire": 0.7, "spanning-tree": 0.2, "dag2": 0.1},
+        aggregate_mix={"count": 0.5, "min": 0.3, "max": 0.2},
+        continuous_fraction=0.05,
+        hot_fraction=0.8,
+        hot_targets=2,
+    )
+    config.update(overrides)
+    return QueryMixConfig(**config)
+
+
+def adversarial_overload_mix(**overrides) -> QueryMixConfig:
+    """Synchronised bursts of hot queries on top of a Poisson base load.
+
+    Every few seconds a burst of identical one-shot floods lands at one
+    instant -- faster than any admission window can drain -- which is
+    the workload the overload test matrix drives the shed/defer/degrade
+    policies with.
+    """
+    config = dict(
+        protocol_mix={"wildfire": 0.5, "spanning-tree": 0.35,
+                      "dag2": 0.15},
+        aggregate_mix={"count": 0.5, "min": 0.3, "max": 0.2},
+        continuous_fraction=0.05,
+        hot_fraction=0.5,
+        hot_targets=2,
+        burst_every=5.0,
+        burst_size=12,
+    )
+    config.update(overrides)
+    return QueryMixConfig(**config)
 
 
 def _weighted_choice(rng: random.Random,
@@ -176,6 +245,19 @@ def generate_query_mix(
 
         config = replace(config, **overrides)
     rng = random.Random(f"{seed}:query-mix")
+    # The hot/burst knobs draw from *separate* streams so schedules with
+    # the knobs off stay bit-identical to the pre-knob generator (the
+    # sharded drive and the goldens depend on that).
+    hot_pool: List[tuple] = []
+    hot_rng = None
+    if config.hot_fraction > 0:
+        hot_rng = random.Random(f"{seed}:query-mix:hot")
+        hot_pool = [
+            (_weighted_choice(hot_rng, config.protocol_mix),
+             _weighted_choice(hot_rng, config.aggregate_mix),
+             hot_rng.randrange(num_hosts))
+            for _ in range(config.hot_targets)
+        ]
     submissions: List[QuerySubmission] = []
     stream = 0
     now = rng.expovariate(config.qps)
@@ -184,6 +266,9 @@ def generate_query_mix(
         aggregate = _weighted_choice(rng, config.aggregate_mix)
         host = rng.randrange(num_hosts)
         continuous = rng.random() < config.continuous_fraction
+        if hot_rng is not None and hot_rng.random() < config.hot_fraction:
+            protocol, aggregate, host = hot_pool[
+                hot_rng.randrange(len(hot_pool))]
         reports = config.reports if continuous else 1
         launch = now
         for index in range(reports):
@@ -199,6 +284,29 @@ def generate_query_mix(
             launch += config.period + config.think_time
         stream += 1
         now += rng.expovariate(config.qps)
+    if config.burst_every is not None:
+        burst_rng = random.Random(f"{seed}:query-mix:burst")
+        burst_time = config.burst_every
+        while burst_time < config.duration:
+            for _ in range(config.burst_size):
+                if hot_pool:
+                    protocol, aggregate, host = hot_pool[
+                        burst_rng.randrange(len(hot_pool))]
+                else:
+                    protocol = _weighted_choice(burst_rng,
+                                                config.protocol_mix)
+                    aggregate = _weighted_choice(burst_rng,
+                                                 config.aggregate_mix)
+                    host = burst_rng.randrange(num_hosts)
+                submissions.append(QuerySubmission(
+                    time=round(burst_time, 9),
+                    protocol=protocol,
+                    aggregate=aggregate,
+                    querying_host=host,
+                    stream=stream,
+                ))
+                stream += 1
+            burst_time += config.burst_every
     submissions.sort(key=lambda s: (s.time, s.stream, s.report_index))
     if config.max_queries is not None:
         submissions = submissions[:config.max_queries]

@@ -63,9 +63,18 @@ def test_submit_with_pinned_query_id():
         service.submit("wildfire", "count", query_id=4)
     with pytest.raises(ValueError, match="start at 1"):
         service.submit("wildfire", "count", query_id=0)
-    # The pinned id derives the same session seed auto-assignment would
-    # have -- the property the shard workers rely on.
-    assert service._sessions[4].seed == service.derive_seed(4)
+    # Session seeds are content-derived, not id-derived: a worker that
+    # submits query 4 under a pinned id gets the exact seed the
+    # single-process run derived (the property the shard workers rely
+    # on), and identical submissions agree regardless of their ids.
+    assert service._sessions[4].seed == service._sessions[5].seed
+    from repro.service.sharing import consensus_seed
+
+    session = service._sessions[4]
+    assert session.seed == consensus_seed(
+        9, session.protocol, session.query, 0,
+        session.protocol.default_combiner(session.query, repetitions=8),
+        service.d_hat)
 
 
 def test_serve_cli_threads_shards(capsys):

@@ -265,3 +265,59 @@ class TestObsReport:
     def test_report_missing_file_is_an_error(self, tmp_path, capsys):
         assert main(["obs", "report", str(tmp_path / "nope.json")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestObsReportInterruptedStreams:
+    """``obs report`` on streams from interrupted runs: partial tables,
+    exit 0.  Only real mid-stream corruption stays exit 2."""
+
+    META = {"type": "meta", "stream": "metrics", "hosts": 120}
+
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "live.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def _sample(self, seq):
+        return json.dumps({"type": "sample", "seq": seq,
+                           "elapsed_s": 0.5 * seq,
+                           "service.queries": seq + 1})
+
+    def test_no_final_frame_prints_partial_tables(self, tmp_path, capsys):
+        path = self._write(tmp_path, [json.dumps(self.META),
+                                      self._sample(0), self._sample(1)])
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stream has no final frame (interrupted run)" in out
+        assert "Live metrics samples" in out
+
+    def test_torn_last_line_is_dropped_with_a_warning(self, tmp_path,
+                                                      capsys):
+        path = self._write(tmp_path, [json.dumps(self.META),
+                                      self._sample(0),
+                                      '{"type": "sample", "seq": 1, "tr'])
+        assert main(["obs", "report", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "dropped torn last line (interrupted run)" in captured.err
+        assert "Live metrics samples" in captured.out
+
+    def test_meta_only_stream_reports_the_header(self, tmp_path, capsys):
+        path = self._write(tmp_path, [json.dumps(self.META)])
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stream: " in out
+        assert "hosts=120" in out
+        assert "interrupted before its first sample" in out
+
+    def test_empty_stream_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "live.jsonl"
+        path.write_text("")
+        assert main(["obs", "report", str(path)]) == 2
+        assert "holds no metrics samples" in capsys.readouterr().err
+
+    def test_mid_stream_corruption_is_an_error(self, tmp_path, capsys):
+        path = self._write(tmp_path, [json.dumps(self.META),
+                                      "{not json}",
+                                      self._sample(0)])
+        assert main(["obs", "report", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err

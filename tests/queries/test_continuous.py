@@ -162,8 +162,10 @@ class TestLivePath:
         shared_service.run()
         shared = continuous.collect_live(shared_service, session_ids,
                                          querying_host=0)
-        # Same seeds derive per (service seed, session id); explicit
-        # comparison via values: the multiplexed reports match solo ones.
+        # Seeds are content-derived under one service seed, so the two
+        # services hand identical submissions identical seed streams;
+        # explicit comparison via values: the multiplexed reports match
+        # solo ones.
         assert [r.value for r in shared] == [r.value for r in solo]
         assert [r.is_valid for r in shared] == [r.is_valid for r in solo]
 
